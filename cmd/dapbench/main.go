@@ -1,0 +1,63 @@
+// Command dapbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	dapbench -exp fig6 -n 200000 -trials 20
+//	dapbench -exp all -csv > results.csv
+//	dapbench -list
+//
+// Every run is deterministic for a fixed -seed and GOMAXPROCS.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id ("+strings.Join(bench.Experiments(), ", ")+") or 'all'")
+		n       = flag.Int("n", 20000, "users per collection (paper uses ~1e6)")
+		trials  = flag.Int("trials", 3, "Monte-Carlo repeats per cell")
+		seed    = flag.Uint64("seed", 1, "base random seed")
+		maxIter = flag.Int("maxiter", 200, "EM iteration cap")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		list    = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+	if *list {
+		for _, name := range bench.Experiments() {
+			fmt.Println(name)
+		}
+		return
+	}
+	cfg := bench.Config{N: *n, Trials: *trials, Seed: *seed, EMFMaxIter: *maxIter}
+	start := time.Now()
+	var (
+		tables []*bench.Table
+		err    error
+	)
+	if *exp == "all" {
+		tables, err = bench.RunAll(cfg)
+	} else {
+		tables, err = bench.Run(*exp, cfg)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dapbench:", err)
+		os.Exit(1)
+	}
+	for _, t := range tables {
+		if *csv {
+			t.CSV(os.Stdout)
+		} else {
+			t.Fprint(os.Stdout)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "dapbench: %s done in %s (N=%d, trials=%d, seed=%d)\n",
+		*exp, time.Since(start).Round(time.Millisecond), *n, *trials, *seed)
+}

@@ -1,0 +1,54 @@
+// Command dapcollect serves the DAP collector over HTTP.
+//
+// Usage:
+//
+//	dapcollect -addr :8080 -eps 1 -eps0 0.0625 -scheme cemf
+//
+// Endpoints: GET /v1/config, POST /v1/join, POST /v1/report,
+// GET /v1/status, GET /v1/estimate. Clients perturb locally; the server
+// never sees raw values and enforces each user's ε with a budget
+// accountant.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/transport"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		eps     = flag.Float64("eps", 1, "total privacy budget ε")
+		eps0    = flag.Float64("eps0", 1.0/16, "minimum group budget ε0")
+		schemeF = flag.String("scheme", "cemf", "estimation scheme: emf, emfstar, cemf")
+	)
+	flag.Parse()
+	var scheme core.Scheme
+	switch *schemeF {
+	case "emf":
+		scheme = core.SchemeEMF
+	case "emfstar", "emf*":
+		scheme = core.SchemeEMFStar
+	case "cemf", "cemf*", "cemfstar":
+		scheme = core.SchemeCEMFStar
+	default:
+		log.Fatalf("dapcollect: unknown scheme %q", *schemeF)
+	}
+	srv, err := transport.NewServer(core.Params{Eps: *eps, Eps0: *eps0, Scheme: scheme})
+	if err != nil {
+		log.Fatal("dapcollect: ", err)
+	}
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	fmt.Printf("dapcollect: listening on %s (ε=%g, ε0=%g, scheme=%v)\n", *addr, *eps, *eps0, scheme)
+	log.Fatal(httpSrv.ListenAndServe())
+}

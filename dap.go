@@ -1,0 +1,156 @@
+package dap
+
+import (
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/defense"
+)
+
+// Core protocol types (see internal/core for full documentation).
+type (
+	// Params configures a DAP instance.
+	Params = core.Params
+	// DAP is the multi-group Differential Aggregation Protocol (§V).
+	DAP = core.DAP
+	// Baseline is the two-budget protocol of §IV.
+	Baseline = core.Baseline
+	// Estimate is the collector's output.
+	Estimate = core.Estimate
+	// Collection holds per-group reports.
+	Collection = core.Collection
+	// Scheme selects EMF, EMF* or CEMF* estimation.
+	Scheme = core.Scheme
+	// WeightMode selects the inter-group aggregation weights.
+	WeightMode = core.WeightMode
+	// SWParams and SWDAP are the Square Wave variant (§V-D).
+	SWParams = core.SWParams
+	// SWDAP is the Square Wave instantiation of the protocol.
+	SWDAP = core.SWDAP
+	// FreqParams and FreqDAP are the categorical variant (§V-D).
+	FreqParams = core.FreqParams
+	// FreqDAP is the categorical instantiation of the protocol.
+	FreqDAP = core.FreqDAP
+	// Group describes one protocol group.
+	Group = core.Group
+	// VarianceEstimator generalizes DAP to variance estimation (§V-D).
+	VarianceEstimator = core.VarianceEstimator
+	// VarianceEstimate is its output.
+	VarianceEstimate = core.VarianceEstimate
+)
+
+// Estimation schemes.
+const (
+	SchemeEMF      = core.SchemeEMF
+	SchemeEMFStar  = core.SchemeEMFStar
+	SchemeCEMFStar = core.SchemeCEMFStar
+)
+
+// Aggregation weight modes.
+const (
+	WeightsPaper   = core.WeightsPaper
+	WeightsGeneral = core.WeightsGeneral
+)
+
+// Protocol constructors.
+var (
+	// NewDAP builds the numerical mean-estimation protocol over PM.
+	NewDAP = core.NewDAP
+	// NewBaseline builds the §IV two-budget protocol.
+	NewBaseline = core.NewBaseline
+	// NewSWDAP builds the Square Wave variant.
+	NewSWDAP = core.NewSWDAP
+	// NewFreqDAP builds the categorical k-RR variant.
+	NewFreqDAP = core.NewFreqDAP
+	// PessimisticO computes Theorem 2's pessimistic mean initialization.
+	PessimisticO = core.PessimisticO
+	// CollectPM gathers a plain single-group PM collection (the input of
+	// the Ostrich/Trimming/k-means baselines).
+	CollectPM = core.CollectPM
+)
+
+// Threat models (see internal/attack).
+type (
+	// Adversary produces the colluding users' poison reports.
+	Adversary = attack.Adversary
+	// BBA is the Biased Byzantine Attack of Definition 4.
+	BBA = attack.BBA
+	// GBA is the two-sided General Byzantine Attack of Definition 2.
+	GBA = attack.GBA
+	// IMA is the input manipulation attack.
+	IMA = attack.IMA
+	// Evasion is the §V-D evasion attack on side probing.
+	Evasion = attack.Evasion
+	// Opportunistic is the §I threshold-hugging attack that defeats
+	// trimming.
+	Opportunistic = attack.Opportunistic
+	// Range is a poison-value range expressed in fractions of C.
+	Range = attack.Range
+	// Dist is a poison-value distribution.
+	Dist = attack.Dist
+	// NoAttack is the empty adversary.
+	NoAttack = attack.None
+)
+
+// Poison distributions.
+const (
+	DistUniform  = attack.DistUniform
+	DistGaussian = attack.DistGaussian
+	DistBeta16   = attack.DistBeta16
+	DistBeta61   = attack.DistBeta61
+)
+
+// Attack sides.
+const (
+	SideLeft  = attack.SideLeft
+	SideRight = attack.SideRight
+)
+
+// The paper's standard poison ranges.
+var (
+	RangeHighQuarter = attack.RangeHighQuarter
+	RangeHighHalf    = attack.RangeHighHalf
+	RangeLowHalf     = attack.RangeLowHalf
+	RangeFull        = attack.RangeFull
+
+	// NewBBA builds a right-side biased attack.
+	NewBBA = attack.NewBBA
+	// ReduceToBBA constructively reduces a GBA to an equivalent BBA
+	// (Theorem 1).
+	ReduceToBBA = attack.ReduceToBBA
+)
+
+// Comparator defenses (see internal/defense).
+var (
+	// Ostrich averages all reports, ignoring attackers.
+	Ostrich = defense.Ostrich
+	// Trimming removes a fraction from the poisoned side.
+	Trimming = defense.Trimming
+	// Boxplot filters outliers by the IQR rule.
+	Boxplot = defense.Boxplot
+)
+
+// KMeansDefense is the subset-sampling defense of [38].
+type KMeansDefense = defense.KMeansDefense
+
+// IForestDefense filters reports by isolation-forest anomaly score.
+type IForestDefense = defense.IForestDefense
+
+// Datasets used in the paper's evaluation (see internal/dataset).
+type (
+	// Dataset is a numerical dataset normalized to [−1, 1].
+	Dataset = dataset.Numeric
+	// CategoricalDataset is a categorical dataset.
+	CategoricalDataset = dataset.Categorical
+)
+
+// Dataset constructors.
+var (
+	Beta25     = dataset.Beta25
+	Beta52     = dataset.Beta52
+	Taxi       = dataset.Taxi
+	Retirement = dataset.Retirement
+	COVID19    = dataset.COVID19
+	// DatasetByName builds a dataset from its paper name.
+	DatasetByName = dataset.ByName
+)

@@ -1,0 +1,113 @@
+// Package attack implements the paper's threat models: the General
+// Byzantine Attack (Definition 2), the Biased Byzantine Attack
+// (Definition 4) with the poison-value distributions of §VI, the input
+// manipulation attack of [12]/[38], the evasion attack of §V-D, and the
+// constructive GBA→BBA reduction of Theorem 1.
+//
+// An Adversary produces the poison reports of the colluding Byzantine
+// users. Poison values are chosen in the *perturbation output domain*
+// [D_L, D_R] — attackers skip the LDP mechanism entirely (except for the
+// input manipulation attack, which perturbs a chosen input to stay
+// disguised).
+package attack
+
+import (
+	"math/rand/v2"
+
+	"repro/internal/ldp"
+)
+
+// Env is everything an adversary knows when poisoning one collection
+// round: the mechanism in use (public, per Kerckhoffs), its output domain,
+// and the collector's reference mean O (the attacker aims to drag the
+// estimate away from it).
+type Env struct {
+	Mech   ldp.Mechanism
+	Domain ldp.Domain
+	O      float64
+}
+
+// EnvFor builds an Env from a mechanism.
+func EnvFor(mech ldp.Mechanism, o float64) Env {
+	return Env{Mech: mech, Domain: mech.OutputDomain(), O: o}
+}
+
+// Adversary produces n poison reports for one collection round.
+type Adversary interface {
+	Name() string
+	Poison(r *rand.Rand, env Env, n int) []float64
+}
+
+// Range resolves a poison-value range within an output domain. The paper
+// expresses ranges as multiples of the domain bound C (e.g. Poi[3C/4, C])
+// anchored at O; LoC and HiC are those multiples. For the symmetric PM
+// domain [−C, C], C is Domain.Hi; for asymmetric domains (SW) the
+// fractions are applied to the distance from O to the poisoned edge.
+type Range struct {
+	LoC, HiC float64
+}
+
+// Resolve maps the range into concrete bounds on the poisoned side.
+func (rg Range) Resolve(env Env, side Side) (lo, hi float64) {
+	if side == SideRight {
+		edge := env.Domain.Hi
+		span := edge - 0 // paper anchors poison ranges at O′ = 0 scaled by C
+		if env.Domain.Lo >= 0 || env.Domain.Hi <= 0 {
+			// Asymmetric domain: anchor at O instead.
+			span = edge - env.O
+			return env.O + rg.LoC*span, env.O + rg.HiC*span
+		}
+		return rg.LoC * span, rg.HiC * span
+	}
+	edge := env.Domain.Lo
+	span := 0 - edge
+	if env.Domain.Lo >= 0 || env.Domain.Hi <= 0 {
+		span = env.O - edge
+		return env.O - rg.HiC*span, env.O - rg.LoC*span
+	}
+	return -rg.HiC * span, -rg.LoC * span
+}
+
+// Side is the poisoned side chosen by the adversary.
+type Side int
+
+// Adversary-side constants (kept separate from emf.Side so the attack
+// package stays independent of the defense machinery).
+const (
+	SideLeft Side = iota
+	SideRight
+)
+
+// String implements fmt.Stringer.
+func (s Side) String() string {
+	if s == SideLeft {
+		return "left"
+	}
+	return "right"
+}
+
+// The paper's four standard poison ranges (§VI-B, Table I and Fig. 6).
+var (
+	RangeHighQuarter = Range{0.75, 1} // Poi[3C/4, C]
+	RangeHighHalf    = Range{0.5, 1}  // Poi[C/2, C]
+	RangeLowHalf     = Range{0, 0.5}  // Poi[O, C/2]
+	RangeFull        = Range{0, 1}    // Poi[O, C]
+	RangeMidQuarter  = Range{0.5, 0.75}
+)
+
+// RangeByName resolves the paper's textual range labels.
+func RangeByName(name string) (Range, bool) {
+	switch name {
+	case "[3C/4,C]":
+		return RangeHighQuarter, true
+	case "[C/2,C]":
+		return RangeHighHalf, true
+	case "[O,C/2]":
+		return RangeLowHalf, true
+	case "[O,C]":
+		return RangeFull, true
+	case "[C/2,3C/4]":
+		return RangeMidQuarter, true
+	}
+	return Range{}, false
+}

@@ -1,0 +1,193 @@
+package attack
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// Dist is the distribution of poison values within the resolved range,
+// matching the Fig. 7(c)(d) workloads.
+type Dist int
+
+// Poison value distributions.
+const (
+	DistUniform Dist = iota
+	DistGaussian
+	DistBeta16
+	DistBeta61
+)
+
+// String implements fmt.Stringer.
+func (d Dist) String() string {
+	switch d {
+	case DistUniform:
+		return "Uniform"
+	case DistGaussian:
+		return "Gaussian"
+	case DistBeta16:
+		return "Beta(1,6)"
+	case DistBeta61:
+		return "Beta(6,1)"
+	}
+	return "unknown"
+}
+
+// Dists lists the Fig. 7 poison distributions in paper order.
+func Dists() []Dist { return []Dist{DistUniform, DistGaussian, DistBeta16, DistBeta61} }
+
+func (d Dist) sample(r *rand.Rand, lo, hi float64) float64 {
+	switch d {
+	case DistGaussian:
+		mu := (lo + hi) / 2
+		sigma := (hi - lo) / 6
+		return rng.TruncNormal(r, mu, sigma, lo, hi)
+	case DistBeta16:
+		return lo + (hi-lo)*rng.Beta(r, 1, 6)
+	case DistBeta61:
+		return lo + (hi-lo)*rng.Beta(r, 6, 1)
+	default:
+		return rng.Uniform(r, lo, hi)
+	}
+}
+
+// BBA is a Biased Byzantine Attack (Definition 4): all poison values land
+// on one side of O, drawn from Dist over the resolved Range.
+type BBA struct {
+	Side  Side
+	Range Range
+	Dist  Dist
+}
+
+// NewBBA returns a right-side biased attack over rg with distribution d.
+func NewBBA(rg Range, d Dist) *BBA {
+	return &BBA{Side: SideRight, Range: rg, Dist: d}
+}
+
+// Name implements Adversary.
+func (a *BBA) Name() string {
+	return fmt.Sprintf("BBA(%s, [%g,%g]·C, %s)", a.Side, a.Range.LoC, a.Range.HiC, a.Dist)
+}
+
+// Poison implements Adversary.
+func (a *BBA) Poison(r *rand.Rand, env Env, n int) []float64 {
+	lo, hi := a.Range.Resolve(env, a.Side)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = env.Domain.Clamp(a.Dist.sample(r, lo, hi))
+	}
+	return out
+}
+
+// GBA is a General Byzantine Attack (Definition 2) that splits its poison
+// mass across both sides of O: FracLeft of the reports go to the left
+// range, the rest to the right range. It demonstrates that two-sided
+// attacks reduce to one-sided ones (Theorem 1) in mean estimation.
+type GBA struct {
+	FracLeft   float64
+	LeftRange  Range
+	RightRange Range
+	Dist       Dist
+}
+
+// Name implements Adversary.
+func (a *GBA) Name() string { return fmt.Sprintf("GBA(left=%.0f%%)", a.FracLeft*100) }
+
+// Poison implements Adversary.
+func (a *GBA) Poison(r *rand.Rand, env Env, n int) []float64 {
+	out := make([]float64, 0, n)
+	nLeft := int(a.FracLeft * float64(n))
+	lo, hi := a.LeftRange.Resolve(env, SideLeft)
+	for i := 0; i < nLeft; i++ {
+		out = append(out, env.Domain.Clamp(a.Dist.sample(r, lo, hi)))
+	}
+	lo, hi = a.RightRange.Resolve(env, SideRight)
+	for i := nLeft; i < n; i++ {
+		out = append(out, env.Domain.Clamp(a.Dist.sample(r, lo, hi)))
+	}
+	return out
+}
+
+// Opportunistic is the threshold-hugging attacker of the paper's §I
+// trimming critique: knowing the collector trims the top TrimFrac of the
+// reports, it places every poison value just *inside* the trimming
+// threshold — at the (1−TrimFrac−Margin) quantile of the expected report
+// distribution — so trimming removes honest tail reports instead of the
+// poison. It needs an estimate of the honest report quantile, which the
+// colluders compute by simulating the public mechanism on a reference
+// value distribution (they know the protocol; Kerckhoffs again).
+type Opportunistic struct {
+	// TrimFrac is the collector's trimming fraction the attacker evades.
+	TrimFrac float64
+	// Margin keeps the poison strictly inside the kept region.
+	Margin float64
+	// Reference are values the attacker believes resemble the honest
+	// population (used to locate the quantile). Empty means uniform.
+	Reference []float64
+}
+
+// Name implements Adversary.
+func (a *Opportunistic) Name() string {
+	return fmt.Sprintf("Opportunistic(trim=%.0f%%)", a.TrimFrac*100)
+}
+
+// Poison implements Adversary.
+func (a *Opportunistic) Poison(r *rand.Rand, env Env, n int) []float64 {
+	margin := a.Margin
+	if margin <= 0 {
+		margin = 0.02
+	}
+	q := 1 - a.TrimFrac - margin
+	if q < 0.5 {
+		q = 0.5
+	}
+	// Simulate honest reports to find the quantile of the mixed report
+	// distribution the collector will sort.
+	const sims = 4000
+	simReports := make([]float64, 0, sims)
+	for i := 0; i < sims; i++ {
+		var v float64
+		if len(a.Reference) > 0 {
+			v = a.Reference[r.IntN(len(a.Reference))]
+		} else {
+			v = 2*r.Float64() - 1
+		}
+		if env.Mech != nil {
+			v = env.Mech.Perturb(r, v)
+		}
+		simReports = append(simReports, v)
+	}
+	threshold := quantile(simReports, q)
+	out := make([]float64, n)
+	for i := range out {
+		// Cluster tightly just below the threshold.
+		out[i] = env.Domain.Clamp(threshold * (1 - 0.02*r.Float64()))
+	}
+	return out
+}
+
+func quantile(xs []float64, q float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	idx := int(q * float64(len(s)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// None is the no-attack adversary (γ = 0 rounds, Fig. 5(c)).
+type None struct{}
+
+// Name implements Adversary.
+func (None) Name() string { return "none" }
+
+// Poison implements Adversary.
+func (None) Poison(_ *rand.Rand, _ Env, n int) []float64 {
+	return make([]float64, 0)
+}

@@ -1,0 +1,73 @@
+package attack
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// IMA is the input manipulation attack ([12], §III-A, Fig. 5(d), 9(b)):
+// each Byzantine user picks the poison *input* G ∈ [−1, 1] and then
+// follows the LDP mechanism honestly, which makes the reports
+// statistically indistinguishable from those of a legitimate user whose
+// value is G.
+type IMA struct {
+	G float64
+}
+
+// Name implements Adversary.
+func (a *IMA) Name() string { return fmt.Sprintf("IMA(g=%g)", a.G) }
+
+// Poison implements Adversary.
+func (a *IMA) Poison(r *rand.Rand, env Env, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = env.Mech.Perturb(r, a.G)
+	}
+	return out
+}
+
+// Evasion is the §V-D evasion attack against DAP's side probing: a
+// fraction A of the poison reports are placed at −C/2 (just below O′ on
+// the opposite side) to trick Algorithm 3, while the remaining reports
+// carry the true attack uniformly on [C/2, C]. Increasing A weakens the
+// attack's utility (Eq. 20), which Fig. 10 demonstrates.
+type Evasion struct {
+	A float64
+}
+
+// Name implements Adversary.
+func (a *Evasion) Name() string { return fmt.Sprintf("Evasion(a=%g)", a.A) }
+
+// SWTop is the Fig. 8 attack on the Square Wave output domain [−b, 1+b]:
+// poison values uniform on [1+b/2, 1+b], i.e. beyond the legitimate input
+// range.
+type SWTop struct{}
+
+// Name implements Adversary.
+func (SWTop) Name() string { return "SWTop([1+b/2, 1+b])" }
+
+// Poison implements Adversary.
+func (SWTop) Poison(r *rand.Rand, env Env, n int) []float64 {
+	b := env.Domain.Hi - 1
+	lo := 1 + b/2
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = lo + (env.Domain.Hi-lo)*r.Float64()
+	}
+	return out
+}
+
+// Poison implements Adversary.
+func (a *Evasion) Poison(r *rand.Rand, env Env, n int) []float64 {
+	out := make([]float64, n)
+	nEvasive := int(a.A * float64(n))
+	evasivePoint := env.Domain.Lo / 2 // −C/2 on the PM domain
+	for i := 0; i < nEvasive; i++ {
+		out[i] = evasivePoint
+	}
+	lo, hi := RangeHighHalf.Resolve(env, SideRight)
+	for i := nEvasive; i < n; i++ {
+		out[i] = env.Domain.Clamp(lo + (hi-lo)*r.Float64())
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package attack
+
+import (
+	"errors"
+	"sort"
+)
+
+// ReduceToBBA is a constructive implementation of Theorem 1: given the
+// poison reports of a General Byzantine Attack on domain [dl, dr] and the
+// reference mean o, it produces an equivalent Biased Byzantine Attack —
+// a set of poison values lying entirely on one side of o with exactly the
+// same total deviation Σ(v′−o), which is all that matters for mean
+// estimation.
+//
+// The construction follows the proof: while poison values remain on the
+// lighter side, the most extreme one is merged with values from the
+// heavier side into a single replacement value that stays within the
+// heavier side's range. The returned side is the heavier (poisoned) side.
+func ReduceToBBA(values []float64, o, dl, dr float64) ([]float64, Side, error) {
+	if dl >= dr {
+		return nil, SideRight, errors.New("attack: empty domain")
+	}
+	if o < dl || o > dr {
+		return nil, SideRight, errors.New("attack: reference mean outside domain")
+	}
+	var left, right []float64 // deviations v−o, negative on the left
+	var total float64
+	for _, v := range values {
+		if v < dl || v > dr {
+			return nil, SideRight, errors.New("attack: poison value outside domain")
+		}
+		d := v - o
+		total += d
+		if d < 0 {
+			left = append(left, d)
+		} else if d > 0 {
+			right = append(right, d)
+		}
+		// d == 0 contributes nothing and can be dropped.
+	}
+	if total == 0 {
+		return nil, SideRight, nil
+	}
+	if total < 0 {
+		devs := merge(left, right, o-dl)
+		out := make([]float64, len(devs))
+		for i, d := range devs {
+			out[i] = o + d
+		}
+		return out, SideLeft, nil
+	}
+	// Mirror: negate both sides so the right side becomes "heavy negative",
+	// merge, then negate back.
+	negate(left)
+	negate(right)
+	devs := merge(right, left, dr-o)
+	out := make([]float64, len(devs))
+	for i, d := range devs {
+		out[i] = o - d
+	}
+	return out, SideRight, nil
+}
+
+func negate(xs []float64) {
+	for i := range xs {
+		xs[i] = -xs[i]
+	}
+}
+
+// merge absorbs every positive deviation in light into the negative
+// deviations of heavy, keeping each resulting deviation within
+// [−span, 0]. It returns the heavy-side deviations with the same total as
+// heavy+light.
+func merge(heavy, light []float64, span float64) []float64 {
+	// Deepest (most negative) deviations last, so they are popped first and
+	// offer the most cancellation headroom.
+	sort.Sort(sort.Reverse(sort.Float64Slice(heavy)))
+	out := append([]float64(nil), heavy...)
+	for _, d := range light {
+		// Pop heavy deviations until they cancel d (proof's YL subset).
+		var acc float64
+		for acc+d > 0 && len(out) > 0 {
+			acc += out[len(out)-1]
+			out = out[:len(out)-1]
+		}
+		merged := acc + d
+		if merged > 0 {
+			// Heavier side exhausted; cannot happen when total < 0, but keep
+			// the invariant defensively by clamping to zero deviation.
+			merged = 0
+		}
+		if merged < -span {
+			merged = -span
+		}
+		if merged != 0 {
+			out = append(out, merged)
+		}
+	}
+	return out
+}

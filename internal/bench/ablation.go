@@ -1,0 +1,226 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/defense"
+	"repro/internal/sim"
+)
+
+// Ablation benchmarks the design choices DESIGN.md calls out, all on the
+// Taxi workload (Poi[C/2,C], γ = 0.25, ε = 1):
+//
+//  1. minimum group budget ε₀ (which fixes the group count h);
+//  2. CEMF*'s suppression threshold factor;
+//  3. Algorithm 5's literal weights vs the general optimum;
+//  4. the §IV baseline protocol against honest and probing-aware
+//     (gamed) adversaries vs DAP — the motivation for the multi-group
+//     design.
+func Ablation(cfg Config) ([]*Table, error) {
+	ds, err := loadDataset(cfg, "Taxi")
+	if err != nil {
+		return nil, err
+	}
+	trueMean := ds.TrueMean()
+	adv := attack.NewBBA(attack.RangeHighHalf, attack.DistUniform)
+	const eps, gamma = 1.0, 0.25
+
+	// 1. ε₀ sweep.
+	t1 := &Table{
+		Title:  "Ablation 1: MSE vs ε₀ (group count) — DAP_EMF*, Taxi, Poi[C/2,C], ε=1",
+		Header: []string{"ε₀", "h", "MSE"},
+	}
+	for i, eps0 := range []float64{0.25, 1.0 / 16, 1.0 / 64} {
+		d, err := core.NewDAP(core.Params{Eps: eps, Eps0: eps0, Scheme: core.SchemeEMFStar, EMFMaxIter: cfg.EMFMaxIter})
+		if err != nil {
+			return nil, err
+		}
+		mse, err := sim.MSE(cfg.Seed+uint64(0xAB10+i), cfg.Trials, trueMean, dapTrial(d, ds.Values, adv, gamma))
+		if err != nil {
+			return nil, err
+		}
+		t1.Rows = append(t1.Rows, []string{fmt.Sprintf("%g", eps0), fmt.Sprintf("%d", d.H()), e2s(mse)})
+	}
+
+	// 2. Suppression factor sweep.
+	t2 := &Table{
+		Title:  "Ablation 2: MSE vs CEMF* suppression factor — Taxi, Poi[C/2,C], ε=1",
+		Header: []string{"factor", "MSE"},
+	}
+	for i, factor := range []float64{0.25, 0.5, 1.0} {
+		p := dapParams(core.SchemeCEMFStar, eps, cfg.EMFMaxIter)
+		p.SuppressFactor = factor
+		d, err := core.NewDAP(p)
+		if err != nil {
+			return nil, err
+		}
+		mse, err := sim.MSE(cfg.Seed+uint64(0xAB20+i), cfg.Trials, trueMean, dapTrial(d, ds.Values, adv, gamma))
+		if err != nil {
+			return nil, err
+		}
+		t2.Rows = append(t2.Rows, []string{fmt.Sprintf("%.2f", factor), e2s(mse)})
+	}
+
+	// 3. Weight mode.
+	t3 := &Table{
+		Title:  "Ablation 3: Algorithm 5 weights vs general optimum — DAP_EMF*, Taxi, ε=1",
+		Header: []string{"weights", "MSE"},
+	}
+	for i, it := range []struct {
+		name string
+		mode core.WeightMode
+	}{{"paper (Alg. 5)", core.WeightsPaper}, {"general n̂²/B", core.WeightsGeneral}} {
+		p := dapParams(core.SchemeEMFStar, eps, cfg.EMFMaxIter)
+		p.WeightMode = it.mode
+		d, err := core.NewDAP(p)
+		if err != nil {
+			return nil, err
+		}
+		mse, err := sim.MSE(cfg.Seed+uint64(0xAB30+i), cfg.Trials, trueMean, dapTrial(d, ds.Values, adv, gamma))
+		if err != nil {
+			return nil, err
+		}
+		t3.Rows = append(t3.Rows, []string{it.name, e2s(mse)})
+	}
+
+	// 4. Baseline protocol vs DAP under probing-aware attackers.
+	t4 := &Table{
+		Title:  "Ablation 4: baseline (§IV) vs DAP (§V) under honest and gamed attackers — Taxi, ε=1",
+		Header: []string{"protocol", "threat", "MSE"},
+	}
+	bl, err := core.NewBaseline(1.0/8, 7.0/8, core.SchemeEMFStar)
+	if err != nil {
+		return nil, err
+	}
+	bl.EMFMaxIter = cfg.EMFMaxIter
+	blTrial := func(gamed bool) sim.Trial {
+		return func(r *rand.Rand) (float64, error) {
+			var col *core.BaselineCollection
+			var err error
+			if gamed {
+				col, err = bl.GamedCollect(r, ds.Values, adv, gamma)
+			} else {
+				col, err = bl.Collect(r, ds.Values, adv, gamma)
+			}
+			if err != nil {
+				return 0, err
+			}
+			est, err := bl.Estimate(col)
+			if err != nil {
+				return 0, err
+			}
+			return est.Mean, nil
+		}
+	}
+	mseHonest, err := sim.MSE(cfg.Seed+0xAB40, cfg.Trials, trueMean, blTrial(false))
+	if err != nil {
+		return nil, err
+	}
+	mseGamed, err := sim.MSE(cfg.Seed+0xAB41, cfg.Trials, trueMean, blTrial(true))
+	if err != nil {
+		return nil, err
+	}
+	d, err := core.NewDAP(dapParams(core.SchemeEMFStar, eps, cfg.EMFMaxIter))
+	if err != nil {
+		return nil, err
+	}
+	mseDAP, err := sim.MSE(cfg.Seed+0xAB42, cfg.Trials, trueMean, dapTrial(d, ds.Values, adv, gamma))
+	if err != nil {
+		return nil, err
+	}
+	t4.Rows = append(t4.Rows,
+		[]string{"baseline", "honest attack on both budgets", e2s(mseHonest)},
+		[]string{"baseline", "gamed (honest ε_α, poison ε_β)", e2s(mseGamed)},
+		[]string{"DAP", "gamed strategy impossible (random ε)", e2s(mseDAP)},
+	)
+
+	// 5. Outlier-filter composability (§III-A): boxplot and isolation
+	// forest as standalone defenses on the same workload.
+	t5 := &Table{
+		Title:  "Ablation 5: standalone outlier filters vs DAP — Taxi, Poi[C/2,C], ε=1, γ=0.25",
+		Header: []string{"defense", "MSE"},
+	}
+	filterTrials := []struct {
+		name  string
+		trial sim.Trial
+	}{
+		{"Boxplot(1.5·IQR)", func(r *rand.Rand) (float64, error) {
+			reports, err := core.CollectPM(r, ds.Values, eps, adv, gamma, 0)
+			if err != nil {
+				return 0, err
+			}
+			return clamp1(defense.Boxplot(reports, 1.5)), nil
+		}},
+		{"IForest(10%)", func(r *rand.Rand) (float64, error) {
+			reports, err := core.CollectPM(r, ds.Values, eps, adv, gamma, 0)
+			if err != nil {
+				return 0, err
+			}
+			def := &defense.IForestDefense{Trees: 50, SampleSize: 256, Contamination: 0.1}
+			est, err := def.Estimate(r, reports)
+			if err != nil {
+				return 0, err
+			}
+			return clamp1(est), nil
+		}},
+		{"DAP_EMF*", func(r *rand.Rand) (float64, error) {
+			dd, err := core.NewDAP(dapParams(core.SchemeEMFStar, eps, cfg.EMFMaxIter))
+			if err != nil {
+				return 0, err
+			}
+			est, err := dd.Run(r, ds.Values, adv, gamma)
+			if err != nil {
+				return 0, err
+			}
+			return est.Mean, nil
+		}},
+	}
+	for i, ft := range filterTrials {
+		mse, err := sim.MSE(cfg.Seed+uint64(0xAB50+i), cfg.Trials, trueMean, ft.trial)
+		if err != nil {
+			return nil, err
+		}
+		t5.Rows = append(t5.Rows, []string{ft.name, e2s(mse)})
+	}
+
+	// 6. Accuracy vs population size N: sampling noise scaling.
+	t6 := &Table{
+		Title:  "Ablation 6: MSE vs N — DAP_EMF*, Taxi, Poi[C/2,C], ε=1",
+		Header: []string{"N", "MSE"},
+	}
+	for i, scale := range []int{cfg.N / 4, cfg.N / 2, cfg.N} {
+		if scale < 100 {
+			scale = 100
+		}
+		sub, err := dataset.ByName(rngSplit(cfg.Seed, 0xAB60+uint64(i)), "Taxi", scale)
+		if err != nil {
+			return nil, err
+		}
+		dd, err := core.NewDAP(dapParams(core.SchemeEMFStar, eps, cfg.EMFMaxIter))
+		if err != nil {
+			return nil, err
+		}
+		mse, err := sim.MSE(cfg.Seed+uint64(0xAB70+i), cfg.Trials, sub.TrueMean(),
+			dapTrial(dd, sub.Values, adv, gamma))
+		if err != nil {
+			return nil, err
+		}
+		t6.Rows = append(t6.Rows, []string{fmt.Sprintf("%d", scale), e2s(mse)})
+	}
+
+	return []*Table{t1, t2, t3, t4, t5, t6}, nil
+}
+
+func clamp1(v float64) float64 {
+	if v < -1 {
+		return -1
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+func rngSplit(seed, stream uint64) *rand.Rand { return rng.Split(seed, stream) }
+
+// Fig10 reproduces Fig. 10: the evasion attack of §V-D. A fraction a of
+// the poison reports sit at −C/2 to mislead the side probe while the
+// remaining (1−a) attack uniformly on [C/2, C]; ε = 1/2, γ = 0.25. One
+// table per dataset with the three DAP schemes as rows and
+// a ∈ {0, 0.1, …, 0.5} as columns.
+//
+// Paper shape: MSE stays low for small a, spikes once a crosses the
+// ~20–30% threshold where the side probe flips, then declines again as
+// the evasive mass starves the true attack (Eq. 20).
+func Fig10(cfg Config) ([]*Table, error) {
+	const eps = 0.5
+	as := []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5}
+	header := append([]string{"Scheme"}, mapStrings(as, func(v float64) string { return fmt.Sprintf("a=%.1f", v) })...)
+	var tables []*Table
+	for di, name := range dataset.Names() {
+		ds, err := loadDataset(cfg, name)
+		if err != nil {
+			return nil, err
+		}
+		trueMean := ds.TrueMean()
+		t := &Table{
+			Title:  fmt.Sprintf("Fig. 10: MSE vs evasive fraction a — %s, ε=1/2, γ=0.25", name),
+			Header: header,
+		}
+		for si, sc := range core.Schemes() {
+			d, err := core.NewDAP(dapParams(sc, eps, cfg.EMFMaxIter))
+			if err != nil {
+				return nil, err
+			}
+			row := []string{"DAP_" + sc.String()}
+			for ai, a := range as {
+				adv := &attack.Evasion{A: a}
+				mse, err := sim.MSE(cfg.Seed+uint64(0xA000+di*1000+si*16+ai), cfg.Trials, trueMean,
+					dapTrial(d, ds.Values, adv, 0.25))
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, e2s(mse))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}

@@ -1,0 +1,32 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+)
+
+// Fig4 reproduces Fig. 4: the normalized frequency histograms of the four
+// numerical datasets together with their true means O. The paper plots
+// them as curves; the table lists 10 evenly spaced bins over [−1, 1].
+func Fig4(cfg Config) ([]*Table, error) {
+	const bins = 10
+	header := []string{"Dataset", "O"}
+	for i := 0; i < bins; i++ {
+		lo := -1 + 2*float64(i)/bins
+		header = append(header, fmt.Sprintf("[%.1f,%.1f)", lo, lo+0.2))
+	}
+	t := &Table{Title: "Fig. 4: Normalized frequencies of datasets", Header: header}
+	for _, name := range dataset.Names() {
+		ds, err := loadDataset(cfg, name)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{name, f2s(ds.TrueMean())}
+		for _, h := range ds.Histogram(bins) {
+			row = append(row, f2s(h))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return []*Table{t}, nil
+}

@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/sim"
+)
+
+// fig6Eps is the paper's ε axis for the mean-estimation MSE figures.
+var fig6Eps = []float64{0.25, 0.5, 1, 1.5, 2}
+
+// Fig6 reproduces Fig. 6: MSE of mean estimation for DAP_EMF, DAP_EMF*,
+// DAP_CEMF*, Ostrich and Trimming across the four datasets, the four
+// poison ranges and ε ∈ {1/4, 1/2, 1, 3/2, 2} (γ = 0.25, uniform poison,
+// ε₀ = 1/16). One table per (dataset, range) pair matching the paper's
+// 16 sub-figures.
+//
+// Paper shapes to expect: all DAP schemes beat Ostrich and Trimming by
+// orders of magnitude; Trimming is worst in most cases; DAP_CEMF* usually
+// leads; EMF may lose to Ostrich at large ε when poison sits near O
+// (sub-figures j, k, n).
+func Fig6(cfg Config) ([]*Table, error) {
+	var tables []*Table
+	for di, dsName := range dataset.Names() {
+		ds, err := loadDataset(cfg, dsName)
+		if err != nil {
+			return nil, err
+		}
+		trueMean := ds.TrueMean()
+		for ri, label := range rangeLabels {
+			adv := attack.NewBBA(mustRange(label), attack.DistUniform)
+			t, err := mseTable(cfg,
+				fmt.Sprintf("Fig. 6: MSE vs ε — %s, Poi%s (γ=0.25)", dsName, label),
+				ds.Values, trueMean, adv, 0.25, fig6Eps, uint64(di*1000+ri*100))
+			if err != nil {
+				return nil, err
+			}
+			tables = append(tables, t)
+		}
+	}
+	return tables, nil
+}
+
+// mseTable builds one MSE-vs-ε panel with the five Fig. 6 schemes.
+func mseTable(cfg Config, title string, values []float64, trueMean float64, adv attack.Adversary, gamma float64, epsList []float64, stream uint64) (*Table, error) {
+	t := &Table{Title: title, Header: append([]string{"Scheme"}, mapStrings(epsList, epsLabel)...)}
+	type scheme struct {
+		name  string
+		trial func(eps float64) sim.Trial
+	}
+	schemes := []scheme{}
+	for _, sc := range core.Schemes() {
+		sc := sc
+		schemes = append(schemes, scheme{
+			name: "DAP_" + sc.String(),
+			trial: func(eps float64) sim.Trial {
+				d, err := core.NewDAP(dapParams(sc, eps, cfg.EMFMaxIter))
+				if err != nil {
+					panic(err)
+				}
+				return dapTrial(d, values, adv, gamma)
+			},
+		})
+	}
+	schemes = append(schemes,
+		scheme{name: "Ostrich", trial: func(eps float64) sim.Trial {
+			return ostrichTrial(values, eps, adv, gamma)
+		}},
+		scheme{name: "Trimming", trial: func(eps float64) sim.Trial {
+			return trimmingTrial(values, eps, adv, gamma, true)
+		}},
+	)
+	for si, sc := range schemes {
+		row := []string{sc.name}
+		for ei, eps := range epsList {
+			mse, err := sim.MSE(cfg.Seed+stream+uint64(si*10+ei), cfg.Trials, trueMean, sc.trial(eps))
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e2s(mse))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}

@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Fig7 reproduces Fig. 7: robustness of the MSE on Taxi at ε = 1.
+//
+//	(a)(b) MSE vs the Byzantine proportion γ ∈ {5%, 10%, 30%, 40%} for
+//	       Poi[O,C/2] and Poi[C/2,C];
+//	(c)(d) MSE vs the poison-value distribution {Uniform, Gaussian,
+//	       Beta(1,6), Beta(6,1)} at γ = 0.25 for the same two ranges.
+//
+// Paper shapes: DAP schemes stay flat and low as γ grows; Ostrich
+// degrades sharply; the proposed schemes win under every poison
+// distribution, with DAP_EMF* overtaking DAP_CEMF* under Gaussian poison.
+func Fig7(cfg Config) ([]*Table, error) {
+	ds, err := loadDataset(cfg, "Taxi")
+	if err != nil {
+		return nil, err
+	}
+	trueMean := ds.TrueMean()
+	const eps = 1.0
+	var tables []*Table
+
+	// Panels (a)(b): MSE vs γ.
+	gammas := []float64{0.05, 0.10, 0.30, 0.40}
+	for ri, label := range []string{"[O,C/2]", "[C/2,C]"} {
+		adv := attack.NewBBA(mustRange(label), attack.DistUniform)
+		t := &Table{
+			Title:  fmt.Sprintf("Fig. 7(%c): MSE vs γ — Taxi, Poi%s, ε=1", 'a'+ri, label),
+			Header: []string{"Scheme", "5%", "10%", "30%", "40%"},
+		}
+		if err := fillSchemeRows(cfg, t, ds.Values, trueMean, eps, uint64(0x7000+ri*100),
+			gammas, func(g float64) attack.Adversary { return adv }); err != nil {
+			return nil, err
+		}
+		tables = append(tables, t)
+	}
+
+	// Panels (c)(d): MSE vs poison distribution at γ = 0.25.
+	for ri, label := range []string{"[O,C/2]", "[C/2,C]"} {
+		dists := attack.Dists()
+		t := &Table{
+			Title:  fmt.Sprintf("Fig. 7(%c): MSE vs poison distribution — Taxi, Poi%s, ε=1, γ=0.25", 'c'+ri, label),
+			Header: []string{"Scheme", "Uniform", "Gaussian", "Beta(1,6)", "Beta(6,1)"},
+		}
+		gammasFixed := make([]float64, len(dists))
+		for i := range gammasFixed {
+			gammasFixed[i] = 0.25
+		}
+		di := 0
+		if err := fillSchemeRows(cfg, t, ds.Values, trueMean, eps, uint64(0x7C00+ri*100),
+			gammasFixed, func(float64) attack.Adversary {
+				adv := attack.NewBBA(mustRange(label), dists[di%len(dists)])
+				di++
+				return adv
+			}); err != nil {
+			return nil, err
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// fillSchemeRows fills one row per scheme, one column per workload cell.
+// advFor is called once per cell (in column order, once per row) so it
+// can vary the adversary per column.
+func fillSchemeRows(cfg Config, t *Table, values []float64, trueMean, eps float64, stream uint64, gammas []float64, advFor func(float64) attack.Adversary) error {
+	type schemeRow struct {
+		name  string
+		trial func(adv attack.Adversary, gamma float64) sim.Trial
+	}
+	rows := []schemeRow{}
+	for _, sc := range core.Schemes() {
+		sc := sc
+		rows = append(rows, schemeRow{
+			name: "DAP_" + sc.String(),
+			trial: func(adv attack.Adversary, gamma float64) sim.Trial {
+				d, err := core.NewDAP(dapParams(sc, eps, cfg.EMFMaxIter))
+				if err != nil {
+					panic(err)
+				}
+				return dapTrial(d, values, adv, gamma)
+			},
+		})
+	}
+	rows = append(rows,
+		schemeRow{name: "Ostrich", trial: func(adv attack.Adversary, gamma float64) sim.Trial {
+			return ostrichTrial(values, eps, adv, gamma)
+		}},
+		schemeRow{name: "Trimming", trial: func(adv attack.Adversary, gamma float64) sim.Trial {
+			return trimmingTrial(values, eps, adv, gamma, true)
+		}},
+	)
+	for si, sr := range rows {
+		row := []string{sr.name}
+		for gi, gamma := range gammas {
+			adv := advFor(gamma)
+			mse, err := sim.MSE(cfg.Seed+stream+uint64(si*16+gi), cfg.Trials, trueMean, sr.trial(adv, gamma))
+			if err != nil {
+				return err
+			}
+			row = append(row, e2s(mse))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/defense"
+	"repro/internal/emf"
+	"repro/internal/ldp/pm"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// epsLabels formats a budget like the paper's axis ticks (1/4, 1/2, …).
+func epsLabel(eps float64) string {
+	switch eps {
+	case 0.0625:
+		return "1/16"
+	case 0.125:
+		return "1/8"
+	case 0.25:
+		return "1/4"
+	case 0.5:
+		return "1/2"
+	case 1.5:
+		return "3/2"
+	}
+	return fmt.Sprintf("%g", eps)
+}
+
+// rangeLabels lists the paper's poison ranges in Table I / Fig. 6 order.
+var rangeLabels = []string{"[3C/4,C]", "[C/2,C]", "[O,C/2]", "[O,C]"}
+
+func mustRange(label string) attack.Range {
+	rg, ok := attack.RangeByName(label)
+	if !ok {
+		panic("bench: unknown range " + label)
+	}
+	return rg
+}
+
+// loadDataset builds a dataset deterministically from the config seed so
+// every trial sees the same population.
+func loadDataset(cfg Config, name string) (*dataset.Numeric, error) {
+	return dataset.ByName(rng.Split(cfg.Seed, 0xDA7A), name, cfg.N)
+}
+
+// dapParams assembles the paper's default protocol parameters.
+func dapParams(scheme core.Scheme, eps float64, maxIter int) core.Params {
+	return core.Params{
+		Eps:        eps,
+		Eps0:       1.0 / 16,
+		Scheme:     scheme,
+		EMFMaxIter: maxIter,
+	}
+}
+
+// dapTrial returns a sim.Trial running one full DAP round.
+func dapTrial(d *core.DAP, values []float64, adv attack.Adversary, gamma float64) sim.Trial {
+	return func(r *rand.Rand) (float64, error) {
+		est, err := d.Run(r, values, adv, gamma)
+		if err != nil {
+			return 0, err
+		}
+		return est.Mean, nil
+	}
+}
+
+// ostrichTrial averages a plain single-group PM collection.
+func ostrichTrial(values []float64, eps float64, adv attack.Adversary, gamma float64) sim.Trial {
+	return func(r *rand.Rand) (float64, error) {
+		reports, err := core.CollectPM(r, values, eps, adv, gamma, 0)
+		if err != nil {
+			return 0, err
+		}
+		return stats.Clamp(defense.Ostrich(reports), -1, 1), nil
+	}
+}
+
+// trimmingTrial trims 50% from the poisoned side of a single-group
+// collection.
+func trimmingTrial(values []float64, eps float64, adv attack.Adversary, gamma float64, poisonedRight bool) sim.Trial {
+	return func(r *rand.Rand) (float64, error) {
+		reports, err := core.CollectPM(r, values, eps, adv, gamma, 0)
+		if err != nil {
+			return 0, err
+		}
+		return stats.Clamp(defense.Trimming(reports, 0.5, poisonedRight), -1, 1), nil
+	}
+}
+
+// probeGamma runs one single-group collection and returns the EMF γ̂
+// estimate via side probing.
+func probeGamma(r *rand.Rand, values []float64, eps float64, adv attack.Adversary, gamma float64, maxIter int) (float64, error) {
+	reports, err := core.CollectPM(r, values, eps, adv, gamma, 0)
+	if err != nil {
+		return 0, err
+	}
+	mech := pm.MustNew(eps)
+	d, dp := emf.BucketCounts(len(reports), mech.C())
+	m, err := emf.BuildNumeric(mech, d, dp)
+	if err != nil {
+		return 0, err
+	}
+	cfg := emf.Config{Tol: emf.PaperTol(eps), MaxIter: maxIter}
+	probe, err := emf.ProbeSide(m, m.Counts(reports), 0, cfg)
+	if err != nil {
+		return 0, err
+	}
+	return probe.Chosen().Gamma(), nil
+}

@@ -1,0 +1,73 @@
+package core
+
+import "errors"
+
+// WeightMode selects how inter-group aggregation weights are computed.
+type WeightMode int
+
+// Weight modes.
+const (
+	// WeightsPaper uses Algorithm 5 literally: w_t = [B_t·Σ_i 1/B_i]⁻¹,
+	// optimal when all groups hold equal normal-user counts (which DAP's
+	// equal-sized grouping guarantees).
+	WeightsPaper WeightMode = iota
+	// WeightsGeneral uses the general minimum-variance solution of the
+	// Theorem 6 derivation, w_t ∝ n̂_t²/B_t, which remains optimal for
+	// unequal group sizes. Both coincide when n̂_t are equal.
+	WeightsGeneral
+)
+
+// OptimalWeights computes aggregation weights for group variance proxies
+// B_t = n̂_t·Var_worst(ε_t) and estimated normal-user counts n̂_t. The
+// weights sum to one.
+func OptimalWeights(b, nHat []float64, mode WeightMode) ([]float64, error) {
+	if len(b) == 0 || len(b) != len(nHat) {
+		return nil, errors.New("core: weight inputs must be non-empty and equal length")
+	}
+	w := make([]float64, len(b))
+	var total float64
+	for t := range b {
+		if b[t] <= 0 {
+			return nil, errors.New("core: variance proxies must be positive")
+		}
+		switch mode {
+		case WeightsGeneral:
+			w[t] = nHat[t] * nHat[t] / b[t]
+		default:
+			w[t] = 1 / b[t]
+		}
+		total += w[t]
+	}
+	if total <= 0 {
+		return nil, errors.New("core: degenerate weights")
+	}
+	for t := range w {
+		w[t] /= total
+	}
+	return w, nil
+}
+
+// MinVariance returns Theorem 6's minimal worst-case variance of the
+// aggregated mean, [Σ_t n̂_t²/B_t]⁻¹.
+func MinVariance(b, nHat []float64) float64 {
+	var s float64
+	for t := range b {
+		if b[t] > 0 {
+			s += nHat[t] * nHat[t] / b[t]
+		}
+	}
+	if s == 0 {
+		return 0
+	}
+	return 1 / s
+}
+
+// Aggregate linearly combines group means with the given weights
+// (Algorithm 5 line 5).
+func Aggregate(means, weights []float64) float64 {
+	var m float64
+	for t := range means {
+		m += weights[t] * means[t]
+	}
+	return m
+}

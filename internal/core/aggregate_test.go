@@ -1,0 +1,173 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestOptimalWeightsSumToOne(t *testing.T) {
+	b := []float64{1, 2, 4}
+	n := []float64{10, 10, 10}
+	for _, mode := range []WeightMode{WeightsPaper, WeightsGeneral} {
+		w, err := OptimalWeights(b, n, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var s float64
+		for _, x := range w {
+			s += x
+		}
+		if math.Abs(s-1) > 1e-12 {
+			t.Fatalf("mode %v: weights sum to %v", mode, s)
+		}
+	}
+}
+
+func TestOptimalWeightsPaperFormula(t *testing.T) {
+	// Algorithm 5: w_t = [B_t Σ 1/B_i]⁻¹.
+	b := []float64{2, 4}
+	w, err := OptimalWeights(b, []float64{5, 5}, WeightsPaper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumInv := 1.0/2 + 1.0/4
+	for t2, bt := range b {
+		want := 1 / (bt * sumInv)
+		if math.Abs(w[t2]-want) > 1e-12 {
+			t.Fatalf("w[%d] = %v, want %v", t2, w[t2], want)
+		}
+	}
+}
+
+// DESIGN.md decision 4: paper weights coincide with the general optimum
+// when all groups hold equal normal-user counts.
+func TestWeightsEquivalenceEqualGroups(t *testing.T) {
+	f := func(b1, b2, b3 uint8) bool {
+		b := []float64{1 + float64(b1), 1 + float64(b2), 1 + float64(b3)}
+		n := []float64{7, 7, 7}
+		wp, err1 := OptimalWeights(b, n, WeightsPaper)
+		wg, err2 := OptimalWeights(b, n, WeightsGeneral)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range wp {
+			if math.Abs(wp[i]-wg[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightsDivergeUnequalGroups(t *testing.T) {
+	b := []float64{2, 2}
+	n := []float64{1, 10}
+	wp, _ := OptimalWeights(b, n, WeightsPaper)
+	wg, _ := OptimalWeights(b, n, WeightsGeneral)
+	if math.Abs(wp[0]-wg[0]) < 1e-6 {
+		t.Fatal("paper and general weights should differ for unequal groups")
+	}
+}
+
+func TestOptimalWeightsValidation(t *testing.T) {
+	if _, err := OptimalWeights(nil, nil, WeightsPaper); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := OptimalWeights([]float64{1}, []float64{1, 2}, WeightsPaper); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := OptimalWeights([]float64{0}, []float64{1}, WeightsPaper); err == nil {
+		t.Fatal("zero variance proxy accepted")
+	}
+}
+
+func TestMinVariance(t *testing.T) {
+	// Theorem 6: Var_min = [Σ n̂²/B]⁻¹.
+	b := []float64{2, 4}
+	n := []float64{3, 5}
+	want := 1 / (9.0/2 + 25.0/4)
+	if got := MinVariance(b, n); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("MinVariance = %v, want %v", got, want)
+	}
+	if got := MinVariance(nil, nil); got != 0 {
+		t.Fatalf("empty MinVariance = %v", got)
+	}
+}
+
+// Lower-variance groups (smaller B) must receive larger weights.
+func TestWeightsOrdering(t *testing.T) {
+	b := []float64{1, 10}
+	w, err := OptimalWeights(b, []float64{5, 5}, WeightsPaper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w[0] <= w[1] {
+		t.Fatalf("weights not ordered by precision: %v", w)
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	if got := Aggregate([]float64{1, 3}, []float64{0.5, 0.5}); got != 2 {
+		t.Fatalf("Aggregate = %v", got)
+	}
+}
+
+// Minimal variance is attained at the optimal weights: perturbing them
+// increases Σ w²B/n̂².
+func TestWeightsAchieveMinVariance(t *testing.T) {
+	b := []float64{2, 3, 5}
+	n := []float64{4, 6, 8}
+	w, err := OptimalWeights(b, n, WeightsGeneral)
+	if err != nil {
+		t.Fatal(err)
+	}
+	variance := func(w []float64) float64 {
+		var s float64
+		for t := range w {
+			s += w[t] * w[t] * b[t] / (n[t] * n[t])
+		}
+		return s
+	}
+	opt := variance(w)
+	if math.Abs(opt-MinVariance(b, n)) > 1e-12 {
+		t.Fatalf("optimal variance %v != MinVariance %v", opt, MinVariance(b, n))
+	}
+	// Shift mass between two groups, keeping Σw = 1.
+	for _, delta := range []float64{0.01, -0.01, 0.1} {
+		w2 := append([]float64(nil), w...)
+		w2[0] += delta
+		w2[1] -= delta
+		if variance(w2) < opt {
+			t.Fatalf("perturbed weights beat the optimum: %v < %v", variance(w2), opt)
+		}
+	}
+}
+
+func TestSchemeStrings(t *testing.T) {
+	if SchemeEMF.String() != "EMF" || SchemeEMFStar.String() != "EMF*" || SchemeCEMFStar.String() != "CEMF*" {
+		t.Fatal("scheme names broken")
+	}
+	if Scheme(42).String() != "unknown" {
+		t.Fatal("unknown scheme name")
+	}
+	if len(Schemes()) != 3 {
+		t.Fatal("Schemes() should list three schemes")
+	}
+}
+
+func TestGroupCount(t *testing.T) {
+	// ε=1, ε0=1/16 → h = 4+1 = 5 (paper's Fig. 6 setting at ε=1).
+	if got := groupCount(1, 1.0/16); got != 5 {
+		t.Fatalf("h = %d, want 5", got)
+	}
+	if got := groupCount(2, 1.0/16); got != 6 {
+		t.Fatalf("h = %d, want 6", got)
+	}
+	if got := groupCount(1, 1); got != 1 {
+		t.Fatalf("h = %d, want 1", got)
+	}
+}

@@ -1,0 +1,310 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/attack"
+	"repro/internal/emf"
+	"repro/internal/ldp/pm"
+	"repro/internal/stats"
+)
+
+// Params configures a DAP instance (§V).
+type Params struct {
+	// Eps is the total per-user privacy budget ε.
+	Eps float64
+	// Eps0 is the minimal acceptable group budget ε₀ (the paper uses 1/16).
+	Eps0 float64
+	// Scheme selects EMF, EMF* or CEMF* intra-group estimation.
+	Scheme Scheme
+	// OPrime is the pessimistic mean initialization O′ (§IV-A; default 0).
+	OPrime float64
+	// AutoOPrime derives O′ from the collected reports per Theorem 2
+	// (trimmed pessimistic mean at the smallest budget) instead of using
+	// the fixed OPrime.
+	AutoOPrime bool
+	// GammaSup is the Byzantine-proportion upper bound used by the
+	// Theorem 2 initialization (0 selects the threat model's 1/2).
+	GammaSup float64
+	// SuppressFactor is CEMF*'s concentration threshold factor; the
+	// threshold is SuppressFactor·γ̂/|P| (the paper uses 0.5; 0 selects it).
+	SuppressFactor float64
+	// EMFMaxIter caps EM iterations per group (0 selects the emf default).
+	EMFMaxIter int
+	// WeightMode selects Algorithm 5's literal weights (default) or the
+	// general minimum-variance weights.
+	WeightMode WeightMode
+}
+
+func (p *Params) suppressFactor() float64 {
+	if p.SuppressFactor > 0 {
+		return p.SuppressFactor
+	}
+	return 0.5
+}
+
+// Group describes one DAP group (§V-A).
+type Group struct {
+	// Index is the group position t−1 (0-based); budgets halve as it grows.
+	Index int
+	// Eps is the group budget ε_t = ε/2^Index.
+	Eps float64
+	// Reports is how many times each member perturbs and reports,
+	// ε/ε_t = 2^Index, so every user spends exactly ε in total.
+	Reports int
+}
+
+// DAP is a Differential Aggregation Protocol instance for mean estimation
+// over the Piecewise Mechanism.
+type DAP struct {
+	p      Params
+	groups []Group
+	mechs  []*pm.Mechanism
+}
+
+// NewDAP validates parameters and precomputes the group layout.
+func NewDAP(p Params) (*DAP, error) {
+	if err := validateBudgets(p.Eps, p.Eps0); err != nil {
+		return nil, err
+	}
+	h := groupCount(p.Eps, p.Eps0)
+	d := &DAP{p: p, groups: make([]Group, h), mechs: make([]*pm.Mechanism, h)}
+	for t := 0; t < h; t++ {
+		eps := p.Eps / math.Pow(2, float64(t))
+		mech, err := pm.New(eps)
+		if err != nil {
+			return nil, fmt.Errorf("core: group %d: %w", t, err)
+		}
+		d.groups[t] = Group{Index: t, Eps: eps, Reports: 1 << t}
+		d.mechs[t] = mech
+	}
+	return d, nil
+}
+
+// Groups returns the group layout.
+func (d *DAP) Groups() []Group { return append([]Group(nil), d.groups...) }
+
+// H returns the number of groups h = ⌈log₂(ε/ε₀)⌉+1.
+func (d *DAP) H() int { return len(d.groups) }
+
+// Params returns the protocol parameters.
+func (d *DAP) Params() Params { return d.p }
+
+// Mechanism returns the PM instance of group t.
+func (d *DAP) Mechanism(t int) *pm.Mechanism { return d.mechs[t] }
+
+// Collection holds the per-group reports received by the collector.
+type Collection struct {
+	// Groups contains the perturbed (or poison) reports of each group.
+	Groups [][]float64
+	// ByzCount is the number of Byzantine users (simulation ground truth,
+	// not visible to the estimator).
+	ByzCount int
+}
+
+// Collect simulates the user side of the protocol (§V-A stages 1–2): it
+// shuffles users into h equal-sized groups, lets normal users perturb
+// their value once per report slot with the group's budget, and lets the
+// γ·N colluding Byzantine users send poison values from adv for every
+// report slot. Byzantine users know each group's mechanism and output
+// domain (the protocol is public) but not other users' data.
+func (d *DAP) Collect(r *rand.Rand, values []float64, adv attack.Adversary, gamma float64) (*Collection, error) {
+	n := len(values)
+	if n < d.H() {
+		return nil, errors.New("core: fewer users than groups")
+	}
+	if gamma < 0 || gamma >= 1 {
+		return nil, errors.New("core: gamma must lie in [0,1)")
+	}
+	if adv == nil {
+		adv = attack.None{}
+	}
+	nByz := int(math.Round(gamma * float64(n)))
+	// A single shuffle provides both the Byzantine subset (first nByz
+	// positions) and the group assignment (contiguous chunks).
+	perm := r.Perm(n)
+	isByz := make([]bool, n)
+	for _, u := range perm[:nByz] {
+		isByz[u] = true
+	}
+	assign := r.Perm(n)
+	col := &Collection{Groups: make([][]float64, d.H()), ByzCount: nByz}
+	h := d.H()
+	for t := 0; t < h; t++ {
+		lo, hi := t*n/h, (t+1)*n/h
+		g := d.groups[t]
+		mech := d.mechs[t]
+		env := attack.EnvFor(mech, d.p.OPrime)
+		reports := make([]float64, 0, (hi-lo)*g.Reports)
+		for _, u := range assign[lo:hi] {
+			if isByz[u] {
+				reports = append(reports, adv.Poison(r, env, g.Reports)...)
+			} else {
+				for k := 0; k < g.Reports; k++ {
+					reports = append(reports, mech.Perturb(r, values[u]))
+				}
+			}
+		}
+		col.Groups[t] = reports
+	}
+	return col, nil
+}
+
+// Estimate is the collector side of the protocol (§V stages 3–5): per
+// group EMF probing, intra-group mean estimation with the configured
+// scheme (Eq. 13), and variance-optimal inter-group aggregation
+// (Algorithm 5). The poisoned side and γ̂ fed to EMF*/CEMF* come from the
+// group with the smallest budget, where Theorem 3 makes EMF sharpest.
+func (d *DAP) Estimate(col *Collection) (*Estimate, error) {
+	h := d.H()
+	if col == nil || len(col.Groups) != h {
+		return nil, errors.New("core: collection does not match group layout")
+	}
+	matrices := make([]*emf.Matrix, h)
+	counts := make([][]float64, h)
+	for t := 0; t < h; t++ {
+		if len(col.Groups[t]) == 0 {
+			return nil, fmt.Errorf("core: group %d holds no reports", t)
+		}
+		din, dprime := emf.BucketCounts(len(col.Groups[t]), d.mechs[t].C())
+		m, err := emf.BuildNumeric(d.mechs[t], din, dprime)
+		if err != nil {
+			return nil, err
+		}
+		matrices[t] = m
+		counts[t] = m.Counts(col.Groups[t])
+	}
+
+	// Stage 3: probe side and γ̂ at the smallest budget (group h−1).
+	probeCfg := d.cfg(h - 1)
+	oPrime := d.p.OPrime
+	probe, err := emf.ProbeSide(matrices[h-1], counts[h-1], oPrime, probeCfg)
+	if err != nil {
+		return nil, err
+	}
+	side := probe.Side
+	if d.p.AutoOPrime {
+		// Theorem 2: trim the suspected-poisoned tail of the smallest-budget
+		// reports (PM reports are unbiased, so their trimmed mean lives on
+		// the input scale) and re-probe around the pessimistic O′.
+		oPrime = stats.Clamp(
+			PessimisticO(col.Groups[h-1], d.p.GammaSup, side == emf.Right), -1, 1)
+		if probe, err = emf.ProbeSide(matrices[h-1], counts[h-1], oPrime, probeCfg); err != nil {
+			return nil, err
+		}
+		side = probe.Side
+	}
+	gammaGlobal := probe.Chosen().Gamma()
+
+	est := &Estimate{
+		PoisonedRight: side == emf.Right,
+		Gamma:         gammaGlobal,
+		GroupMeans:    make([]float64, h),
+		GroupGammas:   make([]float64, h),
+		Weights:       make([]float64, h),
+		NHat:          make([]float64, h),
+	}
+	est.OPrime = oPrime
+	b := make([]float64, h)
+	// Stage 4: intra-group estimation.
+	for t := 0; t < h; t++ {
+		res, gammaT, err := d.groupResult(matrices[t], counts[t], side, gammaGlobal, oPrime, t)
+		if err != nil {
+			return nil, err
+		}
+		nt := float64(len(col.Groups[t]))
+		mHat := gammaT * nt
+		if mHat > 0.95*nt {
+			mHat = 0.95 * nt
+		}
+		poisonMean := emf.PoisonMean(matrices[t], res)
+		mt := (stats.Sum(col.Groups[t]) - mHat*poisonMean) / (nt - mHat)
+		est.GroupMeans[t] = stats.Clamp(mt, -1, 1)
+		est.GroupGammas[t] = gammaT
+		// n̂_t = (N_t − m̂_t)·ε_t/ε converts report counts to user counts.
+		est.NHat[t] = (nt - mHat) * d.groups[t].Eps / d.p.Eps
+		b[t] = est.NHat[t] * d.mechs[t].WorstCaseVar()
+	}
+
+	// Stage 5: inter-group aggregation (Algorithm 5).
+	w, err := OptimalWeights(b, est.NHat, d.p.WeightMode)
+	if err != nil {
+		return nil, err
+	}
+	est.Weights = w
+	est.VarMin = MinVariance(b, est.NHat)
+	est.Mean = Aggregate(est.GroupMeans, w)
+	return est, nil
+}
+
+// Run is Collect followed by Estimate.
+func (d *DAP) Run(r *rand.Rand, values []float64, adv attack.Adversary, gamma float64) (*Estimate, error) {
+	col, err := d.Collect(r, values, adv, gamma)
+	if err != nil {
+		return nil, err
+	}
+	return d.Estimate(col)
+}
+
+// groupResult applies the configured scheme to one group.
+func (d *DAP) groupResult(m *emf.Matrix, counts []float64, side emf.Side, gammaGlobal, oPrime float64, t int) (*emf.Result, float64, error) {
+	var poison []int
+	if side == emf.Right {
+		poison = m.PoisonRight(oPrime)
+	} else {
+		poison = m.PoisonLeft(oPrime)
+	}
+	cfg := d.cfg(t)
+	base, err := emf.Run(m, counts, poison, cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	switch d.p.Scheme {
+	case SchemeEMFStar:
+		res, err := emf.RunConstrained(m, counts, poison, gammaGlobal, cfg)
+		if err != nil {
+			return nil, 0, err
+		}
+		return res, gammaGlobal, nil
+	case SchemeCEMFStar:
+		res, err := emf.RunConcentrated(m, counts, base, gammaGlobal, d.p.suppressFactor(), cfg)
+		if err != nil {
+			return nil, 0, err
+		}
+		return res, res.Gamma(), nil
+	default:
+		return base, base.Gamma(), nil
+	}
+}
+
+// cfg builds the EM iteration controls for group t, using the paper's
+// termination threshold τ = 0.01·e^{ε_t}.
+func (d *DAP) cfg(t int) emf.Config {
+	return emf.Config{Tol: emf.PaperTol(d.groups[t].Eps), MaxIter: d.p.EMFMaxIter}
+}
+
+// CollectPM gathers a plain single-group PM collection at budget eps with
+// the same threat model — the collection that the Ostrich and Trimming
+// baselines (and the k-means defense) operate on.
+func CollectPM(r *rand.Rand, values []float64, eps float64, adv attack.Adversary, gamma float64, oPrime float64) ([]float64, error) {
+	mech, err := pm.New(eps)
+	if err != nil {
+		return nil, err
+	}
+	if adv == nil {
+		adv = attack.None{}
+	}
+	n := len(values)
+	nByz := int(math.Round(gamma * float64(n)))
+	perm := r.Perm(n)
+	env := attack.EnvFor(mech, oPrime)
+	reports := make([]float64, 0, n)
+	reports = append(reports, adv.Poison(r, env, nByz)...)
+	for _, u := range perm[nByz:] {
+		reports = append(reports, mech.Perturb(r, values[u]))
+	}
+	return reports, nil
+}

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"math"
+	"sort"
+)
+
+// PessimisticO implements Theorem 2: a pessimistic initialization O′ of
+// the true mean computed from collected values by discarding the largest
+// ⌈γsup·N⌉ values (the smallest when the suspected poisoned side is left)
+// and averaging the remainder. The result satisfies O′ ≤ O when the
+// poisoned side is right and O′ ≥ O when it is left, so the BBA analysis
+// never excludes genuine poison values.
+//
+// γsup defaults to the threat model's Byzantine bound 1/2 when gammaSup
+// is zero; prior knowledge can lower it (§IV-A footnote 4).
+func PessimisticO(reports []float64, gammaSup float64, poisonedRight bool) float64 {
+	if len(reports) == 0 {
+		return 0
+	}
+	if gammaSup <= 0 {
+		gammaSup = 0.5
+	}
+	if gammaSup >= 1 {
+		gammaSup = 1 - 1e-9
+	}
+	s := make([]float64, len(reports))
+	copy(s, reports)
+	sort.Float64s(s)
+	cut := int(math.Ceil(gammaSup * float64(len(s))))
+	if cut >= len(s) {
+		cut = len(s) - 1
+	}
+	if poisonedRight {
+		s = s[:len(s)-cut]
+	} else {
+		s = s[cut:]
+	}
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	return sum / float64(len(s))
+}

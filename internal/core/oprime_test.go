@@ -1,0 +1,68 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+func TestPessimisticOBelowTruthRightPoison(t *testing.T) {
+	// Theorem 2: with right-side poison, O′ must not exceed the clean mean.
+	r := rng.New(1)
+	clean := make([]float64, 8000)
+	for i := range clean {
+		clean[i] = rng.Uniform(r, -1, 1)
+	}
+	reports := append([]float64(nil), clean...)
+	for i := 0; i < 2000; i++ {
+		reports = append(reports, rng.Uniform(r, 2, 3)) // poison
+	}
+	oPrime := PessimisticO(reports, 0.5, true)
+	if oPrime > stats.Mean(clean) {
+		t.Fatalf("O′ = %v above clean mean %v", oPrime, stats.Mean(clean))
+	}
+}
+
+func TestPessimisticOAboveTruthLeftPoison(t *testing.T) {
+	r := rng.New(2)
+	clean := make([]float64, 8000)
+	for i := range clean {
+		clean[i] = rng.Uniform(r, -1, 1)
+	}
+	reports := append([]float64(nil), clean...)
+	for i := 0; i < 2000; i++ {
+		reports = append(reports, rng.Uniform(r, -3, -2))
+	}
+	oPrime := PessimisticO(reports, 0.5, false)
+	if oPrime < stats.Mean(clean) {
+		t.Fatalf("O′ = %v below clean mean %v", oPrime, stats.Mean(clean))
+	}
+}
+
+func TestPessimisticODefaults(t *testing.T) {
+	if got := PessimisticO(nil, 0.5, true); got != 0 {
+		t.Fatalf("empty = %v", got)
+	}
+	// gammaSup=0 defaults to 1/2; gammaSup>=1 is clamped — both must not panic.
+	reports := []float64{1, 2, 3, 4}
+	_ = PessimisticO(reports, 0, true)
+	_ = PessimisticO(reports, 5, true)
+}
+
+// Property (Theorem 2): O′ with right-side trimming never exceeds the raw
+// report mean.
+func TestPessimisticOProperty(t *testing.T) {
+	f := func(seed uint16) bool {
+		r := rng.New(uint64(seed))
+		reports := make([]float64, 200)
+		for i := range reports {
+			reports[i] = rng.Uniform(r, -5, 5)
+		}
+		return PessimisticO(reports, 0.5, true) <= stats.Mean(reports)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

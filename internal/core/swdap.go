@@ -1,0 +1,335 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/attack"
+	"repro/internal/emf"
+	"repro/internal/ldp/sw"
+	"repro/internal/stats"
+)
+
+// SWParams configures the Square Wave variant of DAP (§V-D): inputs live
+// in [0,1], perturbation uses SW, reconstruction uses EMS (EM with
+// smoothing), and the mean is read off the reconstructed input histogram
+// rather than the report sum.
+type SWParams struct {
+	Eps  float64
+	Eps0 float64
+	// Scheme selects EMF, EMF* or CEMF* (each running EMS-style with the
+	// smoothing step).
+	Scheme Scheme
+	// TrimFrac is the fraction removed from the poisoned side before the
+	// pessimistic O′ estimation (§V-D prescribes 50%; 0 selects it).
+	TrimFrac float64
+	// SuppressFactor is CEMF*'s threshold factor (0 selects 0.5).
+	SuppressFactor float64
+	// EMFMaxIter caps EM iterations (0 selects the emf default).
+	EMFMaxIter int
+	// WeightMode selects the aggregation weights.
+	WeightMode WeightMode
+}
+
+// SWDAP is the Square Wave instantiation of the protocol.
+type SWDAP struct {
+	p      SWParams
+	groups []Group
+	mechs  []*sw.Mechanism
+}
+
+// NewSWDAP validates parameters and precomputes the group layout.
+func NewSWDAP(p SWParams) (*SWDAP, error) {
+	if err := validateBudgets(p.Eps, p.Eps0); err != nil {
+		return nil, err
+	}
+	h := groupCount(p.Eps, p.Eps0)
+	d := &SWDAP{p: p, groups: make([]Group, h), mechs: make([]*sw.Mechanism, h)}
+	for t := 0; t < h; t++ {
+		eps := p.Eps / math.Pow(2, float64(t))
+		mech, err := sw.New(eps)
+		if err != nil {
+			return nil, fmt.Errorf("core: sw group %d: %w", t, err)
+		}
+		d.groups[t] = Group{Index: t, Eps: eps, Reports: 1 << t}
+		d.mechs[t] = mech
+	}
+	return d, nil
+}
+
+// H returns the group count.
+func (d *SWDAP) H() int { return len(d.groups) }
+
+// Groups returns the group layout.
+func (d *SWDAP) Groups() []Group { return append([]Group(nil), d.groups...) }
+
+// Mechanism returns group t's SW instance.
+func (d *SWDAP) Mechanism(t int) *sw.Mechanism { return d.mechs[t] }
+
+// Collect simulates the user side over values in [0,1].
+func (d *SWDAP) Collect(r *rand.Rand, values []float64, adv attack.Adversary, gamma float64) (*Collection, error) {
+	n := len(values)
+	if n < d.H() {
+		return nil, errors.New("core: fewer users than groups")
+	}
+	if gamma < 0 || gamma >= 1 {
+		return nil, errors.New("core: gamma must lie in [0,1)")
+	}
+	if adv == nil {
+		adv = attack.None{}
+	}
+	nByz := int(math.Round(gamma * float64(n)))
+	perm := r.Perm(n)
+	isByz := make([]bool, n)
+	for _, u := range perm[:nByz] {
+		isByz[u] = true
+	}
+	assign := r.Perm(n)
+	col := &Collection{Groups: make([][]float64, d.H()), ByzCount: nByz}
+	h := d.H()
+	for t := 0; t < h; t++ {
+		lo, hi := t*n/h, (t+1)*n/h
+		g := d.groups[t]
+		mech := d.mechs[t]
+		env := attack.EnvFor(mech, 0.5) // O anchored mid-domain for ranges
+		reports := make([]float64, 0, (hi-lo)*g.Reports)
+		for _, u := range assign[lo:hi] {
+			if isByz[u] {
+				reports = append(reports, adv.Poison(r, env, g.Reports)...)
+			} else {
+				for k := 0; k < g.Reports; k++ {
+					reports = append(reports, mech.Perturb(r, values[u]))
+				}
+			}
+		}
+		col.Groups[t] = reports
+	}
+	return col, nil
+}
+
+// SWEstimate extends Estimate with the reconstructed input distribution.
+type SWEstimate struct {
+	Estimate
+	// OPrime is the trimmed-EMS pessimistic mean used for side probing.
+	OPrime float64
+	// XHat is the aggregated normal-user input histogram (normalized),
+	// used for the distribution-estimation experiments (Fig. 8(a)).
+	XHat []float64
+}
+
+// Estimate runs the collector side over an SW collection.
+func (d *SWDAP) Estimate(col *Collection) (*SWEstimate, error) {
+	h := d.H()
+	if col == nil || len(col.Groups) != h {
+		return nil, errors.New("core: collection does not match group layout")
+	}
+	matrices := make([]*emf.Matrix, h)
+	counts := make([][]float64, h)
+	for t := 0; t < h; t++ {
+		if len(col.Groups[t]) == 0 {
+			return nil, fmt.Errorf("core: group %d holds no reports", t)
+		}
+		c := d.mechs[t].OutputDomain().Width() // SW analogue of 2C/2
+		din, dprime := emf.BucketCounts(len(col.Groups[t]), c)
+		m, err := emf.BuildNumeric(d.mechs[t], din, dprime)
+		if err != nil {
+			return nil, err
+		}
+		matrices[t] = m
+		counts[t] = m.Counts(col.Groups[t])
+	}
+
+	// Pessimistic O′ via trimmed EMS on the smallest-budget group (§V-D).
+	oPrime, err := d.pessimisticO(matrices[h-1], col.Groups[h-1])
+	if err != nil {
+		return nil, err
+	}
+
+	probe, err := emf.ProbeSide(matrices[h-1], counts[h-1], oPrime, d.cfg(h-1))
+	if err != nil {
+		return nil, err
+	}
+	side := probe.Side
+	gammaGlobal := probe.Chosen().Gamma()
+
+	est := &SWEstimate{
+		Estimate: Estimate{
+			PoisonedRight: side == emf.Right,
+			Gamma:         gammaGlobal,
+			GroupMeans:    make([]float64, h),
+			GroupGammas:   make([]float64, h),
+			NHat:          make([]float64, h),
+		},
+		OPrime: oPrime,
+	}
+	b := make([]float64, h)
+	var xAgg []float64
+	for t := 0; t < h; t++ {
+		m := matrices[t]
+		var poison []int
+		if side == emf.Right {
+			poison = m.PoisonRight(oPrime)
+		} else {
+			poison = m.PoisonLeft(oPrime)
+		}
+		cfg := d.cfg(t)
+		base, err := emf.Run(m, counts[t], poison, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res := base
+		gammaT := base.Gamma()
+		switch d.p.Scheme {
+		case SchemeEMFStar:
+			if res, err = emf.RunConstrained(m, counts[t], poison, gammaGlobal, cfg); err != nil {
+				return nil, err
+			}
+			gammaT = gammaGlobal
+		case SchemeCEMFStar:
+			factor := d.p.SuppressFactor
+			if factor <= 0 {
+				factor = 0.5
+			}
+			if res, err = emf.RunConcentrated(m, counts[t], base, gammaGlobal, factor, cfg); err != nil {
+				return nil, err
+			}
+			gammaT = res.Gamma()
+		}
+		// SW mean comes from the reconstructed input histogram.
+		mean := stats.HistMean(res.X, m.InCenters())
+		est.GroupMeans[t] = stats.Clamp(mean, 0, 1)
+		est.GroupGammas[t] = gammaT
+		nt := float64(len(col.Groups[t]))
+		mHat := gammaT * nt
+		if mHat > 0.95*nt {
+			mHat = 0.95 * nt
+		}
+		est.NHat[t] = (nt - mHat) * d.groups[t].Eps / d.p.Eps
+		b[t] = est.NHat[t] * d.mechs[t].WorstCaseVar()
+		// Aggregate the distribution estimate from the largest-budget group
+		// histogram resolution by accumulating normalized x̂ weighted by n̂.
+		xn := stats.Normalize(res.X)
+		if xAgg == nil {
+			xAgg = make([]float64, len(xn))
+		}
+		if len(xn) == len(xAgg) {
+			for k := range xn {
+				xAgg[k] += est.NHat[t] * xn[k]
+			}
+		}
+	}
+	w, err := OptimalWeights(b, est.NHat, d.p.WeightMode)
+	if err != nil {
+		return nil, err
+	}
+	est.Weights = w
+	est.VarMin = MinVariance(b, est.NHat)
+	est.Mean = Aggregate(est.GroupMeans, w)
+	est.XHat = stats.Normalize(xAgg)
+	return est, nil
+}
+
+// Run is Collect followed by Estimate.
+func (d *SWDAP) Run(r *rand.Rand, values []float64, adv attack.Adversary, gamma float64) (*SWEstimate, error) {
+	col, err := d.Collect(r, values, adv, gamma)
+	if err != nil {
+		return nil, err
+	}
+	return d.Estimate(col)
+}
+
+// pessimisticO estimates O′ for SW by removing the top TrimFrac of the
+// reports and running plain EMS on the rest (§V-D's analogue of
+// Theorem 2).
+func (d *SWDAP) pessimisticO(m *emf.Matrix, reports []float64) (float64, error) {
+	frac := d.p.TrimFrac
+	if frac <= 0 {
+		frac = 0.5
+	}
+	trimmed := make([]float64, len(reports))
+	copy(trimmed, reports)
+	// Remove the largest frac of reports (pessimistic against a right-side
+	// attack, mirroring Theorem 2's default orientation).
+	mean := stats.Quantile(trimmed, 1-frac)
+	kept := trimmed[:0]
+	for _, v := range trimmed {
+		if v <= mean {
+			kept = append(kept, v)
+		}
+	}
+	if len(kept) == 0 {
+		kept = trimmed
+	}
+	counts := m.Counts(kept)
+	res, err := emf.RunConstrained(m, counts, nil, 0, emf.Config{Smooth: true, MaxIter: d.p.EMFMaxIter})
+	if err != nil {
+		return 0, err
+	}
+	return stats.Clamp(stats.HistMean(res.X, m.InCenters()), 0, 1), nil
+}
+
+func (d *SWDAP) cfg(t int) emf.Config {
+	return emf.Config{Tol: emf.PaperTol(d.groups[t].Eps), MaxIter: d.p.EMFMaxIter, Smooth: true}
+}
+
+// SWSingle reconstructs the input distribution from one single-budget SW
+// collection — the Fig. 8(a) distribution-estimation experiment. Scheme
+// selects the poison handling; SchemeOstrich-like behaviour (plain EMS,
+// poison ignored) is obtained with IgnorePoison.
+type SWSingle struct {
+	Eps float64
+	// Scheme selects EMF, EMF* or CEMF*.
+	Scheme Scheme
+	// IgnorePoison runs plain EMS with no poison components (the Ostrich
+	// distribution baseline).
+	IgnorePoison bool
+	// EMFMaxIter caps EM iterations (0 selects the emf default).
+	EMFMaxIter int
+}
+
+// Reconstruct returns the normalized input histogram estimate and the
+// bucket centers.
+func (s *SWSingle) Reconstruct(reports []float64) (xhat, centers []float64, err error) {
+	mech, err := sw.New(s.Eps)
+	if err != nil {
+		return nil, nil, err
+	}
+	din, dprime := emf.BucketCounts(len(reports), mech.OutputDomain().Width())
+	m, err := emf.BuildNumeric(mech, din, dprime)
+	if err != nil {
+		return nil, nil, err
+	}
+	counts := m.Counts(reports)
+	cfg := emf.Config{Tol: emf.PaperTol(s.Eps), MaxIter: s.EMFMaxIter, Smooth: true}
+	if s.IgnorePoison {
+		res, err := emf.RunConstrained(m, counts, nil, 0, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		return stats.Normalize(res.X), m.InCenters(), nil
+	}
+	probe, err := emf.ProbeSide(m, counts, 0.5, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	side := probe.Side
+	var poison []int
+	if side == emf.Right {
+		poison = m.PoisonRight(0.5)
+	} else {
+		poison = m.PoisonLeft(0.5)
+	}
+	res := probe.Chosen()
+	switch s.Scheme {
+	case SchemeEMFStar:
+		res, err = emf.RunConstrained(m, counts, poison, res.Gamma(), cfg)
+	case SchemeCEMFStar:
+		res, err = emf.RunConcentrated(m, counts, res, res.Gamma(), 0.5, cfg)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return stats.Normalize(res.X), m.InCenters(), nil
+}

@@ -1,0 +1,66 @@
+package dataset
+
+import (
+	"math/rand/v2"
+
+	"repro/internal/stats"
+)
+
+// Categorical is a categorical dataset over K ordered categories.
+type Categorical struct {
+	Name   string
+	Labels []string
+	Counts []float64
+}
+
+// K returns the number of categories.
+func (c *Categorical) K() int { return len(c.Counts) }
+
+// N returns the total record count.
+func (c *Categorical) N() int { return int(stats.Sum(c.Counts)) }
+
+// Freqs returns the normalized category frequencies.
+func (c *Categorical) Freqs() []float64 { return stats.Normalize(c.Counts) }
+
+// Sample draws n category records i.i.d. from the dataset's frequency
+// distribution.
+func (c *Categorical) Sample(r *rand.Rand, n int) []int {
+	freqs := c.Freqs()
+	cdf := make([]float64, len(freqs))
+	acc := 0.0
+	for i, f := range freqs {
+		acc += f
+		cdf[i] = acc
+	}
+	out := make([]int, n)
+	for i := range out {
+		u := r.Float64()
+		j := 0
+		for j < len(cdf)-1 && u > cdf[j] {
+			j++
+		}
+		out[i] = j
+	}
+	return out
+}
+
+// COVID19 returns the categorical COVID-19 dataset: deaths for females by
+// age group across 15 buckets (our offline substitute for the CDC table the
+// paper uses; the monotone age-mortality profile is what the experiment
+// exercises — poison is injected into specific age groups and the defense
+// must recover the frequency histogram).
+func COVID19() *Categorical {
+	return &Categorical{
+		Name: "COVID-19",
+		Labels: []string{
+			"0-4", "5-14", "15-24", "25-34", "35-44",
+			"45-54", "55-64", "65-74", "75-84", "85+a",
+			"85+b", "85+c", "85+d", "85+e", "85+f",
+		},
+		Counts: []float64{
+			12, 6, 24, 78, 200,
+			520, 1280, 2900, 5600, 7900,
+			6800, 5200, 3600, 2200, 1100,
+		},
+	}
+}

@@ -1,0 +1,172 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+func TestBetaDatasetsMeans(t *testing.T) {
+	r := rng.New(1)
+	const n = 100000
+	b25 := Beta25(r, n)
+	// Beta(2,5) mean 2/7 on [0,1] => 2·(2/7)−1 = −3/7 ≈ −0.4286 normalized.
+	if got, want := b25.TrueMean(), -3.0/7.0; math.Abs(got-want) > 0.01 {
+		t.Fatalf("Beta(2,5) mean %v, want %v", got, want)
+	}
+	b52 := Beta52(r, n)
+	if got, want := b52.TrueMean(), 3.0/7.0; math.Abs(got-want) > 0.01 {
+		t.Fatalf("Beta(5,2) mean %v, want %v", got, want)
+	}
+}
+
+func TestValuesNormalized(t *testing.T) {
+	r := rng.New(2)
+	for _, name := range Names() {
+		d, err := ByName(r, name, 20000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.N() != 20000 {
+			t.Fatalf("%s: N = %d", name, d.N())
+		}
+		for _, v := range d.Values {
+			if v < -1 || v > 1 {
+				t.Fatalf("%s: value %v outside [-1,1]", name, v)
+			}
+		}
+	}
+}
+
+func TestTaxiMeanNearPaper(t *testing.T) {
+	r := rng.New(3)
+	d := Taxi(r, 200000)
+	// Paper O = 0.1190; our synthetic substitute is calibrated to land nearby.
+	if got := d.TrueMean(); math.Abs(got-0.119) > 0.06 {
+		t.Fatalf("Taxi mean %v, want near 0.119", got)
+	}
+}
+
+func TestRetirementMeanNearPaper(t *testing.T) {
+	r := rng.New(4)
+	d := Retirement(r, 200000)
+	// Paper O = −0.6240.
+	if got := d.TrueMean(); math.Abs(got-(-0.624)) > 0.06 {
+		t.Fatalf("Retirement mean %v, want near -0.624", got)
+	}
+}
+
+func TestTaxiMultimodalShape(t *testing.T) {
+	r := rng.New(5)
+	d := Taxi(r, 100000)
+	h := d.Histogram(24) // one bin per hour
+	// Early-morning hours should carry less mass than the evening peak.
+	early := h[3] // ~3-4am
+	evening := h[19]
+	if evening < 2*early {
+		t.Fatalf("expected evening peak >> early morning: early=%v evening=%v", early, evening)
+	}
+}
+
+func TestRetirementRightSkew(t *testing.T) {
+	r := rng.New(6)
+	d := Retirement(r, 100000)
+	med := stats.Quantile(d.Values, 0.5)
+	if !(med < d.TrueMean()+0.2) {
+		t.Fatalf("expected right-skew (median %v vs mean %v)", med, d.TrueMean())
+	}
+	// Most of the mass is in the lower half of the support.
+	h := d.Histogram(10)
+	lowMass := h[0] + h[1] + h[2] + h[3] + h[4]
+	if lowMass < 0.7 {
+		t.Fatalf("lower-half mass %v, want > 0.7", lowMass)
+	}
+}
+
+func TestRescaled01(t *testing.T) {
+	r := rng.New(7)
+	d := Beta25(r, 5000)
+	vs := d.Rescaled01()
+	for i, v := range vs {
+		if v < 0 || v > 1 {
+			t.Fatalf("Rescaled01 out of range: %v", v)
+		}
+		if math.Abs(v-(d.Values[i]+1)/2) > 1e-12 {
+			t.Fatal("Rescaled01 mapping incorrect")
+		}
+	}
+}
+
+func TestHistogramNormalized(t *testing.T) {
+	r := rng.New(8)
+	d := Beta52(r, 10000)
+	h := d.Histogram(32)
+	if math.Abs(stats.Sum(h)-1) > 1e-9 {
+		t.Fatalf("histogram sums to %v", stats.Sum(h))
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName(rng.New(1), "nope", 10); err == nil {
+		t.Fatal("expected error for unknown dataset")
+	}
+}
+
+func TestByNameAliases(t *testing.T) {
+	r := rng.New(9)
+	for _, alias := range []string{"beta25", "beta52", "taxi", "retirement"} {
+		if _, err := ByName(r, alias, 100); err != nil {
+			t.Fatalf("alias %q: %v", alias, err)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Taxi(rng.New(42), 1000)
+	b := Taxi(rng.New(42), 1000)
+	for i := range a.Values {
+		if a.Values[i] != b.Values[i] {
+			t.Fatal("dataset generation is not deterministic")
+		}
+	}
+}
+
+func TestCOVID19Shape(t *testing.T) {
+	c := COVID19()
+	if c.K() != 15 {
+		t.Fatalf("K = %d, want 15", c.K())
+	}
+	if len(c.Labels) != 15 {
+		t.Fatalf("labels = %d", len(c.Labels))
+	}
+	f := c.Freqs()
+	if math.Abs(stats.Sum(f)-1) > 1e-9 {
+		t.Fatalf("freqs sum to %v", stats.Sum(f))
+	}
+	// Mortality rises with age through the peak near group 9.
+	if !(f[9] > f[5] && f[5] > f[1]) {
+		t.Fatalf("expected increasing mortality profile, got %v", f)
+	}
+}
+
+func TestCategoricalSample(t *testing.T) {
+	r := rng.New(10)
+	c := COVID19()
+	recs := c.Sample(r, 200000)
+	counts := make([]float64, c.K())
+	for _, rec := range recs {
+		if rec < 0 || rec >= c.K() {
+			t.Fatalf("record out of range: %d", rec)
+		}
+		counts[rec]++
+	}
+	want := c.Freqs()
+	got := stats.Normalize(counts)
+	for j := range want {
+		if math.Abs(got[j]-want[j]) > 0.01 {
+			t.Fatalf("cat %d: sampled %v, want %v", j, got[j], want[j])
+		}
+	}
+}

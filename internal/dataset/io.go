@@ -1,0 +1,100 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// WriteCSV serializes the dataset: a header row with metadata followed by
+// one normalized value per row. The format round-trips through ReadCSV,
+// letting expensive generated datasets (or externally prepared real data)
+// be cached on disk and shared between experiment runs.
+func (d *Numeric) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"name", d.Name,
+		strconv.FormatFloat(d.RawLo, 'g', -1, 64),
+		strconv.FormatFloat(d.RawHi, 'g', -1, 64)}); err != nil {
+		return err
+	}
+	for _, v := range d.Values {
+		if err := cw.Write([]string{strconv.FormatFloat(v, 'g', -1, 64)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV deserializes a dataset written by WriteCSV. Values are verified
+// to lie in [−1, 1].
+func ReadCSV(r io.Reader) (*Numeric, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading header: %w", err)
+	}
+	if len(header) != 4 || header[0] != "name" {
+		return nil, errors.New("dataset: malformed header")
+	}
+	rawLo, err := strconv.ParseFloat(header[2], 64)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: raw lower bound: %w", err)
+	}
+	rawHi, err := strconv.ParseFloat(header[3], 64)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: raw upper bound: %w", err)
+	}
+	d := &Numeric{Name: header[1], RawLo: rawLo, RawHi: rawHi}
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading values: %w", err)
+		}
+		if len(rec) != 1 {
+			return nil, errors.New("dataset: malformed value row")
+		}
+		v, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: value %q: %w", rec[0], err)
+		}
+		if v < -1 || v > 1 {
+			return nil, fmt.Errorf("dataset: value %g outside [-1,1]", v)
+		}
+		d.Values = append(d.Values, v)
+	}
+	if len(d.Values) == 0 {
+		return nil, errors.New("dataset: no values")
+	}
+	return d, nil
+}
+
+// SaveFile writes the dataset to path.
+func (d *Numeric) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := d.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a dataset from path.
+func LoadFile(path string) (*Numeric, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(f)
+}

@@ -1,0 +1,72 @@
+package dataset
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := Beta25(rng.New(1), 500)
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != d.Name || got.RawLo != d.RawLo || got.RawHi != d.RawHi {
+		t.Fatalf("metadata mismatch: %+v", got)
+	}
+	if len(got.Values) != len(d.Values) {
+		t.Fatalf("length %d vs %d", len(got.Values), len(d.Values))
+	}
+	for i := range d.Values {
+		if got.Values[i] != d.Values[i] {
+			t.Fatalf("value %d: %v vs %v", i, got.Values[i], d.Values[i])
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	d := Taxi(rng.New(2), 300)
+	path := filepath.Join(t.TempDir(), "taxi.csv")
+	if err := d.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != 300 || got.Name != "Taxi" {
+		t.Fatalf("loaded %+v", got)
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "nope.csv")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"bad header":     "x,y\n0.5\n",
+		"bad rawlo":      "name,d,zzz,1\n0.5\n",
+		"bad rawhi":      "name,d,0,zzz\n0.5\n",
+		"bad value":      "name,d,0,1\nabc\n",
+		"range value":    "name,d,0,1\n7\n",
+		"no values":      "name,d,0,1\n",
+		"malformed rows": "name,d,0,1\n0.5,0.6\n",
+	}
+	for label, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Fatalf("%s: accepted %q", label, in)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package defense
+
+import (
+	"testing"
+
+	"repro/internal/emf"
+	"repro/internal/ldp/pm"
+	"repro/internal/rng"
+)
+
+// Error- and edge-path coverage for the defenses.
+
+func TestKMeansDefenseClusterError(t *testing.T) {
+	// Four identical reports: clustering still works (duplicated
+	// centroids), the defense must not error.
+	d := &KMeansDefense{Subsets: 8, Rate: 0.5}
+	if _, err := d.Estimate(rng.New(1), []float64{2, 2, 2, 2}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIForestDefenseFullContamination(t *testing.T) {
+	// Contamination ≈ 1 keeps at least one report.
+	r := rng.New(2)
+	reports := make([]float64, 50)
+	for i := range reports {
+		reports[i] = rng.Uniform(r, 0, 1)
+	}
+	d := &IForestDefense{Trees: 10, SampleSize: 32, Contamination: 0.99}
+	est, err := d.Estimate(rng.New(3), reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est < 0 || est > 1 {
+		t.Fatalf("estimate %v out of range", est)
+	}
+}
+
+func TestEMFKMeansSamplePointsEmpty(t *testing.T) {
+	mech := pm.MustNew(1)
+	m, err := emf.BuildNumeric(mech, 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &EMFKMeans{Matrix: m}
+	if pts := d.samplePoints(rng.New(4), make([]float64, 4)); pts != nil {
+		t.Fatalf("zero-mass histogram sampled %d points", len(pts))
+	}
+}
+
+func TestEMFKMeansCustomThresholdAndSamples(t *testing.T) {
+	r := rng.New(5)
+	mech := pm.MustNew(1)
+	const n = 8000
+	reports := make([]float64, n)
+	for i := range reports {
+		reports[i] = mech.Perturb(r, rng.Uniform(r, -0.5, 0.5))
+	}
+	din, dp := emf.BucketCounts(n, mech.C())
+	m, err := emf.BuildNumeric(mech, din, dp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &EMFKMeans{Matrix: m, GammaThreshold: 0.5, SamplePoints: 500}
+	est, err := d.Estimate(rng.New(6), reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est < -1 || est > 1 {
+		t.Fatalf("estimate %v out of range", est)
+	}
+}
+
+func TestBoxplotAllFiltered(t *testing.T) {
+	// Two wildly separated points with k=0 keep only the quartile span;
+	// the fallback mean path must engage when nothing survives.
+	got := Boxplot([]float64{0, 0, 0, 0}, 0)
+	if got != 0 {
+		t.Fatalf("constant reports boxplot = %v", got)
+	}
+}
+
+func TestTrimmingAllSame(t *testing.T) {
+	if got := Trimming([]float64{3, 3, 3, 3}, 0.5, true); got != 3 {
+		t.Fatalf("Trimming of constants = %v", got)
+	}
+}

@@ -1,0 +1,151 @@
+// Package defense implements the comparator defenses of the paper's
+// evaluation: Ostrich (§VI-C), Trimming (§I, §VI-C), the k-means subset
+// defense of [38] with its EMF integration (Fig. 9(a)(b)), and the
+// boxplot [56] and isolation-forest [15][41] outlier filters mentioned in
+// §III-A.
+//
+// Each defense consumes the raw perturbed reports of a single-group PM
+// collection (budget ε) and produces a mean estimate.
+package defense
+
+import (
+	"errors"
+	"math/rand/v2"
+	"sort"
+
+	"repro/internal/iforest"
+	"repro/internal/kmeans"
+	"repro/internal/stats"
+)
+
+// Ostrich averages every report, ignoring the possibility of Byzantine
+// users (the paper's head-in-the-sand baseline). With PM the report mean
+// is an unbiased estimator of the input mean when no attacker exists.
+func Ostrich(reports []float64) float64 {
+	return stats.Mean(reports)
+}
+
+// Trimming removes the top frac of the reports (the bottom frac when the
+// poisoned side is left) and averages the rest — the robust-statistics
+// baseline whose limitations §I describes. The paper's experiments trim
+// frac = 0.5 from the poisoned side.
+func Trimming(reports []float64, frac float64, poisonedRight bool) float64 {
+	if len(reports) == 0 {
+		return 0
+	}
+	if frac <= 0 {
+		return stats.Mean(reports)
+	}
+	if frac >= 1 {
+		return 0
+	}
+	s := make([]float64, len(reports))
+	copy(s, reports)
+	sort.Float64s(s)
+	cut := int(float64(len(s)) * frac)
+	if poisonedRight {
+		s = s[:len(s)-cut]
+	} else {
+		s = s[cut:]
+	}
+	return stats.Mean(s)
+}
+
+// KMeansDefense is the subset-sampling defense of [38]: it draws Subsets
+// random subsets of Rate·n reports, computes each subset's mean, clusters
+// the subset means into two groups with 1-D k-means, and returns the
+// centroid of the larger cluster (poisoned subsets gravitate to the
+// smaller, displaced cluster).
+type KMeansDefense struct {
+	// Subsets is the number of sampled subsets (the paper uses 10⁶; the
+	// defense is already stable from a few hundred).
+	Subsets int
+	// Rate is the sampling rate β ∈ (0,1].
+	Rate float64
+}
+
+// Estimate runs the defense.
+func (d *KMeansDefense) Estimate(r *rand.Rand, reports []float64) (float64, error) {
+	if len(reports) < 4 {
+		return 0, errors.New("defense: too few reports for k-means defense")
+	}
+	subsets := d.Subsets
+	if subsets <= 0 {
+		subsets = 500
+	}
+	size := int(d.Rate * float64(len(reports)))
+	if size < 1 {
+		size = 1
+	}
+	means := make([]float64, subsets)
+	for s := range means {
+		var sum float64
+		for i := 0; i < size; i++ {
+			sum += reports[r.IntN(len(reports))]
+		}
+		means[s] = sum / float64(size)
+	}
+	res, err := kmeans.Cluster(r, means, 2, 0)
+	if err != nil {
+		return 0, err
+	}
+	return res.Centroids[res.Largest()], nil
+}
+
+// Boxplot filters reports outside [Q1 − k·IQR, Q3 + k·IQR] (k = 1.5 for
+// the classical rule) and averages the survivors.
+func Boxplot(reports []float64, k float64) float64 {
+	if len(reports) == 0 {
+		return 0
+	}
+	s := make([]float64, len(reports))
+	copy(s, reports)
+	sort.Float64s(s)
+	q1 := stats.QuantileSorted(s, 0.25)
+	q3 := stats.QuantileSorted(s, 0.75)
+	iqr := q3 - q1
+	lo, hi := q1-k*iqr, q3+k*iqr
+	var sum float64
+	var n int
+	for _, v := range s {
+		if v >= lo && v <= hi {
+			sum += v
+			n++
+		}
+	}
+	if n == 0 {
+		return stats.Mean(s)
+	}
+	return sum / float64(n)
+}
+
+// IForestDefense removes the Contamination fraction of reports with the
+// highest isolation-forest anomaly scores and averages the rest.
+type IForestDefense struct {
+	Trees         int
+	SampleSize    int
+	Contamination float64
+}
+
+// Estimate runs the defense.
+func (d *IForestDefense) Estimate(r *rand.Rand, reports []float64) (float64, error) {
+	f, err := iforest.Build(r, reports, iforest.Options{Trees: d.Trees, SampleSize: d.SampleSize})
+	if err != nil {
+		return 0, err
+	}
+	scores := f.Scores(reports)
+	idx := make([]int, len(reports))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
+	keep := len(reports) - int(d.Contamination*float64(len(reports)))
+	if keep < 1 {
+		keep = 1
+	}
+	var sum float64
+	for _, i := range idx[:keep] {
+		sum += reports[i]
+	}
+	return sum / float64(keep), nil
+}

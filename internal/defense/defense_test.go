@@ -1,0 +1,202 @@
+package defense
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/ldp/pm"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// poisonedCollection builds a PM collection with γ=0.25 poison uniform on
+// [C/2, C]; normal values uniform on [-0.8, 0].
+func poisonedCollection(seed uint64, n int) (reports []float64, trueMean float64) {
+	r := rng.New(seed)
+	mech := pm.MustNew(1)
+	env := attack.EnvFor(mech, 0)
+	adv := attack.NewBBA(attack.RangeHighHalf, attack.DistUniform)
+	nByz := n / 4
+	var sum float64
+	for i := 0; i < n-nByz; i++ {
+		v := rng.Uniform(r, -0.8, 0)
+		sum += v
+		reports = append(reports, mech.Perturb(r, v))
+	}
+	reports = append(reports, adv.Poison(r, env, nByz)...)
+	return reports, sum / float64(n-nByz)
+}
+
+func TestOstrichBiasedUnderAttack(t *testing.T) {
+	reports, trueMean := poisonedCollection(1, 20000)
+	est := Ostrich(reports)
+	if est <= trueMean+0.2 {
+		t.Fatalf("Ostrich should be dragged upward: est %v vs true %v", est, trueMean)
+	}
+}
+
+func TestOstrichUnbiasedWithoutAttack(t *testing.T) {
+	r := rng.New(2)
+	mech := pm.MustNew(1)
+	var reports []float64
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := rng.Uniform(r, -0.5, 0.5)
+		sum += v
+		reports = append(reports, mech.Perturb(r, v))
+	}
+	if got, want := Ostrich(reports), sum/n; math.Abs(got-want) > 0.02 {
+		t.Fatalf("Ostrich = %v, want %v", got, want)
+	}
+}
+
+func TestTrimmingRemovesPoisonButOverkills(t *testing.T) {
+	// §I: trimming removes the upward poison bias but also prunes normal
+	// tail values, leaving a downward bias — it overshoots past the truth.
+	reports, trueMean := poisonedCollection(3, 20000)
+	ostrich := Ostrich(reports)
+	trimmed := Trimming(reports, 0.5, true)
+	if trimmed >= ostrich {
+		t.Fatalf("trimming should remove upward poison: %v vs %v", trimmed, ostrich)
+	}
+	if trimmed >= trueMean {
+		t.Fatalf("trimming should overkill below the truth: %v vs %v", trimmed, trueMean)
+	}
+}
+
+func TestTrimmingEdgeCases(t *testing.T) {
+	if got := Trimming(nil, 0.5, true); got != 0 {
+		t.Fatalf("empty = %v", got)
+	}
+	if got := Trimming([]float64{1, 2}, 0, true); got != 1.5 {
+		t.Fatalf("frac=0 = %v", got)
+	}
+	if got := Trimming([]float64{1, 2}, 1, true); got != 0 {
+		t.Fatalf("frac=1 = %v", got)
+	}
+	// Left-side trimming removes the smallest values.
+	got := Trimming([]float64{-10, 1, 2, 3}, 0.25, false)
+	if got != 2 {
+		t.Fatalf("left trim = %v, want 2", got)
+	}
+}
+
+func TestTrimmingBiasWithoutAttack(t *testing.T) {
+	// Trimming overkills normal tail values: on a clean symmetric
+	// collection trimming half the data shifts the estimate below truth.
+	r := rng.New(4)
+	mech := pm.MustNew(1)
+	var reports []float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		reports = append(reports, mech.Perturb(r, rng.Uniform(r, -0.5, 0.5)))
+	}
+	trimmed := Trimming(reports, 0.5, true)
+	if trimmed > -0.1 {
+		t.Fatalf("expected strong downward bias, got %v", trimmed)
+	}
+}
+
+func TestKMeansDefenseSeparatesBimodalSubsets(t *testing.T) {
+	// With subsets small enough that each holds one report, subset means
+	// reproduce the report distribution and 2-means isolates the poison
+	// clump; the larger cluster's centroid recovers the normal mean.
+	r := rng.New(5)
+	var reports []float64
+	for i := 0; i < 1400; i++ {
+		reports = append(reports, rng.Normal(r, 0, 0.1))
+	}
+	for i := 0; i < 600; i++ {
+		reports = append(reports, rng.Normal(r, 10, 0.1))
+	}
+	d := &KMeansDefense{Subsets: 2000, Rate: 1e-9} // size clamps to 1
+	est, err := d.Estimate(rng.New(6), reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est) > 0.3 {
+		t.Fatalf("k-means defense = %v, want ~0", est)
+	}
+}
+
+func TestKMeansDefenseUniformContaminationStaysNearGlobal(t *testing.T) {
+	// When every subset carries the same poison fraction (large subsets),
+	// subset means are unimodal and the defense cannot separate the
+	// attack — exactly why Fig. 9(a) shows DAP far ahead of it.
+	reports, _ := poisonedCollection(5, 20000)
+	d := &KMeansDefense{Subsets: 400, Rate: 0.1}
+	est, err := d.Estimate(rng.New(6), reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ostrich := Ostrich(reports)
+	if math.Abs(est-ostrich) > 0.2 {
+		t.Fatalf("uniformly contaminated subsets should track the global mean: %v vs %v", est, ostrich)
+	}
+}
+
+func TestKMeansDefenseValidation(t *testing.T) {
+	d := &KMeansDefense{Subsets: 10, Rate: 0.5}
+	if _, err := d.Estimate(rng.New(1), []float64{1, 2}); err == nil {
+		t.Fatal("too few reports accepted")
+	}
+}
+
+func TestKMeansDefenseDefaults(t *testing.T) {
+	reports, _ := poisonedCollection(7, 2000)
+	d := &KMeansDefense{Rate: 0.1} // Subsets defaulted
+	if _, err := d.Estimate(rng.New(8), reports); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoxplotFiltersOutliers(t *testing.T) {
+	reports := []float64{1, 1.1, 0.9, 1.05, 0.95, 100}
+	got := Boxplot(reports, 1.5)
+	if math.Abs(got-1) > 0.1 {
+		t.Fatalf("Boxplot = %v, want ~1", got)
+	}
+	if got := Boxplot(nil, 1.5); got != 0 {
+		t.Fatalf("empty = %v", got)
+	}
+}
+
+func TestBoxplotDegenerateKeepsMean(t *testing.T) {
+	// Negative k empties the interval; fall back to the plain mean.
+	reports := []float64{1, 2, 3}
+	if got := Boxplot(reports, -10); got != 2 {
+		t.Fatalf("fallback = %v", got)
+	}
+}
+
+func TestIForestDefenseRemovesScatteredPoison(t *testing.T) {
+	// Scattered far poison isolates in few splits and scores anomalous.
+	r := rng.New(9)
+	var reports []float64
+	for i := 0; i < 950; i++ {
+		reports = append(reports, rng.Normal(r, 0, 0.3))
+	}
+	for i := 0; i < 50; i++ {
+		reports = append(reports, rng.Uniform(r, 10, 100))
+	}
+	d := &IForestDefense{Trees: 100, SampleSize: 256, Contamination: 0.06}
+	est, err := d.Estimate(rng.New(10), reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est) > 0.3 {
+		t.Fatalf("iforest estimate %v, want ~0", est)
+	}
+	if math.Abs(stats.Mean(reports)) < 1 {
+		t.Fatal("test setup broken: raw mean should be dragged")
+	}
+}
+
+func TestIForestDefenseValidation(t *testing.T) {
+	d := &IForestDefense{}
+	if _, err := d.Estimate(rng.New(1), []float64{1}); err == nil {
+		t.Fatal("single report accepted")
+	}
+}

@@ -1,0 +1,111 @@
+package defense
+
+import (
+	"errors"
+	"math/rand/v2"
+
+	"repro/internal/emf"
+	"repro/internal/kmeans"
+	"repro/internal/stats"
+)
+
+// EMFKMeans is the paper's integration of EMF with the k-means defense
+// against input manipulation attacks (Fig. 9(b)): direct poison filtering
+// cannot see IMA reports (they are honestly perturbed), so instead
+//
+//  1. EMF probes γ̂; a small γ̂ signals an evading (input-manipulating)
+//     adversary rather than a direct one,
+//  2. EMF* with γ = 0 deconvolves the reports into an input-distribution
+//     estimate x̂ (Eq. 6 with γ̂ = 0),
+//  3. 2-means over the reconstructed input histogram separates the
+//     point mass the attackers injected at g from the genuine input
+//     distribution; the larger cluster's mass yields the mean.
+type EMFKMeans struct {
+	// Matrix is the EMF transform matrix for the collection's mechanism
+	// and bucketing.
+	Matrix *emf.Matrix
+	// GammaThreshold below which the adversary is treated as evading and
+	// the k-means separation stage runs (default 0.1).
+	GammaThreshold float64
+	// EMF iteration controls.
+	Config emf.Config
+	// SamplePoints controls how many points are drawn from x̂ for the
+	// clustering stage (default 4000).
+	SamplePoints int
+}
+
+// Estimate runs the integrated defense on raw reports.
+func (d *EMFKMeans) Estimate(r *rand.Rand, reports []float64) (float64, error) {
+	if d.Matrix == nil {
+		return 0, errors.New("defense: EMFKMeans requires a transform matrix")
+	}
+	counts := d.Matrix.Counts(reports)
+	// Stage 1: probe γ̂ with the poison components in place.
+	probe, err := emf.ProbeSide(d.Matrix, counts, 0, d.Config)
+	if err != nil {
+		return 0, err
+	}
+	threshold := d.GammaThreshold
+	if threshold <= 0 {
+		threshold = 0.1
+	}
+	if probe.Chosen().Gamma() >= threshold {
+		// Direct attack: remove the probed poison mass as usual.
+		res := probe.Chosen()
+		gamma := res.Gamma()
+		poisonMean := emf.PoisonMean(d.Matrix, res)
+		n := float64(len(reports))
+		mHat := gamma * n
+		return (stats.Sum(reports) - mHat*poisonMean) / (n - mHat), nil
+	}
+	// Stage 2: deconvolve inputs assuming no direct poison.
+	res, err := emf.RunConstrained(d.Matrix, counts, nil, 0, d.Config)
+	if err != nil {
+		return 0, err
+	}
+	// Stage 3: cluster the reconstructed input distribution.
+	points := d.samplePoints(r, res.X)
+	if len(points) < 4 {
+		return stats.Mean(reports), nil
+	}
+	km, err := kmeans.Cluster(r, points, 2, 0)
+	if err != nil {
+		return 0, err
+	}
+	largest := km.Largest()
+	var sum float64
+	var n int
+	for i, p := range points {
+		if km.Assign[i] == largest {
+			sum += p
+			n++
+		}
+	}
+	if n == 0 {
+		return stats.Mean(reports), nil
+	}
+	return sum / float64(n), nil
+}
+
+// samplePoints draws representative input values from the reconstructed
+// histogram x̂, jittered uniformly within each bucket.
+func (d *EMFKMeans) samplePoints(r *rand.Rand, x []float64) []float64 {
+	total := stats.Sum(x)
+	if total == 0 {
+		return nil
+	}
+	nPts := d.SamplePoints
+	if nPts <= 0 {
+		nPts = 4000
+	}
+	w := d.Matrix.InWidth()
+	points := make([]float64, 0, nPts)
+	for k, mass := range x {
+		cnt := int(mass/total*float64(nPts) + 0.5)
+		center := d.Matrix.InCenter(k)
+		for i := 0; i < cnt; i++ {
+			points = append(points, center+(r.Float64()-0.5)*w)
+		}
+	}
+	return points
+}

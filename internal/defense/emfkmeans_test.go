@@ -1,0 +1,88 @@
+package defense
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/emf"
+	"repro/internal/ldp/pm"
+	"repro/internal/rng"
+)
+
+func TestEMFKMeansRequiresMatrix(t *testing.T) {
+	d := &EMFKMeans{}
+	if _, err := d.Estimate(rng.New(1), []float64{1, 2, 3}); err == nil {
+		t.Fatal("missing matrix accepted")
+	}
+}
+
+func TestEMFKMeansAgainstIMA(t *testing.T) {
+	r := rng.New(2)
+	mech := pm.MustNew(1)
+	env := attack.EnvFor(mech, 0)
+	const n = 40000
+	const gamma = 0.25
+	nByz := int(gamma * n)
+	// Normal inputs concentrate near +0.5; attackers inject g = −1 through
+	// honest perturbation, dragging the naive mean down.
+	var reports []float64
+	var trueSum float64
+	for i := 0; i < n-nByz; i++ {
+		v := rng.TruncNormal(r, 0.5, 0.15, -1, 1)
+		trueSum += v
+		reports = append(reports, mech.Perturb(r, v))
+	}
+	adv := &attack.IMA{G: -1}
+	reports = append(reports, adv.Poison(r, env, nByz)...)
+	trueMean := trueSum / float64(n-nByz)
+
+	d_, dp := emf.BucketCounts(n, mech.C())
+	matrix, err := emf.BuildNumeric(mech, d_, dp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := &EMFKMeans{Matrix: matrix}
+	est, err := def.Estimate(rng.New(3), reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive := Ostrich(reports)
+	if math.Abs(est-trueMean) >= math.Abs(naive-trueMean) {
+		t.Fatalf("EMF+kmeans (%v) should beat naive (%v) vs truth %v", est, naive, trueMean)
+	}
+}
+
+func TestEMFKMeansDirectAttackPath(t *testing.T) {
+	// A blatant direct attack (large γ̂) takes the poison-subtraction
+	// branch instead of the deconvolution branch.
+	r := rng.New(4)
+	mech := pm.MustNew(0.25)
+	env := attack.EnvFor(mech, 0)
+	const n = 30000
+	var reports []float64
+	var trueSum float64
+	for i := 0; i < n*3/4; i++ {
+		v := rng.Uniform(r, -0.8, 0)
+		trueSum += v
+		reports = append(reports, mech.Perturb(r, v))
+	}
+	adv := attack.NewBBA(attack.RangeHighHalf, attack.DistUniform)
+	reports = append(reports, adv.Poison(r, env, n/4)...)
+	trueMean := trueSum / float64(n*3/4)
+
+	d_, dp := emf.BucketCounts(n, mech.C())
+	matrix, err := emf.BuildNumeric(mech, d_, dp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := &EMFKMeans{Matrix: matrix}
+	est, err := def.Estimate(rng.New(5), reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive := Ostrich(reports)
+	if math.Abs(est-trueMean) >= math.Abs(naive-trueMean) {
+		t.Fatalf("direct path (%v) should beat naive (%v) vs truth %v", est, naive, trueMean)
+	}
+}

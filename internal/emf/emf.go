@@ -1,0 +1,305 @@
+package emf
+
+import (
+	"errors"
+	"math"
+)
+
+// Config controls the EM iterations shared by EMF, EMF* and CEMF*.
+type Config struct {
+	// Tol is the absolute log-likelihood change below which the iteration
+	// stops: |l(F)_t − l(F)_{t+1}| < Tol. The paper sets Tol = 0.01·e^ε
+	// (§VI-A); 0 selects DefaultTol.
+	Tol float64
+	// MaxIter caps the EM iterations; 0 selects DefaultMaxIter.
+	MaxIter int
+	// Smooth enables the EMS smoothing step on the normal-user histogram
+	// after each M-step (used with the Square Wave mechanism, per Li et
+	// al.'s EMS and the paper's §V-D extension).
+	Smooth bool
+}
+
+// Default iteration controls.
+const (
+	DefaultTol     = 1e-3
+	DefaultMaxIter = 500
+)
+
+func (c Config) tol() float64 {
+	if c.Tol > 0 {
+		return c.Tol
+	}
+	return DefaultTol
+}
+
+func (c Config) maxIter() int {
+	if c.MaxIter > 0 {
+		return c.MaxIter
+	}
+	return DefaultMaxIter
+}
+
+// PaperTol returns the paper's termination threshold 0.01·e^ε for a group
+// with budget eps.
+func PaperTol(eps float64) float64 { return 0.01 * math.Exp(eps) }
+
+// Result holds the reconstructed frequency histograms of one EM run.
+type Result struct {
+	// X is the estimated normal-user frequency histogram over the D input
+	// buckets. Together with Y it sums to one (EMF) or to the imposed
+	// (1−γ, γ) split (EMF*/CEMF*).
+	X []float64
+	// Y is the estimated poison-value frequency histogram indexed by
+	// output bucket; entries outside the poison set are zero.
+	Y []float64
+	// Poison is the output-bucket index set used as poison components.
+	Poison []int
+	// Iters is the number of EM iterations performed.
+	Iters int
+	// LogLik is the final log-likelihood l(F).
+	LogLik float64
+	// Converged reports whether the tolerance was met before MaxIter.
+	Converged bool
+}
+
+// Gamma returns the estimated Byzantine proportion γ̂ = Σ_j ŷ_j (Eq. 9).
+func (r *Result) Gamma() float64 {
+	var s float64
+	for _, y := range r.Y {
+		s += y
+	}
+	return s
+}
+
+// state carries preallocated buffers for the EM loops.
+type state struct {
+	m        *Matrix
+	counts   []float64
+	isPoison []bool // indexed by output bucket
+	x        []float64
+	y        []float64 // indexed by output bucket; zero outside poison
+	px       []float64
+	py       []float64
+	den      []float64
+}
+
+func newState(m *Matrix, counts []float64, poison []int) (*state, error) {
+	if len(counts) != m.DPrime {
+		return nil, errors.New("emf: counts length must equal DPrime")
+	}
+	if err := m.validatePoison(poison); err != nil {
+		return nil, err
+	}
+	s := &state{
+		m:        m,
+		counts:   counts,
+		isPoison: make([]bool, m.DPrime),
+		x:        make([]float64, m.D),
+		y:        make([]float64, m.DPrime),
+		px:       make([]float64, m.D),
+		py:       make([]float64, m.DPrime),
+		den:      make([]float64, m.DPrime),
+	}
+	for _, j := range poison {
+		s.isPoison[j] = true
+	}
+	// Initialization of Algorithm 2: x̂_k = ŷ_j = 1/(d + |P|).
+	init := 1.0 / float64(m.D+len(poison))
+	for k := range s.x {
+		s.x[k] = init
+	}
+	for _, j := range poison {
+		s.y[j] = init
+	}
+	return s, nil
+}
+
+// eStep computes the expected component masses Px, Py and returns the
+// current log-likelihood l(F) = Σ_i c_i ln D_i.
+func (s *state) eStep() float64 {
+	m := s.m
+	d := m.D
+	var ll float64
+	for i := 0; i < m.DPrime; i++ {
+		row := m.P[i*d : i*d+d]
+		den := s.y[i] // zero outside the poison set
+		for k, p := range row {
+			den += p * s.x[k]
+		}
+		if den < 1e-300 {
+			den = 1e-300
+		}
+		s.den[i] = den
+		if c := s.counts[i]; c > 0 {
+			ll += c * math.Log(den)
+		}
+	}
+	for k := 0; k < d; k++ {
+		var acc float64
+		for i := 0; i < m.DPrime; i++ {
+			if c := s.counts[i]; c > 0 {
+				acc += c * m.P[i*d+k] / s.den[i]
+			}
+		}
+		s.px[k] = s.x[k] * acc
+	}
+	for i := 0; i < m.DPrime; i++ {
+		if s.isPoison[i] && s.counts[i] > 0 {
+			s.py[i] = s.y[i] * s.counts[i] / s.den[i]
+		} else {
+			s.py[i] = 0
+		}
+	}
+	return ll
+}
+
+// mStepEMF is Algorithm 2's M-step: joint normalization of Px and Py.
+func (s *state) mStepEMF() {
+	var total float64
+	for _, v := range s.px {
+		total += v
+	}
+	for _, v := range s.py {
+		total += v
+	}
+	if total <= 0 {
+		return
+	}
+	for k := range s.x {
+		s.x[k] = s.px[k] / total
+	}
+	for i := range s.y {
+		if s.isPoison[i] {
+			s.y[i] = s.py[i] / total
+		}
+	}
+}
+
+// mStepConstrained is Algorithm 4's M-step (Theorem 4): x̂ renormalized to
+// mass 1−γ and ŷ to mass γ.
+func (s *state) mStepConstrained(gamma float64) {
+	var sx, sy float64
+	for _, v := range s.px {
+		sx += v
+	}
+	for _, v := range s.py {
+		sy += v
+	}
+	if sx > 0 {
+		for k := range s.x {
+			s.x[k] = (1 - gamma) * s.px[k] / sx
+		}
+	}
+	nPoison := 0
+	for i := range s.y {
+		if s.isPoison[i] {
+			nPoison++
+		}
+	}
+	for i := range s.y {
+		if !s.isPoison[i] {
+			continue
+		}
+		if sy > 0 {
+			s.y[i] = gamma * s.py[i] / sy
+		} else if nPoison > 0 {
+			// No observed mass in poison buckets: spread γ uniformly so the
+			// constraint Σŷ = γ still holds.
+			s.y[i] = gamma / float64(nPoison)
+		}
+	}
+}
+
+// smoothX applies the EMS binomial kernel (1,2,1)/4 to the normal-user
+// histogram, preserving its total mass; boundaries reflect.
+func (s *state) smoothX() {
+	d := len(s.x)
+	if d < 3 {
+		return
+	}
+	var before float64
+	for _, v := range s.x {
+		before += v
+	}
+	sm := s.px[:d] // reuse buffer: px is dead between iterations
+	for k := 0; k < d; k++ {
+		prev := s.x[max(0, k-1)]
+		next := s.x[min(d-1, k+1)]
+		sm[k] = (prev + 2*s.x[k] + next) / 4
+	}
+	var after float64
+	for _, v := range sm {
+		after += v
+	}
+	scale := 1.0
+	if after > 0 {
+		scale = before / after
+	}
+	for k := 0; k < d; k++ {
+		s.x[k] = sm[k] * scale
+	}
+}
+
+func (s *state) result(poison []int, iters int, ll float64, converged bool) *Result {
+	res := &Result{
+		X:         append([]float64(nil), s.x...),
+		Y:         append([]float64(nil), s.y...),
+		Poison:    append([]int(nil), poison...),
+		Iters:     iters,
+		LogLik:    ll,
+		Converged: converged,
+	}
+	return res
+}
+
+// Run executes EMF (Algorithm 2): it reconstructs the frequency histogram
+// F = {x̂, ŷ} of normal values over the input buckets and poison values
+// over the given poison output buckets, from the observed report counts.
+func Run(m *Matrix, counts []float64, poison []int, cfg Config) (*Result, error) {
+	s, err := newState(m, counts, poison)
+	if err != nil {
+		return nil, err
+	}
+	tol, maxIter := cfg.tol(), cfg.maxIter()
+	prevLL := math.Inf(-1)
+	var ll float64
+	for it := 1; it <= maxIter; it++ {
+		ll = s.eStep()
+		s.mStepEMF()
+		if cfg.Smooth {
+			s.smoothX()
+		}
+		if it > 1 && math.Abs(ll-prevLL) < tol {
+			return s.result(poison, it, ll, true), nil
+		}
+		prevLL = ll
+	}
+	return s.result(poison, maxIter, ll, false), nil
+}
+
+// RunConstrained executes EMF* (Algorithm 4): EM with the M-step of
+// Theorem 4, imposing Σx̂ = 1−γ and Σŷ = γ.
+func RunConstrained(m *Matrix, counts []float64, poison []int, gamma float64, cfg Config) (*Result, error) {
+	if gamma < 0 || gamma > 1 {
+		return nil, errors.New("emf: gamma must lie in [0,1]")
+	}
+	s, err := newState(m, counts, poison)
+	if err != nil {
+		return nil, err
+	}
+	tol, maxIter := cfg.tol(), cfg.maxIter()
+	prevLL := math.Inf(-1)
+	var ll float64
+	for it := 1; it <= maxIter; it++ {
+		ll = s.eStep()
+		s.mStepConstrained(gamma)
+		if cfg.Smooth {
+			s.smoothX()
+		}
+		if it > 1 && math.Abs(ll-prevLL) < tol {
+			return s.result(poison, it, ll, true), nil
+		}
+		prevLL = ll
+	}
+	return s.result(poison, maxIter, ll, false), nil
+}

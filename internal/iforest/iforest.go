@@ -1,0 +1,147 @@
+// Package iforest implements a one-dimensional isolation forest (Liu,
+// Ting, Zhou 2008), one of the outlier-detection baselines the paper
+// mentions as composable with DAP (§III-A).
+//
+// Anomalies are isolated by random axis splits in fewer steps than normal
+// points; the anomaly score is 2^(−E[h(x)]/c(n)) where h is the path
+// length and c(n) the average unsuccessful-search path of a BST.
+package iforest
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+)
+
+type node struct {
+	split       float64
+	left, right *node
+	size        int // leaf population (external node)
+}
+
+// Forest is a trained isolation forest.
+type Forest struct {
+	trees      []*node
+	sampleSize int
+}
+
+// Options configures training.
+type Options struct {
+	// Trees is the ensemble size (default 100).
+	Trees int
+	// SampleSize is the per-tree subsample (default 256, capped at n).
+	SampleSize int
+}
+
+// Build trains an isolation forest on 1-D data.
+func Build(r *rand.Rand, data []float64, opts Options) (*Forest, error) {
+	if len(data) < 2 {
+		return nil, errors.New("iforest: need at least two points")
+	}
+	trees := opts.Trees
+	if trees <= 0 {
+		trees = 100
+	}
+	sample := opts.SampleSize
+	if sample <= 0 {
+		sample = 256
+	}
+	if sample > len(data) {
+		sample = len(data)
+	}
+	maxDepth := int(math.Ceil(math.Log2(float64(sample)))) + 1
+	f := &Forest{trees: make([]*node, trees), sampleSize: sample}
+	buf := make([]float64, sample)
+	for t := 0; t < trees; t++ {
+		for i := range buf {
+			buf[i] = data[r.IntN(len(data))]
+		}
+		sub := append([]float64(nil), buf...)
+		f.trees[t] = grow(r, sub, 0, maxDepth)
+	}
+	return f, nil
+}
+
+func grow(r *rand.Rand, data []float64, depth, maxDepth int) *node {
+	if len(data) <= 1 || depth >= maxDepth || allEqual(data) {
+		return &node{size: len(data)}
+	}
+	lo, hi := data[0], data[0]
+	for _, v := range data[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	split := lo + (hi-lo)*r.Float64()
+	var left, right []float64
+	for _, v := range data {
+		if v < split {
+			left = append(left, v)
+		} else {
+			right = append(right, v)
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		return &node{size: len(data)}
+	}
+	return &node{
+		split: split,
+		left:  grow(r, left, depth+1, maxDepth),
+		right: grow(r, right, depth+1, maxDepth),
+	}
+}
+
+func allEqual(data []float64) bool {
+	for _, v := range data[1:] {
+		if v != data[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// pathLength walks x down a tree, adding the c(size) adjustment at
+// external nodes as in the original paper.
+func pathLength(n *node, x float64, depth float64) float64 {
+	for n.left != nil {
+		depth++
+		if x < n.split {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return depth + c(float64(n.size))
+}
+
+// c is the average path length of an unsuccessful BST search over n nodes.
+func c(n float64) float64 {
+	if n <= 1 {
+		return 0
+	}
+	h := math.Log(n-1) + 0.5772156649015329 // harmonic approximation
+	return 2*h - 2*(n-1)/n
+}
+
+// Score returns the anomaly score of x in (0, 1); values near 1 are
+// anomalous, values below ~0.5 are normal.
+func (f *Forest) Score(x float64) float64 {
+	var total float64
+	for _, t := range f.trees {
+		total += pathLength(t, x, 0)
+	}
+	avg := total / float64(len(f.trees))
+	return math.Pow(2, -avg/c(float64(f.sampleSize)))
+}
+
+// Scores returns anomaly scores for every point.
+func (f *Forest) Scores(data []float64) []float64 {
+	out := make([]float64, len(data))
+	for i, x := range data {
+		out[i] = f.Score(x)
+	}
+	return out
+}

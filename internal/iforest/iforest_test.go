@@ -1,0 +1,87 @@
+package iforest
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(rng.New(1), []float64{1}, Options{}); err == nil {
+		t.Fatal("single point accepted")
+	}
+}
+
+func TestOutlierScoresHigher(t *testing.T) {
+	r := rng.New(2)
+	data := make([]float64, 0, 1000)
+	for i := 0; i < 1000; i++ {
+		data = append(data, rng.Normal(r, 0, 1))
+	}
+	f, err := Build(r, data, Options{Trees: 100, SampleSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inlier := f.Score(0)
+	outlier := f.Score(15)
+	if outlier <= inlier {
+		t.Fatalf("outlier score %v not above inlier %v", outlier, inlier)
+	}
+	if outlier < 0.6 {
+		t.Fatalf("extreme outlier score %v too low", outlier)
+	}
+	if inlier > 0.6 {
+		t.Fatalf("inlier score %v too high", inlier)
+	}
+}
+
+func TestScoresRange(t *testing.T) {
+	r := rng.New(3)
+	data := make([]float64, 500)
+	for i := range data {
+		data[i] = rng.Uniform(r, -1, 1)
+	}
+	f, err := Build(r, data, Options{Trees: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range f.Scores(data) {
+		if s <= 0 || s >= 1 {
+			t.Fatalf("score %v outside (0,1)", s)
+		}
+	}
+}
+
+func TestIdenticalData(t *testing.T) {
+	r := rng.New(4)
+	data := make([]float64, 100)
+	for i := range data {
+		data[i] = 3
+	}
+	f, err := Build(r, data, Options{Trees: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Degenerate but must not panic or return NaN.
+	if s := f.Score(3); s <= 0 || s > 1 {
+		t.Fatalf("score %v", s)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	r := rng.New(5)
+	data := make([]float64, 100)
+	for i := range data {
+		data[i] = rng.Uniform(r, 0, 1)
+	}
+	f, err := Build(r, data, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.trees) != 100 {
+		t.Fatalf("default trees = %d", len(f.trees))
+	}
+	if f.sampleSize != 100 {
+		t.Fatalf("sample size = %d, want capped at n", f.sampleSize)
+	}
+}

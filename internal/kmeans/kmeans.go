@@ -1,0 +1,116 @@
+// Package kmeans implements one-dimensional k-means clustering with
+// k-means++ seeding, the clustering substrate of the k-means-based defense
+// [38] that the paper compares against in Fig. 9.
+package kmeans
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+)
+
+// Result holds the clustering outcome.
+type Result struct {
+	Centroids []float64
+	// Assign maps each input point to its centroid index.
+	Assign []int
+	// Sizes counts the members of each cluster.
+	Sizes []int
+	Iters int
+}
+
+// Cluster runs Lloyd's algorithm with k-means++ seeding on 1-D points.
+// maxIter caps the iterations (0 selects 100).
+func Cluster(r *rand.Rand, points []float64, k, maxIter int) (*Result, error) {
+	if k < 1 {
+		return nil, errors.New("kmeans: k must be positive")
+	}
+	if len(points) < k {
+		return nil, errors.New("kmeans: fewer points than clusters")
+	}
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+	centroids := seedPlusPlus(r, points, k)
+	assign := make([]int, len(points))
+	sizes := make([]int, k)
+	sums := make([]float64, k)
+	iters := 0
+	for ; iters < maxIter; iters++ {
+		changed := false
+		for i := range sizes {
+			sizes[i] = 0
+			sums[i] = 0
+		}
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c, ctr := range centroids {
+				d := math.Abs(p - ctr)
+				if d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				changed = true
+			}
+			assign[i] = best
+			sizes[best]++
+			sums[best] += p
+		}
+		for c := range centroids {
+			if sizes[c] > 0 {
+				centroids[c] = sums[c] / float64(sizes[c])
+			}
+		}
+		if !changed && iters > 0 {
+			break
+		}
+	}
+	return &Result{Centroids: centroids, Assign: assign, Sizes: sizes, Iters: iters}, nil
+}
+
+// seedPlusPlus picks k initial centroids with the k-means++ rule: the
+// first uniformly, the rest proportional to squared distance from the
+// nearest chosen centroid.
+func seedPlusPlus(r *rand.Rand, points []float64, k int) []float64 {
+	centroids := make([]float64, 0, k)
+	centroids = append(centroids, points[r.IntN(len(points))])
+	d2 := make([]float64, len(points))
+	for len(centroids) < k {
+		var total float64
+		for i, p := range points {
+			best := math.Inf(1)
+			for _, c := range centroids {
+				if d := (p - c) * (p - c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		if total == 0 {
+			// All remaining points coincide with a centroid; duplicate one.
+			centroids = append(centroids, points[r.IntN(len(points))])
+			continue
+		}
+		u := r.Float64() * total
+		idx := 0
+		for acc := d2[0]; u > acc && idx < len(points)-1; {
+			idx++
+			acc += d2[idx]
+		}
+		centroids = append(centroids, points[idx])
+	}
+	return centroids
+}
+
+// Largest returns the index of the largest cluster.
+func (res *Result) Largest() int {
+	best, bestSize := 0, -1
+	for c, s := range res.Sizes {
+		if s > bestSize {
+			best, bestSize = c, s
+		}
+	}
+	return best
+}

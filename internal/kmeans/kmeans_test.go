@@ -1,0 +1,102 @@
+package kmeans
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestClusterValidation(t *testing.T) {
+	r := rng.New(1)
+	if _, err := Cluster(r, []float64{1, 2}, 0, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := Cluster(r, []float64{1}, 2, 0); err == nil {
+		t.Fatal("too few points accepted")
+	}
+}
+
+func TestClusterTwoBlobs(t *testing.T) {
+	r := rng.New(2)
+	points := make([]float64, 0, 400)
+	for i := 0; i < 300; i++ {
+		points = append(points, rng.Normal(r, 0, 0.1))
+	}
+	for i := 0; i < 100; i++ {
+		points = append(points, rng.Normal(r, 10, 0.1))
+	}
+	res, err := Cluster(r, points, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := res.Centroids[0], res.Centroids[1]
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if math.Abs(lo) > 0.2 || math.Abs(hi-10) > 0.2 {
+		t.Fatalf("centroids %v, want ~{0,10}", res.Centroids)
+	}
+	if got := res.Sizes[res.Largest()]; got != 300 {
+		t.Fatalf("largest cluster size %d, want 300", got)
+	}
+}
+
+func TestClusterAssignConsistency(t *testing.T) {
+	r := rng.New(3)
+	points := []float64{0, 0.1, 0.2, 9.9, 10, 10.1}
+	res, err := Cluster(r, points, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assign[0] == res.Assign[5] {
+		t.Fatal("opposite blobs assigned to the same cluster")
+	}
+	if res.Assign[0] != res.Assign[1] || res.Assign[4] != res.Assign[5] {
+		t.Fatal("neighbors split across clusters")
+	}
+	total := 0
+	for _, s := range res.Sizes {
+		total += s
+	}
+	if total != len(points) {
+		t.Fatalf("sizes sum to %d", total)
+	}
+}
+
+func TestClusterIdenticalPoints(t *testing.T) {
+	r := rng.New(4)
+	points := []float64{5, 5, 5, 5}
+	res, err := Cluster(r, points, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Centroids {
+		if c != 5 {
+			t.Fatalf("centroid %v, want 5", c)
+		}
+	}
+}
+
+func TestClusterK1(t *testing.T) {
+	r := rng.New(5)
+	points := []float64{1, 2, 3}
+	res, err := Cluster(r, points, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Centroids[0]-2) > 1e-9 {
+		t.Fatalf("centroid %v, want 2", res.Centroids[0])
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	points := []float64{1, 2, 3, 10, 11, 12}
+	a, _ := Cluster(rng.New(6), points, 2, 0)
+	b, _ := Cluster(rng.New(6), points, 2, 0)
+	for i := range a.Centroids {
+		if a.Centroids[i] != b.Centroids[i] {
+			t.Fatal("clustering not deterministic")
+		}
+	}
+}

@@ -1,0 +1,83 @@
+// Package duchi implements Duchi et al.'s 1-bit mechanism for numerical
+// mean estimation under LDP, included as the classical baseline mechanism
+// referenced by the paper's related work (§VII).
+//
+// Given v ∈ [−1,1], the output is ±B with B = (e^ε+1)/(e^ε−1) and
+// Pr[+B] = 1/2 + v(e^ε−1)/(2(e^ε+1)), so each report is an unbiased
+// estimator of v with only two support points.
+package duchi
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/ldp"
+)
+
+// Mechanism is a Duchi 1-bit instance for a fixed budget.
+type Mechanism struct {
+	eps float64
+	b   float64
+}
+
+// New returns a Duchi mechanism with privacy budget eps.
+func New(eps float64) (*Mechanism, error) {
+	if eps <= 0 || math.IsInf(eps, 0) || math.IsNaN(eps) {
+		return nil, errors.New("duchi: epsilon must be positive and finite")
+	}
+	e := math.Exp(eps)
+	return &Mechanism{eps: eps, b: (e + 1) / (e - 1)}, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(eps float64) *Mechanism {
+	m, err := New(eps)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Name implements ldp.Mechanism.
+func (m *Mechanism) Name() string { return fmt.Sprintf("Duchi(ε=%g)", m.eps) }
+
+// Epsilon implements ldp.Mechanism.
+func (m *Mechanism) Epsilon() float64 { return m.eps }
+
+// B returns the output magnitude (e^ε+1)/(e^ε−1).
+func (m *Mechanism) B() float64 { return m.b }
+
+// InputDomain implements ldp.Mechanism.
+func (m *Mechanism) InputDomain() ldp.Domain { return ldp.Domain{Lo: -1, Hi: 1} }
+
+// OutputDomain implements ldp.Mechanism.
+func (m *Mechanism) OutputDomain() ldp.Domain { return ldp.Domain{Lo: -m.b, Hi: m.b} }
+
+// ProbPositive returns Pr[output = +B | input v].
+func (m *Mechanism) ProbPositive(v float64) float64 {
+	v = m.InputDomain().Clamp(v)
+	e := math.Exp(m.eps)
+	return 0.5 + v*(e-1)/(2*(e+1))
+}
+
+// Perturb implements ldp.Mechanism.
+func (m *Mechanism) Perturb(r *rand.Rand, v float64) float64 {
+	if r.Float64() < m.ProbPositive(v) {
+		return m.b
+	}
+	return -m.b
+}
+
+// Var returns the variance of a single report given input v: B² − v².
+func (m *Mechanism) Var(v float64) float64 {
+	v = m.InputDomain().Clamp(v)
+	return m.b*m.b - v*v
+}
+
+// WorstCaseVar returns the worst-case per-report variance over the input
+// domain, attained at v = 0.
+func (m *Mechanism) WorstCaseVar() float64 { return m.Var(0) }
+
+var _ ldp.Mechanism = (*Mechanism)(nil)

@@ -1,0 +1,77 @@
+package duchi
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, eps := range []float64{0, -1, math.Inf(1), math.NaN()} {
+		if _, err := New(eps); err == nil {
+			t.Fatalf("New(%v) should fail", eps)
+		}
+	}
+}
+
+func TestOutputsAreTwoPoint(t *testing.T) {
+	r := rng.New(1)
+	m := MustNew(1)
+	for i := 0; i < 1000; i++ {
+		out := m.Perturb(r, rng.Uniform(r, -1, 1))
+		if out != m.B() && out != -m.B() {
+			t.Fatalf("output %v is not ±B", out)
+		}
+	}
+}
+
+func TestUnbiasedness(t *testing.T) {
+	r := rng.New(2)
+	m := MustNew(1)
+	for _, v := range []float64{-1, -0.3, 0, 0.8} {
+		const n = 400000
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += m.Perturb(r, v)
+		}
+		se := math.Sqrt(m.Var(v) / n)
+		if got := sum / n; math.Abs(got-v) > 6*se {
+			t.Fatalf("mean at v=%v: %v", v, got)
+		}
+	}
+}
+
+func TestProbPositiveBounds(t *testing.T) {
+	m := MustNew(2)
+	for _, v := range []float64{-1, 0, 1, 5, -5} {
+		p := m.ProbPositive(v)
+		if p < 0 || p > 1 {
+			t.Fatalf("ProbPositive(%v) = %v", v, p)
+		}
+	}
+	if m.ProbPositive(1) <= m.ProbPositive(-1) {
+		t.Fatal("ProbPositive should increase with v")
+	}
+}
+
+func TestLDPRatio(t *testing.T) {
+	m := MustNew(0.7)
+	bound := math.Exp(0.7) + 1e-12
+	// Two-point output: check both outputs for extreme input pairs.
+	pPlus1 := m.ProbPositive(1)
+	pPlus2 := m.ProbPositive(-1)
+	if pPlus1/pPlus2 > bound || (1-pPlus2)/(1-pPlus1) > bound {
+		t.Fatalf("LDP ratio violated: %v %v", pPlus1/pPlus2, (1-pPlus2)/(1-pPlus1))
+	}
+}
+
+func TestVar(t *testing.T) {
+	m := MustNew(1)
+	if m.WorstCaseVar() != m.Var(0) {
+		t.Fatal("worst case should be at v=0")
+	}
+	if m.Var(1) >= m.Var(0) {
+		t.Fatal("Var(1) should be below Var(0)")
+	}
+}

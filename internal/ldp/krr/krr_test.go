@@ -1,0 +1,115 @@
+package krr
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 5); err == nil {
+		t.Fatal("eps=0 should fail")
+	}
+	if _, err := New(1, 1); err == nil {
+		t.Fatal("k=1 should fail")
+	}
+	if _, err := New(math.NaN(), 4); err == nil {
+		t.Fatal("NaN eps should fail")
+	}
+}
+
+func TestProbabilitiesSumToOne(t *testing.T) {
+	m := MustNew(1.3, 7)
+	for from := 0; from < 7; from++ {
+		var total float64
+		for to := 0; to < 7; to++ {
+			total += m.TransitionProb(from, to)
+		}
+		if math.Abs(total-1) > 1e-12 {
+			t.Fatalf("row %d sums to %v", from, total)
+		}
+	}
+}
+
+func TestLDPRatio(t *testing.T) {
+	m := MustNew(0.8, 5)
+	bound := math.Exp(0.8) + 1e-12
+	for a := 0; a < 5; a++ {
+		for b := 0; b < 5; b++ {
+			for out := 0; out < 5; out++ {
+				r := m.TransitionProb(a, out) / m.TransitionProb(b, out)
+				if r > bound {
+					t.Fatalf("ratio %v exceeds e^ε", r)
+				}
+			}
+		}
+	}
+}
+
+func TestPerturbCatDistribution(t *testing.T) {
+	r := rng.New(1)
+	m := MustNew(1, 4)
+	const n = 200000
+	counts := make([]float64, 4)
+	for i := 0; i < n; i++ {
+		counts[m.PerturbCat(r, 2)]++
+	}
+	for j := range counts {
+		want := m.TransitionProb(2, j)
+		if got := counts[j] / n; math.Abs(got-want) > 0.005 {
+			t.Fatalf("cat %d: got %v, want %v", j, got, want)
+		}
+	}
+}
+
+func TestPerturbCatPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustNew(1, 3).PerturbCat(rng.New(1), 3)
+}
+
+func TestEstimateFreqUnbiased(t *testing.T) {
+	r := rng.New(2)
+	m := MustNew(1, 5)
+	trueFreq := []float64{0.5, 0.2, 0.15, 0.1, 0.05}
+	const n = 500000
+	counts := make([]float64, 5)
+	for i := 0; i < n; i++ {
+		u := r.Float64()
+		c := 0
+		acc := trueFreq[0]
+		for u > acc && c < 4 {
+			c++
+			acc += trueFreq[c]
+		}
+		counts[m.PerturbCat(r, c)]++
+	}
+	est := m.EstimateFreq(counts)
+	for j := range est {
+		if math.Abs(est[j]-trueFreq[j]) > 0.01 {
+			t.Fatalf("cat %d: est %v, want %v", j, est[j], trueFreq[j])
+		}
+	}
+}
+
+func TestEstimateFreqEmpty(t *testing.T) {
+	m := MustNew(1, 3)
+	est := m.EstimateFreq([]float64{0, 0, 0})
+	for _, e := range est {
+		if e != 0 {
+			t.Fatalf("empty counts should estimate 0, got %v", est)
+		}
+	}
+}
+
+func TestWorstCaseVarDecreasesWithEps(t *testing.T) {
+	lo := MustNew(0.5, 10).WorstCaseVar()
+	hi := MustNew(2, 10).WorstCaseVar()
+	if hi >= lo {
+		t.Fatalf("variance should shrink with larger ε: %v vs %v", hi, lo)
+	}
+}

@@ -1,0 +1,105 @@
+package olh
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 5); err == nil {
+		t.Fatal("eps=0 accepted")
+	}
+	if _, err := New(1, 1); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+	if _, err := New(math.NaN(), 4); err == nil {
+		t.Fatal("NaN accepted")
+	}
+}
+
+func TestHashRange(t *testing.T) {
+	m := MustNew(1, 10)
+	if want := int(math.Exp(1)) + 1; m.G() != want {
+		t.Fatalf("G = %d, want %d", m.G(), want)
+	}
+	for seed := uint64(0); seed < 50; seed++ {
+		for c := 0; c < 10; c++ {
+			h := m.hash(seed, c)
+			if h < 0 || h >= m.G() {
+				t.Fatalf("hash out of range: %d", h)
+			}
+		}
+	}
+}
+
+func TestHashDeterministic(t *testing.T) {
+	m := MustNew(1, 10)
+	if m.hash(42, 3) != m.hash(42, 3) {
+		t.Fatal("hash not deterministic")
+	}
+}
+
+func TestPerturbBucketInRange(t *testing.T) {
+	r := rng.New(1)
+	m := MustNew(1.5, 8)
+	for i := 0; i < 2000; i++ {
+		rep := m.Perturb(r, i%8)
+		if rep.Bucket < 0 || rep.Bucket >= m.G() {
+			t.Fatalf("bucket %d out of range", rep.Bucket)
+		}
+	}
+}
+
+func TestPerturbPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustNew(1, 3).Perturb(rng.New(1), 5)
+}
+
+func TestEstimateFreqUnbiased(t *testing.T) {
+	r := rng.New(2)
+	m := MustNew(1, 5)
+	trueFreq := []float64{0.4, 0.25, 0.2, 0.1, 0.05}
+	const n = 60000
+	reports := make([]Report, 0, n)
+	for i := 0; i < n; i++ {
+		u := r.Float64()
+		c := 0
+		acc := trueFreq[0]
+		for u > acc && c < 4 {
+			c++
+			acc += trueFreq[c]
+		}
+		reports = append(reports, m.Perturb(r, c))
+	}
+	est := m.EstimateFreq(reports)
+	for j := range est {
+		if math.Abs(est[j]-trueFreq[j]) > 0.03 {
+			t.Fatalf("cat %d: est %v, want %v", j, est[j], trueFreq[j])
+		}
+	}
+}
+
+func TestEstimateFreqEmpty(t *testing.T) {
+	m := MustNew(1, 4)
+	for _, e := range m.EstimateFreq(nil) {
+		if e != 0 {
+			t.Fatal("empty reports should yield zeros")
+		}
+	}
+}
+
+func TestVarMatchesOUE(t *testing.T) {
+	// OLH and OUE share the optimized variance 4e^ε/(e^ε−1)².
+	m := MustNew(1.2, 6)
+	e := math.Exp(1.2)
+	want := 4 * e / ((e - 1) * (e - 1))
+	if math.Abs(m.Var()-want) > 1e-12 {
+		t.Fatalf("Var = %v, want %v", m.Var(), want)
+	}
+}

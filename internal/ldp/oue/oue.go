@@ -1,0 +1,102 @@
+// Package oue implements Optimized Unary Encoding (Wang et al., USENIX
+// Security 2017), a categorical frequency oracle included as an extension
+// substrate referenced in the paper's related work (§VII).
+//
+// Each user encodes a category as a one-hot bit vector and perturbs each
+// bit independently: the true bit stays 1 with probability 1/2 and any
+// other bit turns 1 with probability 1/(e^ε+1).
+package oue
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// Mechanism is an OUE instance for a fixed budget and category count.
+type Mechanism struct {
+	eps float64
+	k   int
+	p   float64 // Pr[bit=1 | true bit], = 1/2
+	q   float64 // Pr[bit=1 | other bit], = 1/(e^ε+1)
+}
+
+// New returns an OUE mechanism over k categories with budget eps.
+func New(eps float64, k int) (*Mechanism, error) {
+	if eps <= 0 || math.IsInf(eps, 0) || math.IsNaN(eps) {
+		return nil, errors.New("oue: epsilon must be positive and finite")
+	}
+	if k < 2 {
+		return nil, errors.New("oue: need at least two categories")
+	}
+	return &Mechanism{eps: eps, k: k, p: 0.5, q: 1 / (math.Exp(eps) + 1)}, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(eps float64, k int) *Mechanism {
+	m, err := New(eps, k)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Name returns a human-readable identifier.
+func (m *Mechanism) Name() string { return fmt.Sprintf("OUE(ε=%g,k=%d)", m.eps, m.k) }
+
+// Epsilon returns the privacy budget.
+func (m *Mechanism) Epsilon() float64 { return m.eps }
+
+// K returns the category count.
+func (m *Mechanism) K() int { return m.k }
+
+// Perturb encodes category c as a perturbed bit vector. It panics if c is
+// out of range.
+func (m *Mechanism) Perturb(r *rand.Rand, c int) []bool {
+	if c < 0 || c >= m.k {
+		panic("oue: category out of range")
+	}
+	bits := make([]bool, m.k)
+	for j := range bits {
+		keep := m.q
+		if j == c {
+			keep = m.p
+		}
+		bits[j] = r.Float64() < keep
+	}
+	return bits
+}
+
+// Aggregate sums perturbed bit vectors into per-category 1-counts.
+func Aggregate(reports [][]bool, k int) []float64 {
+	counts := make([]float64, k)
+	for _, rep := range reports {
+		for j, b := range rep {
+			if b && j < k {
+				counts[j]++
+			}
+		}
+	}
+	return counts
+}
+
+// EstimateFreq converts per-category 1-counts over n reports into unbiased
+// frequency estimates: f̂_j = (c_j/n − q)/(p − q).
+func (m *Mechanism) EstimateFreq(counts []float64, n float64) []float64 {
+	out := make([]float64, len(counts))
+	if n == 0 {
+		return out
+	}
+	for j, c := range counts {
+		out[j] = (c/n - m.q) / (m.p - m.q)
+	}
+	return out
+}
+
+// Var returns the per-report estimator variance proxy of OUE,
+// 4e^ε/(e^ε−1)² (the classical OUE variance bound, independent of f).
+func (m *Mechanism) Var() float64 {
+	e := math.Exp(m.eps)
+	return 4 * e / ((e - 1) * (e - 1))
+}

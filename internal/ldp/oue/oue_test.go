@@ -1,0 +1,98 @@
+package oue
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 4); err == nil {
+		t.Fatal("eps=0 should fail")
+	}
+	if _, err := New(1, 1); err == nil {
+		t.Fatal("k=1 should fail")
+	}
+}
+
+func TestPerturbShape(t *testing.T) {
+	r := rng.New(1)
+	m := MustNew(1, 6)
+	bits := m.Perturb(r, 3)
+	if len(bits) != 6 {
+		t.Fatalf("len = %d", len(bits))
+	}
+}
+
+func TestPerturbPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustNew(1, 3).Perturb(rng.New(1), -1)
+}
+
+func TestBitProbabilities(t *testing.T) {
+	r := rng.New(2)
+	m := MustNew(1, 4)
+	const n = 200000
+	ones := make([]float64, 4)
+	for i := 0; i < n; i++ {
+		for j, b := range m.Perturb(r, 1) {
+			if b {
+				ones[j]++
+			}
+		}
+	}
+	for j := range ones {
+		want := m.q
+		if j == 1 {
+			want = m.p
+		}
+		if got := ones[j] / n; math.Abs(got-want) > 0.005 {
+			t.Fatalf("bit %d rate %v, want %v", j, got, want)
+		}
+	}
+}
+
+func TestEstimateFreqUnbiased(t *testing.T) {
+	r := rng.New(3)
+	m := MustNew(1.5, 5)
+	trueFreq := []float64{0.4, 0.3, 0.15, 0.1, 0.05}
+	const n = 300000
+	reports := make([][]bool, 0, n)
+	for i := 0; i < n; i++ {
+		u := r.Float64()
+		c := 0
+		acc := trueFreq[0]
+		for u > acc && c < 4 {
+			c++
+			acc += trueFreq[c]
+		}
+		reports = append(reports, m.Perturb(r, c))
+	}
+	counts := Aggregate(reports, 5)
+	est := m.EstimateFreq(counts, n)
+	for j := range est {
+		if math.Abs(est[j]-trueFreq[j]) > 0.015 {
+			t.Fatalf("cat %d: est %v, want %v", j, est[j], trueFreq[j])
+		}
+	}
+}
+
+func TestEstimateFreqEmpty(t *testing.T) {
+	m := MustNew(1, 3)
+	for _, e := range m.EstimateFreq([]float64{1, 2, 3}, 0) {
+		if e != 0 {
+			t.Fatal("n=0 should yield zeros")
+		}
+	}
+}
+
+func TestVarDecreasesWithEps(t *testing.T) {
+	if MustNew(2, 8).Var() >= MustNew(0.5, 8).Var() {
+		t.Fatal("variance should shrink with larger ε")
+	}
+}

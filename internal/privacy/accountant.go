@@ -1,0 +1,88 @@
+// Package privacy provides a per-user privacy-budget accountant enforcing
+// the composition rules that DAP's grouping relies on: sequential
+// composition (budgets of repeated reports on the same value add up) and
+// the per-user cap ε. The simulator uses it to assert that every user —
+// whichever group they land in — spends exactly the advertised budget.
+package privacy
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrBudgetExceeded is returned when a spend would push a user past cap.
+var ErrBudgetExceeded = errors.New("privacy: budget exceeded")
+
+// Accountant tracks per-user spent budget against a common cap. It is
+// safe for concurrent use.
+type Accountant struct {
+	mu    sync.Mutex
+	cap   float64
+	spent map[string]float64
+}
+
+// NewAccountant creates an accountant with the given per-user cap ε.
+func NewAccountant(cap float64) (*Accountant, error) {
+	if cap <= 0 {
+		return nil, errors.New("privacy: cap must be positive")
+	}
+	return &Accountant{cap: cap, spent: make(map[string]float64)}, nil
+}
+
+// Cap returns the per-user budget cap.
+func (a *Accountant) Cap() float64 {
+	return a.cap
+}
+
+// Spend records eps of budget consumption for user id, applying
+// sequential composition. It fails without recording when the spend would
+// exceed the cap (with a small floating-point tolerance so that h
+// reports of ε/h compose to exactly ε).
+func (a *Accountant) Spend(id string, eps float64) error {
+	if eps <= 0 {
+		return errors.New("privacy: spend must be positive")
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	const tol = 1e-9
+	if a.spent[id]+eps > a.cap+tol {
+		return fmt.Errorf("%w: user %s at %.6g of %.6g, requested %.6g",
+			ErrBudgetExceeded, id, a.spent[id], a.cap, eps)
+	}
+	a.spent[id] += eps
+	return nil
+}
+
+// Spent returns the budget consumed by user id so far.
+func (a *Accountant) Spent(id string) float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.spent[id]
+}
+
+// Remaining returns the budget user id may still spend.
+func (a *Accountant) Remaining(id string) float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	r := a.cap - a.spent[id]
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// Users returns the number of users with recorded spends.
+func (a *Accountant) Users() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.spent)
+}
+
+// Exhausted reports whether user id has depleted the cap (within
+// tolerance), i.e. reported the full number of times their group demands.
+func (a *Accountant) Exhausted(id string) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.spent[id] >= a.cap-1e-9
+}

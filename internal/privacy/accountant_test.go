@@ -1,0 +1,123 @@
+package privacy
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestNewAccountantValidation(t *testing.T) {
+	if _, err := NewAccountant(0); err == nil {
+		t.Fatal("cap=0 accepted")
+	}
+}
+
+func TestSpendWithinCap(t *testing.T) {
+	a, _ := NewAccountant(1)
+	if err := a.Spend("u1", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Spend("u1", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Exhausted("u1") {
+		t.Fatal("u1 should be exhausted")
+	}
+	if got := a.Spent("u1"); got != 1 {
+		t.Fatalf("spent = %v", got)
+	}
+}
+
+func TestSpendRejectsOverCap(t *testing.T) {
+	a, _ := NewAccountant(1)
+	if err := a.Spend("u1", 0.9); err != nil {
+		t.Fatal(err)
+	}
+	err := a.Spend("u1", 0.2)
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("want ErrBudgetExceeded, got %v", err)
+	}
+	// The failed spend must not be recorded.
+	if got := a.Spent("u1"); got != 0.9 {
+		t.Fatalf("spent = %v, want 0.9", got)
+	}
+}
+
+func TestSpendRejectsNonPositive(t *testing.T) {
+	a, _ := NewAccountant(1)
+	if err := a.Spend("u1", 0); err == nil {
+		t.Fatal("zero spend accepted")
+	}
+	if err := a.Spend("u1", -0.5); err == nil {
+		t.Fatal("negative spend accepted")
+	}
+}
+
+// DAP grouping invariant: 2^t reports of ε/2^t compose to exactly ε.
+func TestSequentialCompositionExactness(t *testing.T) {
+	a, _ := NewAccountant(1)
+	for _, reports := range []int{1, 2, 4, 8, 16} {
+		id := string(rune('a' + reports))
+		eps := 1.0 / float64(reports)
+		for i := 0; i < reports; i++ {
+			if err := a.Spend(id, eps); err != nil {
+				t.Fatalf("%d reports of %v: %v", reports, eps, err)
+			}
+		}
+		if !a.Exhausted(id) {
+			t.Fatalf("%d reports should exhaust the budget", reports)
+		}
+		if err := a.Spend(id, eps); err == nil {
+			t.Fatalf("%d+1-th report accepted", reports)
+		}
+	}
+}
+
+func TestRemaining(t *testing.T) {
+	a, _ := NewAccountant(2)
+	a.Spend("u", 0.5)
+	if got := a.Remaining("u"); got != 1.5 {
+		t.Fatalf("remaining = %v", got)
+	}
+	if got := a.Remaining("fresh"); got != 2 {
+		t.Fatalf("fresh remaining = %v", got)
+	}
+}
+
+func TestUsers(t *testing.T) {
+	a, _ := NewAccountant(1)
+	a.Spend("u1", 0.1)
+	a.Spend("u2", 0.1)
+	a.Spend("u1", 0.1)
+	if got := a.Users(); got != 2 {
+		t.Fatalf("users = %d", got)
+	}
+}
+
+func TestConcurrentSpends(t *testing.T) {
+	a, _ := NewAccountant(1000)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if err := a.Spend("shared", 1); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := a.Spent("shared"); got != 800 {
+		t.Fatalf("spent = %v, want 800", got)
+	}
+}
+
+func TestCap(t *testing.T) {
+	a, _ := NewAccountant(3)
+	if a.Cap() != 3 {
+		t.Fatal("Cap broken")
+	}
+}

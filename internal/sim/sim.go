@@ -1,0 +1,118 @@
+// Package sim runs repeated Monte-Carlo protocol trials in parallel with
+// deterministic per-trial randomness — the engine behind every MSE figure
+// in the experiment harness.
+package sim
+
+import (
+	"math/rand/v2"
+	"runtime"
+	"sync"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// Trial produces one estimate given a trial-private generator.
+type Trial func(r *rand.Rand) (float64, error)
+
+// Repeat runs fn for the given number of trials, each with an independent
+// deterministic stream derived from seed, spread over a worker pool. The
+// returned estimates are ordered by trial index; the first error (if any)
+// is returned alongside the successful estimates.
+func Repeat(seed uint64, trials int, fn Trial) ([]float64, error) {
+	if trials <= 0 {
+		return nil, nil
+	}
+	out := make([]float64, trials)
+	errs := make([]error, trials)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > trials {
+		workers = trials
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i], errs[i] = fn(rng.Split(seed, uint64(i)))
+			}
+		}()
+	}
+	for i := 0; i < trials; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// MSE runs trials of fn and returns the mean squared error of the
+// estimates against truth.
+func MSE(seed uint64, trials int, truth float64, fn Trial) (float64, error) {
+	ests, err := Repeat(seed, trials, fn)
+	if err != nil {
+		return 0, err
+	}
+	return stats.MSE(ests, truth), nil
+}
+
+// Average runs trials of fn and returns the mean of the outputs — used
+// for series that are already error magnitudes (e.g. |γ̂−γ|).
+func Average(seed uint64, trials int, fn Trial) (float64, error) {
+	ests, err := Repeat(seed, trials, fn)
+	if err != nil {
+		return 0, err
+	}
+	return stats.Mean(ests), nil
+}
+
+// VecTrial produces one vector estimate (e.g. a frequency histogram).
+type VecTrial func(r *rand.Rand) ([]float64, error)
+
+// MSEVec runs trials of fn and returns the average component MSE of the
+// vector estimates against truth.
+func MSEVec(seed uint64, trials int, truth []float64, fn VecTrial) (float64, error) {
+	if trials <= 0 {
+		return 0, nil
+	}
+	mses := make([]float64, trials)
+	errs := make([]error, trials)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > trials {
+		workers = trials
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				est, err := fn(rng.Split(seed, uint64(i)))
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				mses[i] = stats.MSEVec(est, truth)
+			}
+		}()
+	}
+	for i := 0; i < trials; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	return stats.Mean(mses), nil
+}

@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestRepeatDeterministic(t *testing.T) {
+	fn := func(r *rand.Rand) (float64, error) { return r.Float64(), nil }
+	a, err := Repeat(7, 16, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Repeat(7, 16, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Repeat not deterministic across runs")
+		}
+	}
+}
+
+func TestRepeatStreamsIndependent(t *testing.T) {
+	fn := func(r *rand.Rand) (float64, error) { return r.Float64(), nil }
+	out, err := Repeat(1, 32, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[float64]bool{}
+	for _, v := range out {
+		if seen[v] {
+			t.Fatal("duplicate trial values: streams correlated")
+		}
+		seen[v] = true
+	}
+}
+
+func TestRepeatZeroTrials(t *testing.T) {
+	out, err := Repeat(1, 0, func(r *rand.Rand) (float64, error) { return 1, nil })
+	if err != nil || out != nil {
+		t.Fatalf("zero trials: %v %v", out, err)
+	}
+}
+
+func TestRepeatPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := Repeat(1, 8, func(r *rand.Rand) (float64, error) {
+		if r.Float64() < 2 { // always
+			return 0, boom
+		}
+		return 1, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+}
+
+func TestMSE(t *testing.T) {
+	got, err := MSE(1, 100, 0, func(r *rand.Rand) (float64, error) {
+		return 1, nil // constant estimate, truth 0 → MSE 1
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("MSE = %v", got)
+	}
+}
+
+func TestMSEConvergesToVariance(t *testing.T) {
+	// Unbiased Gaussian estimates: MSE should approach the variance.
+	got, err := MSE(2, 4000, 0, func(r *rand.Rand) (float64, error) {
+		return r.NormFloat64() * 0.5, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.25) > 0.03 {
+		t.Fatalf("MSE = %v, want ~0.25", got)
+	}
+}
+
+func TestMSEVec(t *testing.T) {
+	truth := []float64{0, 0}
+	got, err := MSEVec(3, 50, truth, func(r *rand.Rand) ([]float64, error) {
+		return []float64{1, 3}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 5 {
+		t.Fatalf("MSEVec = %v, want 5", got)
+	}
+}
+
+func TestMSEVecError(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := MSEVec(1, 4, []float64{0}, func(r *rand.Rand) ([]float64, error) {
+		return nil, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+}
+
+func TestMSEVecZeroTrials(t *testing.T) {
+	got, err := MSEVec(1, 0, []float64{0}, nil)
+	if err != nil || got != 0 {
+		t.Fatalf("zero trials: %v %v", got, err)
+	}
+}

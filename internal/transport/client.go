@@ -1,0 +1,149 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand/v2"
+	"net/http"
+
+	"repro/internal/ldp/pm"
+)
+
+// Client talks to a DAP collector service.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient creates a client for the collector at base URL (no trailing
+// slash). A nil HTTP client selects http.DefaultClient.
+func NewClient(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: base, hc: hc}
+}
+
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, out)
+}
+
+func (c *Client) post(ctx context.Context, path string, in, out any) error {
+	var body bytes.Buffer
+	if in != nil {
+		if err := json.NewEncoder(&body).Encode(in); err != nil {
+			return err
+		}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, &body)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, out)
+}
+
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e ErrorResponse
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("transport: %s %s: %s", req.Method, req.URL.Path, e.Error)
+		}
+		return fmt.Errorf("transport: %s %s: HTTP %d", req.Method, req.URL.Path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Config fetches the protocol configuration.
+func (c *Client) Config(ctx context.Context) (*ConfigResponse, error) {
+	var out ConfigResponse
+	if err := c.get(ctx, "/v1/config", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Join registers and returns the caller's group assignment.
+func (c *Client) Join(ctx context.Context) (*JoinResponse, error) {
+	var out JoinResponse
+	if err := c.post(ctx, "/v1/join", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Report uploads already-perturbed values for a group.
+func (c *Client) Report(ctx context.Context, user string, group int, values []float64) error {
+	var out ReportResponse
+	return c.post(ctx, "/v1/report", ReportRequest{User: user, Group: group, Values: values}, &out)
+}
+
+// Status fetches collection progress.
+func (c *Client) Status(ctx context.Context) (*StatusResponse, error) {
+	var out StatusResponse
+	if err := c.get(ctx, "/v1/status", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Estimate asks the collector to run the DAP pipeline.
+func (c *Client) Estimate(ctx context.Context) (*EstimateResponse, error) {
+	var out EstimateResponse
+	if err := c.get(ctx, "/v1/estimate", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// SubmitValue performs a full honest-user round: join, perturb the value
+// locally with the assigned group's budget (once per report slot), and
+// upload. The raw value never leaves this function.
+func (c *Client) SubmitValue(ctx context.Context, r *rand.Rand, value float64) (*JoinResponse, error) {
+	join, err := c.Join(ctx)
+	if err != nil {
+		return nil, err
+	}
+	mech, err := pm.New(join.Group.Eps)
+	if err != nil {
+		return nil, err
+	}
+	values := make([]float64, join.Group.Reports)
+	for i := range values {
+		values[i] = mech.Perturb(r, value)
+	}
+	if err := c.Report(ctx, join.User, join.Group.Index, values); err != nil {
+		return nil, err
+	}
+	return join, nil
+}
+
+// SubmitPoison performs a Byzantine round: join, then upload the given
+// poison values directly (clamped to the report slot limit).
+func (c *Client) SubmitPoison(ctx context.Context, values []float64) (*JoinResponse, error) {
+	join, err := c.Join(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if len(values) > join.Group.Reports {
+		values = values[:join.Group.Reports]
+	}
+	if err := c.Report(ctx, join.User, join.Group.Index, values); err != nil {
+		return nil, err
+	}
+	return join, nil
+}

@@ -1,0 +1,169 @@
+package transport
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/privacy"
+)
+
+// Server is a DAP collector service. It assigns joining users to groups
+// round-robin, stores uploaded reports per group, enforces each user's
+// budget with a privacy accountant, and exposes the aggregated estimate.
+type Server struct {
+	dap  *core.DAP
+	acct *privacy.Accountant
+
+	mu      sync.Mutex
+	nextID  int
+	userGrp map[string]int
+	groups  [][]float64
+}
+
+// NewServer builds a collector for the given protocol parameters.
+func NewServer(p core.Params) (*Server, error) {
+	d, err := core.NewDAP(p)
+	if err != nil {
+		return nil, err
+	}
+	acct, err := privacy.NewAccountant(p.Eps)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		dap:     d,
+		acct:    acct,
+		userGrp: make(map[string]int),
+		groups:  make([][]float64, d.H()),
+	}, nil
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/config", s.handleConfig)
+	mux.HandleFunc("POST /v1/join", s.handleJoin)
+	mux.HandleFunc("POST /v1/report", s.handleReport)
+	mux.HandleFunc("GET /v1/status", s.handleStatus)
+	mux.HandleFunc("GET /v1/estimate", s.handleEstimate)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) config() ConfigResponse {
+	p := s.dap.Params()
+	cfg := ConfigResponse{Eps: p.Eps, Eps0: p.Eps0, Scheme: p.Scheme.String()}
+	for _, g := range s.dap.Groups() {
+		cfg.Groups = append(cfg.Groups, GroupInfo{Index: g.Index, Eps: g.Eps, Reports: g.Reports})
+	}
+	return cfg
+}
+
+func (s *Server) handleConfig(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.config())
+}
+
+func (s *Server) handleJoin(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	id := fmt.Sprintf("u%06d", s.nextID)
+	grp := s.nextID % s.dap.H()
+	s.nextID++
+	s.userGrp[id] = grp
+	s.mu.Unlock()
+	g := s.dap.Groups()[grp]
+	writeJSON(w, http.StatusOK, JoinResponse{
+		User:  id,
+		Group: GroupInfo{Index: g.Index, Eps: g.Eps, Reports: g.Reports},
+	})
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	var req ReportRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	if req.Group < 0 || req.Group >= s.dap.H() {
+		writeErr(w, http.StatusBadRequest, "group %d out of range", req.Group)
+		return
+	}
+	if len(req.Values) == 0 {
+		writeErr(w, http.StatusBadRequest, "no values")
+		return
+	}
+	g := s.dap.Groups()[req.Group]
+	if len(req.Values) > g.Reports {
+		writeErr(w, http.StatusBadRequest, "group %d accepts at most %d reports", req.Group, g.Reports)
+		return
+	}
+	dom := s.dap.Mechanism(req.Group).OutputDomain()
+	for _, v := range req.Values {
+		if !dom.Contains(v) {
+			writeErr(w, http.StatusBadRequest, "value %g outside output domain [%g,%g]", v, dom.Lo, dom.Hi)
+			return
+		}
+	}
+	s.mu.Lock()
+	if grp, ok := s.userGrp[req.User]; ok && grp != req.Group {
+		s.mu.Unlock()
+		writeErr(w, http.StatusForbidden, "user %s belongs to group %d", req.User, grp)
+		return
+	}
+	s.mu.Unlock()
+	// Budget accounting: each report in group t costs ε_t.
+	for range req.Values {
+		if err := s.acct.Spend(req.User, g.Eps); err != nil {
+			writeErr(w, http.StatusTooManyRequests, "%v", err)
+			return
+		}
+	}
+	s.mu.Lock()
+	s.groups[req.Group] = append(s.groups[req.Group], req.Values...)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, ReportResponse{Accepted: len(req.Values)})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	counts := make([]int, len(s.groups))
+	for i, g := range s.groups {
+		counts[i] = len(g)
+	}
+	users := len(s.userGrp)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, StatusResponse{Users: users, GroupReports: counts})
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	col := &core.Collection{Groups: make([][]float64, len(s.groups))}
+	for i, g := range s.groups {
+		col.Groups[i] = append([]float64(nil), g...)
+	}
+	s.mu.Unlock()
+	est, err := s.dap.Estimate(col)
+	if err != nil {
+		writeErr(w, http.StatusConflict, "estimation failed: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, EstimateResponse{
+		Mean:          est.Mean,
+		Gamma:         est.Gamma,
+		PoisonedRight: est.PoisonedRight,
+		GroupMeans:    est.GroupMeans,
+		Weights:       est.Weights,
+		VarMin:        est.VarMin,
+	})
+}

@@ -1,0 +1,187 @@
+package transport
+
+import (
+	"context"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+func newTestServer(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	srv, err := NewServer(core.Params{Eps: 1, Eps0: 0.25, Scheme: core.SchemeEMFStar})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, NewClient(ts.URL, ts.Client())
+}
+
+func TestConfigEndpoint(t *testing.T) {
+	_, c := newTestServer(t)
+	cfg, err := c.Config(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Eps != 1 || cfg.Eps0 != 0.25 {
+		t.Fatalf("config budgets %v/%v", cfg.Eps, cfg.Eps0)
+	}
+	if len(cfg.Groups) != 3 {
+		t.Fatalf("groups = %d", len(cfg.Groups))
+	}
+	if cfg.Scheme != "EMF*" {
+		t.Fatalf("scheme = %q", cfg.Scheme)
+	}
+	for i, g := range cfg.Groups {
+		if g.Reports != 1<<i {
+			t.Fatalf("group %d reports %d", i, g.Reports)
+		}
+	}
+}
+
+func TestJoinRoundRobin(t *testing.T) {
+	_, c := newTestServer(t)
+	ctx := context.Background()
+	seen := map[int]int{}
+	users := map[string]bool{}
+	for i := 0; i < 9; i++ {
+		j, err := c.Join(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[j.Group.Index]++
+		if users[j.User] {
+			t.Fatalf("duplicate user id %s", j.User)
+		}
+		users[j.User] = true
+	}
+	for g := 0; g < 3; g++ {
+		if seen[g] != 3 {
+			t.Fatalf("group %d got %d joins", g, seen[g])
+		}
+	}
+}
+
+func TestReportValidation(t *testing.T) {
+	_, c := newTestServer(t)
+	ctx := context.Background()
+	j, err := c.Join(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Report(ctx, j.User, 99, []float64{0}); err == nil {
+		t.Fatal("bad group accepted")
+	}
+	if err := c.Report(ctx, j.User, j.Group.Index, nil); err == nil {
+		t.Fatal("empty values accepted")
+	}
+	if err := c.Report(ctx, j.User, j.Group.Index, []float64{1e9}); err == nil {
+		t.Fatal("out-of-domain value accepted")
+	}
+	too := make([]float64, j.Group.Reports+1)
+	if err := c.Report(ctx, j.User, j.Group.Index, too); err == nil {
+		t.Fatal("oversized report accepted")
+	}
+}
+
+func TestBudgetEnforcement(t *testing.T) {
+	_, c := newTestServer(t)
+	ctx := context.Background()
+	j, err := c.Join(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]float64, j.Group.Reports)
+	if err := c.Report(ctx, j.User, j.Group.Index, vals); err != nil {
+		t.Fatal(err)
+	}
+	// The budget is now exhausted: further reports must be rejected.
+	err = c.Report(ctx, j.User, j.Group.Index, []float64{0})
+	if err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Fatalf("budget not enforced: %v", err)
+	}
+}
+
+func TestWrongGroupRejected(t *testing.T) {
+	_, c := newTestServer(t)
+	ctx := context.Background()
+	j, err := c.Join(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := (j.Group.Index + 1) % 3
+	if err := c.Report(ctx, j.User, other, []float64{0}); err == nil {
+		t.Fatal("cross-group report accepted")
+	}
+}
+
+func TestEndToEndEstimate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end HTTP round is slow")
+	}
+	_, c := newTestServer(t)
+	ctx := context.Background()
+	r := rng.New(1)
+	const n = 3000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := rng.Uniform(r, -0.5, 0.1)
+		sum += v
+		if _, err := c.SubmitValue(ctx, r, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	trueMean := sum / n
+	st, err := c.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Users != n {
+		t.Fatalf("status users = %d", st.Users)
+	}
+	est, err := c.Estimate(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Mean-trueMean) > 0.15 {
+		t.Fatalf("estimate %v, want ~%v", est.Mean, trueMean)
+	}
+	var wSum float64
+	for _, w := range est.Weights {
+		wSum += w
+	}
+	if math.Abs(wSum-1) > 1e-9 {
+		t.Fatalf("weights sum %v", wSum)
+	}
+}
+
+func TestEstimateFailsOnEmptyCollection(t *testing.T) {
+	_, c := newTestServer(t)
+	if _, err := c.Estimate(context.Background()); err == nil {
+		t.Fatal("estimate on empty collection should fail")
+	}
+}
+
+func TestSubmitPoisonClamps(t *testing.T) {
+	_, c := newTestServer(t)
+	ctx := context.Background()
+	vals := make([]float64, 64) // longer than any group's slot count
+	j, err := c.SubmitPoison(ctx, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Group.Reports > 64 {
+		t.Fatal("unexpected group layout")
+	}
+}
+
+func TestServerRejectsBadParams(t *testing.T) {
+	if _, err := NewServer(core.Params{Eps: -1, Eps0: 1}); err == nil {
+		t.Fatal("bad params accepted")
+	}
+}

@@ -1,0 +1,63 @@
+// Package transport provides a minimal HTTP deployment of the DAP
+// collector: users join, receive a group assignment with its privacy
+// budget, perturb locally (the LDP trust model — raw values never leave
+// the device) and upload reports; the collector runs the full DAP
+// estimation pipeline on demand.
+package transport
+
+// GroupInfo describes one DAP group to clients.
+type GroupInfo struct {
+	Index   int     `json:"index"`
+	Eps     float64 `json:"eps"`
+	Reports int     `json:"reports"`
+}
+
+// ConfigResponse is returned by GET /v1/config.
+type ConfigResponse struct {
+	Eps    float64     `json:"eps"`
+	Eps0   float64     `json:"eps0"`
+	Scheme string      `json:"scheme"`
+	Groups []GroupInfo `json:"groups"`
+}
+
+// JoinResponse is returned by POST /v1/join: the caller's group
+// assignment.
+type JoinResponse struct {
+	User  string    `json:"user"`
+	Group GroupInfo `json:"group"`
+}
+
+// ReportRequest is the body of POST /v1/report. Values must already be
+// perturbed (or poisoned — the collector cannot tell) and fall within the
+// group mechanism's output domain.
+type ReportRequest struct {
+	User   string    `json:"user"`
+	Group  int       `json:"group"`
+	Values []float64 `json:"values"`
+}
+
+// ReportResponse acknowledges accepted reports.
+type ReportResponse struct {
+	Accepted int `json:"accepted"`
+}
+
+// StatusResponse is returned by GET /v1/status.
+type StatusResponse struct {
+	Users        int   `json:"users"`
+	GroupReports []int `json:"group_reports"`
+}
+
+// EstimateResponse is returned by GET /v1/estimate.
+type EstimateResponse struct {
+	Mean          float64   `json:"mean"`
+	Gamma         float64   `json:"gamma"`
+	PoisonedRight bool      `json:"poisoned_right"`
+	GroupMeans    []float64 `json:"group_means"`
+	Weights       []float64 `json:"weights"`
+	VarMin        float64   `json:"var_min"`
+}
+
+// ErrorResponse carries a machine-readable error.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
