@@ -1,0 +1,30 @@
+# Development targets for the DAP reproduction.
+
+GO ?= go
+DATE := $(shell date +%Y%m%d)
+
+.PHONY: all build vet test bench bench-json bench-smoke
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Micro- and experiment-level benchmarks (reduced scale; see bench_test.go).
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+# One-iteration benchmark smoke used by CI.
+bench-smoke:
+	$(GO) test -run xxx -bench 'BenchmarkEstimate|BenchmarkEStep|BenchmarkFig5Cell' -benchtime 1x .
+
+# Regenerate every experiment at the default laptop scale and record the
+# wall-clock trajectory in a dated BENCH_<date>.json (see EXPERIMENTS.md).
+bench-json:
+	$(GO) run ./cmd/dapbench -exp all -bench-json BENCH_$(DATE).json > /dev/null

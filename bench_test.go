@@ -95,6 +95,76 @@ func benchEMFInput(b *testing.B) (*emf.Matrix, []float64, []int) {
 	return m, m.Counts(reports), m.PoisonRight(0)
 }
 
+// BenchmarkEStepBanded measures 100 fixed EM iterations on the structured
+// banded path — the innermost hot loop of the repository (divide by 100
+// for the per-iteration cost; a single iteration would be dominated by
+// state setup and result copying).
+func BenchmarkEStepBanded(b *testing.B) {
+	m, counts, poison := benchEMFInput(b)
+	if !m.Banded() {
+		b.Fatal("expected a banded matrix")
+	}
+	cfg := emf.Config{MaxIter: 100, Tol: 1e-300}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := emf.Run(m, counts, poison, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEStepDense is the same 100 iterations forced onto the dense
+// reference path, so the banded speedup stays measurable over time.
+func BenchmarkEStepDense(b *testing.B) {
+	m, counts, poison := benchEMFInput(b)
+	cfg := emf.Config{MaxIter: 100, Tol: 1e-300, Dense: true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := emf.Run(m, counts, poison, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEstimate measures the collector side alone (matrix reuse, side
+// probe, h parallel group fits, aggregation) over a fixed collection.
+func BenchmarkEstimate(b *testing.B) {
+	r := rng.New(1)
+	values := make([]float64, 20000)
+	for i := range values {
+		values[i] = rng.Uniform(r, -0.8, 0)
+	}
+	adv := attack.NewBBA(attack.RangeHighHalf, attack.DistUniform)
+	d, err := core.NewDAP(core.Params{Eps: 1, Eps0: 1.0 / 16, Scheme: core.SchemeCEMFStar, EMFMaxIter: 100})
+	if err != nil {
+		b.Fatal(err)
+	}
+	col, err := d.Collect(rng.Split(8, 1), values, adv, 0.25)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Estimate(col); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5Cell regenerates one cell of the hottest experiment (the
+// unit the BENCH_*.json trajectory tracks at full scale).
+func BenchmarkFig5Cell(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig5Cell(bench.Config{N: 20000, Trials: 1, Seed: uint64(i + 1), EMFMaxIter: 200}, 1, 0.25); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkEMFRun(b *testing.B) {
 	m, counts, poison := benchEMFInput(b)
 	cfg := emf.Config{MaxIter: 100, Tol: 1e-300} // fixed 100 iterations

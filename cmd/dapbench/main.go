@@ -4,20 +4,46 @@
 //
 //	dapbench -exp fig6 -n 200000 -trials 20
 //	dapbench -exp all -csv > results.csv
+//	dapbench -exp all -bench-json BENCH_$(date +%F).json
 //	dapbench -list
 //
-// Every run is deterministic for a fixed -seed and GOMAXPROCS.
+// Every run is deterministic for a fixed -seed, independent of -workers
+// and GOMAXPROCS: experiment cells and Monte-Carlo trials own fixed rng
+// streams and results are collected in table order.
+//
+// With -bench-json, a machine-readable timing record (per-experiment and
+// total wall-clock milliseconds plus the run configuration) is written to
+// the given path, so the performance trajectory of the harness can be
+// tracked commit over commit; see EXPERIMENTS.md for the recorded history.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/debug"
 	"strings"
 	"time"
 
 	"repro/internal/bench"
 )
+
+// benchRecord is the BENCH_*.json schema.
+type benchRecord struct {
+	Schema      int              `json:"schema"`
+	Date        string           `json:"date"`
+	GoVersion   string           `json:"go_version"`
+	GOMAXPROCS  int              `json:"gomaxprocs"`
+	N           int              `json:"n"`
+	Trials      int              `json:"trials"`
+	Seed        uint64           `json:"seed"`
+	MaxIter     int              `json:"emf_max_iter"`
+	Workers     int              `json:"workers"`
+	Experiments map[string]int64 `json:"experiment_wall_ms"`
+	TotalMs     int64            `json:"total_wall_ms"`
+}
 
 func main() {
 	var (
@@ -26,8 +52,10 @@ func main() {
 		trials  = flag.Int("trials", 3, "Monte-Carlo repeats per cell")
 		seed    = flag.Uint64("seed", 1, "base random seed")
 		maxIter = flag.Int("maxiter", 200, "EM iteration cap")
+		workers = flag.Int("workers", 0, "concurrent experiment cells (0 = GOMAXPROCS)")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		list    = flag.Bool("list", false, "list experiments and exit")
+		jsonOut = flag.String("bench-json", "", "write a machine-readable timing record to this path")
 	)
 	flag.Parse()
 	if *list {
@@ -36,27 +64,55 @@ func main() {
 		}
 		return
 	}
-	cfg := bench.Config{N: *n, Trials: *trials, Seed: *seed, EMFMaxIter: *maxIter}
-	start := time.Now()
-	var (
-		tables []*bench.Table
-		err    error
-	)
+	// The harness allocates short-lived per-trial buffers at a high rate;
+	// relaxing the GC target trades a bounded amount of heap for wall-clock.
+	debug.SetGCPercent(400)
+	cfg := bench.Config{N: *n, Trials: *trials, Seed: *seed, EMFMaxIter: *maxIter, Workers: *workers}
+	names := []string{*exp}
 	if *exp == "all" {
-		tables, err = bench.RunAll(cfg)
-	} else {
-		tables, err = bench.Run(*exp, cfg)
+		names = bench.Experiments()
 	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "dapbench:", err)
-		os.Exit(1)
+	rec := benchRecord{
+		Schema:      1,
+		Date:        time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		N:           *n,
+		Trials:      *trials,
+		Seed:        *seed,
+		MaxIter:     *maxIter,
+		Workers:     *workers,
+		Experiments: make(map[string]int64, len(names)),
 	}
-	for _, t := range tables {
-		if *csv {
-			t.CSV(os.Stdout)
-		} else {
-			t.Fprint(os.Stdout)
+	start := time.Now()
+	for _, name := range names {
+		expStart := time.Now()
+		tables, err := bench.Run(name, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dapbench:", err)
+			os.Exit(1)
 		}
+		rec.Experiments[name] = time.Since(expStart).Milliseconds()
+		for _, t := range tables {
+			if *csv {
+				t.CSV(os.Stdout)
+			} else {
+				t.Fprint(os.Stdout)
+			}
+		}
+	}
+	rec.TotalMs = time.Since(start).Milliseconds()
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dapbench: encode timing record:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "dapbench: write timing record:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "dapbench: timing record written to %s\n", *jsonOut)
 	}
 	fmt.Fprintf(os.Stderr, "dapbench: %s done in %s (N=%d, trials=%d, seed=%d)\n",
 		*exp, time.Since(start).Round(time.Millisecond), *n, *trials, *seed)

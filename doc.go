@@ -30,6 +30,24 @@
 // Trimming, the k-means subset defense, boxplot and isolation-forest
 // filters) live alongside for evaluation.
 //
+// # Performance engine
+//
+// The EM hot path runs on a structured ("banded") representation of the
+// transform matrix: every mechanism here perturbs by sampling uniformly
+// from a band, so each matrix column is a constant tail plus a contiguous
+// band whose interior carries one shared value, and an EM iteration costs
+// O(D + D′) via prefix sums instead of the dense O(D·D′) (internal/emf,
+// banded.go). Transform matrices are cached per (mechanism, d, d′), EM
+// state buffers are pooled, the h per-group fits of an estimate run on
+// goroutines, and the experiment harness (internal/bench) evaluates
+// Monte-Carlo cells concurrently. The bench Config.Workers field caps the
+// number of concurrently evaluated cells (0 selects GOMAXPROCS); tables
+// are byte-identical for every Workers value and GOMAXPROCS because each
+// cell and trial owns a fixed rng stream and results are collected in
+// table order. cmd/dapbench exposes the same knob as -workers and can
+// write a BENCH_*.json wall-clock record via -bench-json.
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-versus-measured record of every table and figure.
+// paper-versus-measured record of every table and figure plus the
+// performance trajectory.
 package dap

@@ -28,22 +28,23 @@ func Ablation(cfg Config) ([]*Table, error) {
 	trueMean := ds.TrueMean()
 	adv := attack.NewBBA(attack.RangeHighHalf, attack.DistUniform)
 	const eps, gamma = 1.0, 0.25
+	p := cfg.newPool()
 
 	// 1. ε₀ sweep.
 	t1 := &Table{
 		Title:  "Ablation 1: MSE vs ε₀ (group count) — DAP_EMF*, Taxi, Poi[C/2,C], ε=1",
 		Header: []string{"ε₀", "h", "MSE"},
 	}
-	for i, eps0 := range []float64{0.25, 1.0 / 16, 1.0 / 64} {
+	eps0List := []float64{0.25, 1.0 / 16, 1.0 / 64}
+	futs1 := make([]*future[float64], len(eps0List))
+	hs := make([]int, len(eps0List))
+	for i, eps0 := range eps0List {
 		d, err := core.NewDAP(core.Params{Eps: eps, Eps0: eps0, Scheme: core.SchemeEMFStar, EMFMaxIter: cfg.EMFMaxIter})
 		if err != nil {
 			return nil, err
 		}
-		mse, err := sim.MSE(cfg.Seed+uint64(0xAB10+i), cfg.Trials, trueMean, dapTrial(d, ds.Values, adv, gamma))
-		if err != nil {
-			return nil, err
-		}
-		t1.Rows = append(t1.Rows, []string{fmt.Sprintf("%g", eps0), fmt.Sprintf("%d", d.H()), e2s(mse)})
+		hs[i] = d.H()
+		futs1[i] = p.mse(cfg.Seed+uint64(0xAB10+i), cfg.Trials, trueMean, dapTrial(d, ds.Values, adv, gamma))
 	}
 
 	// 2. Suppression factor sweep.
@@ -51,18 +52,16 @@ func Ablation(cfg Config) ([]*Table, error) {
 		Title:  "Ablation 2: MSE vs CEMF* suppression factor — Taxi, Poi[C/2,C], ε=1",
 		Header: []string{"factor", "MSE"},
 	}
-	for i, factor := range []float64{0.25, 0.5, 1.0} {
-		p := dapParams(core.SchemeCEMFStar, eps, cfg.EMFMaxIter)
-		p.SuppressFactor = factor
-		d, err := core.NewDAP(p)
+	factors := []float64{0.25, 0.5, 1.0}
+	futs2 := make([]*future[float64], len(factors))
+	for i, factor := range factors {
+		pr := dapParams(core.SchemeCEMFStar, eps, cfg.EMFMaxIter)
+		pr.SuppressFactor = factor
+		d, err := core.NewDAP(pr)
 		if err != nil {
 			return nil, err
 		}
-		mse, err := sim.MSE(cfg.Seed+uint64(0xAB20+i), cfg.Trials, trueMean, dapTrial(d, ds.Values, adv, gamma))
-		if err != nil {
-			return nil, err
-		}
-		t2.Rows = append(t2.Rows, []string{fmt.Sprintf("%.2f", factor), e2s(mse)})
+		futs2[i] = p.mse(cfg.Seed+uint64(0xAB20+i), cfg.Trials, trueMean, dapTrial(d, ds.Values, adv, gamma))
 	}
 
 	// 3. Weight mode.
@@ -70,21 +69,19 @@ func Ablation(cfg Config) ([]*Table, error) {
 		Title:  "Ablation 3: Algorithm 5 weights vs general optimum — DAP_EMF*, Taxi, ε=1",
 		Header: []string{"weights", "MSE"},
 	}
-	for i, it := range []struct {
+	modes := []struct {
 		name string
 		mode core.WeightMode
-	}{{"paper (Alg. 5)", core.WeightsPaper}, {"general n̂²/B", core.WeightsGeneral}} {
-		p := dapParams(core.SchemeEMFStar, eps, cfg.EMFMaxIter)
-		p.WeightMode = it.mode
-		d, err := core.NewDAP(p)
+	}{{"paper (Alg. 5)", core.WeightsPaper}, {"general n̂²/B", core.WeightsGeneral}}
+	futs3 := make([]*future[float64], len(modes))
+	for i, it := range modes {
+		pr := dapParams(core.SchemeEMFStar, eps, cfg.EMFMaxIter)
+		pr.WeightMode = it.mode
+		d, err := core.NewDAP(pr)
 		if err != nil {
 			return nil, err
 		}
-		mse, err := sim.MSE(cfg.Seed+uint64(0xAB30+i), cfg.Trials, trueMean, dapTrial(d, ds.Values, adv, gamma))
-		if err != nil {
-			return nil, err
-		}
-		t3.Rows = append(t3.Rows, []string{it.name, e2s(mse)})
+		futs3[i] = p.mse(cfg.Seed+uint64(0xAB30+i), cfg.Trials, trueMean, dapTrial(d, ds.Values, adv, gamma))
 	}
 
 	// 4. Baseline protocol vs DAP under probing-aware attackers.
@@ -116,27 +113,13 @@ func Ablation(cfg Config) ([]*Table, error) {
 			return est.Mean, nil
 		}
 	}
-	mseHonest, err := sim.MSE(cfg.Seed+0xAB40, cfg.Trials, trueMean, blTrial(false))
+	futHonest := p.mse(cfg.Seed+0xAB40, cfg.Trials, trueMean, blTrial(false))
+	futGamed := p.mse(cfg.Seed+0xAB41, cfg.Trials, trueMean, blTrial(true))
+	dDAP, err := core.NewDAP(dapParams(core.SchemeEMFStar, eps, cfg.EMFMaxIter))
 	if err != nil {
 		return nil, err
 	}
-	mseGamed, err := sim.MSE(cfg.Seed+0xAB41, cfg.Trials, trueMean, blTrial(true))
-	if err != nil {
-		return nil, err
-	}
-	d, err := core.NewDAP(dapParams(core.SchemeEMFStar, eps, cfg.EMFMaxIter))
-	if err != nil {
-		return nil, err
-	}
-	mseDAP, err := sim.MSE(cfg.Seed+0xAB42, cfg.Trials, trueMean, dapTrial(d, ds.Values, adv, gamma))
-	if err != nil {
-		return nil, err
-	}
-	t4.Rows = append(t4.Rows,
-		[]string{"baseline", "honest attack on both budgets", e2s(mseHonest)},
-		[]string{"baseline", "gamed (honest ε_α, poison ε_β)", e2s(mseGamed)},
-		[]string{"DAP", "gamed strategy impossible (random ε)", e2s(mseDAP)},
-	)
+	futDAP := p.mse(cfg.Seed+0xAB42, cfg.Trials, trueMean, dapTrial(dDAP, ds.Values, adv, gamma))
 
 	// 5. Outlier-filter composability (§III-A): boxplot and isolation
 	// forest as standalone defenses on the same workload.
@@ -179,12 +162,9 @@ func Ablation(cfg Config) ([]*Table, error) {
 			return est.Mean, nil
 		}},
 	}
+	futs5 := make([]*future[float64], len(filterTrials))
 	for i, ft := range filterTrials {
-		mse, err := sim.MSE(cfg.Seed+uint64(0xAB50+i), cfg.Trials, trueMean, ft.trial)
-		if err != nil {
-			return nil, err
-		}
-		t5.Rows = append(t5.Rows, []string{ft.name, e2s(mse)})
+		futs5[i] = p.mse(cfg.Seed+uint64(0xAB50+i), cfg.Trials, trueMean, ft.trial)
 	}
 
 	// 6. Accuracy vs population size N: sampling noise scaling.
@@ -192,11 +172,13 @@ func Ablation(cfg Config) ([]*Table, error) {
 		Title:  "Ablation 6: MSE vs N — DAP_EMF*, Taxi, Poi[C/2,C], ε=1",
 		Header: []string{"N", "MSE"},
 	}
-	for i, scale := range []int{cfg.N / 4, cfg.N / 2, cfg.N} {
-		if scale < 100 {
-			scale = 100
+	scales := []int{cfg.N / 4, cfg.N / 2, cfg.N}
+	futs6 := make([]*future[float64], len(scales))
+	for i := range scales {
+		if scales[i] < 100 {
+			scales[i] = 100
 		}
-		sub, err := dataset.ByName(rngSplit(cfg.Seed, 0xAB60+uint64(i)), "Taxi", scale)
+		sub, err := dataset.ByName(rngSplit(cfg.Seed, 0xAB60+uint64(i)), "Taxi", scales[i])
 		if err != nil {
 			return nil, err
 		}
@@ -204,12 +186,62 @@ func Ablation(cfg Config) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		mse, err := sim.MSE(cfg.Seed+uint64(0xAB70+i), cfg.Trials, sub.TrueMean(),
+		futs6[i] = p.mse(cfg.Seed+uint64(0xAB70+i), cfg.Trials, sub.TrueMean(),
 			dapTrial(dd, sub.Values, adv, gamma))
+	}
+
+	// Collect in table order.
+	for i, eps0 := range eps0List {
+		v, err := futs1[i].get()
 		if err != nil {
 			return nil, err
 		}
-		t6.Rows = append(t6.Rows, []string{fmt.Sprintf("%d", scale), e2s(mse)})
+		t1.Rows = append(t1.Rows, []string{fmt.Sprintf("%g", eps0), fmt.Sprintf("%d", hs[i]), e2s(v)})
+	}
+	for i, factor := range factors {
+		v, err := futs2[i].get()
+		if err != nil {
+			return nil, err
+		}
+		t2.Rows = append(t2.Rows, []string{fmt.Sprintf("%.2f", factor), e2s(v)})
+	}
+	for i, it := range modes {
+		v, err := futs3[i].get()
+		if err != nil {
+			return nil, err
+		}
+		t3.Rows = append(t3.Rows, []string{it.name, e2s(v)})
+	}
+	mseHonest, err := futHonest.get()
+	if err != nil {
+		return nil, err
+	}
+	mseGamed, err := futGamed.get()
+	if err != nil {
+		return nil, err
+	}
+	mseDAP, err := futDAP.get()
+	if err != nil {
+		return nil, err
+	}
+	t4.Rows = append(t4.Rows,
+		[]string{"baseline", "honest attack on both budgets", e2s(mseHonest)},
+		[]string{"baseline", "gamed (honest ε_α, poison ε_β)", e2s(mseGamed)},
+		[]string{"DAP", "gamed strategy impossible (random ε)", e2s(mseDAP)},
+	)
+	for i, ft := range filterTrials {
+		v, err := futs5[i].get()
+		if err != nil {
+			return nil, err
+		}
+		t5.Rows = append(t5.Rows, []string{ft.name, e2s(v)})
+	}
+	for i := range scales {
+		v, err := futs6[i].get()
+		if err != nil {
+			return nil, err
+		}
+		t6.Rows = append(t6.Rows, []string{fmt.Sprintf("%d", scales[i]), e2s(v)})
 	}
 
 	return []*Table{t1, t2, t3, t4, t5, t6}, nil

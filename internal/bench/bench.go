@@ -28,6 +28,11 @@ type Config struct {
 	// EMFMaxIter caps EM iterations (default 200 — enough for laptop-scale
 	// N; raise along with N).
 	EMFMaxIter int
+	// Workers caps the number of experiment cells evaluated concurrently
+	// (0 selects GOMAXPROCS). Tables are byte-identical for every Workers
+	// value: cell seeds are fixed at scheduling time and results are
+	// collected in table order.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -129,19 +134,6 @@ func Run(name string, cfg Config) ([]*Table, error) {
 		return nil, fmt.Errorf("bench: unknown experiment %q (have %s)", name, strings.Join(Experiments(), ", "))
 	}
 	return r(cfg.withDefaults())
-}
-
-// RunAll executes every experiment in order.
-func RunAll(cfg Config) ([]*Table, error) {
-	var out []*Table
-	for _, name := range Experiments() {
-		ts, err := Run(name, cfg)
-		if err != nil {
-			return out, fmt.Errorf("bench: %s: %w", name, err)
-		}
-		out = append(out, ts...)
-	}
-	return out, nil
 }
 
 func f2s(v float64) string { return fmt.Sprintf("%.4g", v) }

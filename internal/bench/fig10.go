@@ -8,7 +8,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/rng"
-	"repro/internal/sim"
 )
 
 func rngSplit(seed, stream uint64) *rand.Rand { return rng.Split(seed, stream) }
@@ -26,7 +25,9 @@ func Fig10(cfg Config) ([]*Table, error) {
 	const eps = 0.5
 	as := []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5}
 	header := append([]string{"Scheme"}, mapStrings(as, func(v float64) string { return fmt.Sprintf("a=%.1f", v) })...)
+	p := cfg.newPool()
 	var tables []*Table
+	schemes := core.Schemes()
 	for di, name := range dataset.Names() {
 		ds, err := loadDataset(cfg, name)
 		if err != nil {
@@ -37,20 +38,23 @@ func Fig10(cfg Config) ([]*Table, error) {
 			Title:  fmt.Sprintf("Fig. 10: MSE vs evasive fraction a — %s, ε=1/2, γ=0.25", name),
 			Header: header,
 		}
-		for si, sc := range core.Schemes() {
+		futs := make([][]*future[float64], len(schemes))
+		for si, sc := range schemes {
 			d, err := core.NewDAP(dapParams(sc, eps, cfg.EMFMaxIter))
 			if err != nil {
 				return nil, err
 			}
-			row := []string{"DAP_" + sc.String()}
+			futs[si] = make([]*future[float64], len(as))
 			for ai, a := range as {
 				adv := &attack.Evasion{A: a}
-				mse, err := sim.MSE(cfg.Seed+uint64(0xA000+di*1000+si*16+ai), cfg.Trials, trueMean,
+				futs[si][ai] = p.mse(cfg.Seed+uint64(0xA000+di*1000+si*16+ai), cfg.Trials, trueMean,
 					dapTrial(d, ds.Values, adv, 0.25))
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, e2s(mse))
+			}
+		}
+		for si, sc := range schemes {
+			row, err := collectCells([]string{"DAP_" + sc.String()}, futs[si], e2s)
+			if err != nil {
+				return nil, err
 			}
 			t.Rows = append(t.Rows, row)
 		}

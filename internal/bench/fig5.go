@@ -23,14 +23,15 @@ import (
 func Fig5(cfg Config) ([]*Table, error) {
 	epsList := []float64{0.0625, 0.125, 0.25, 0.5, 1, 2}
 	header := append([]string{"Series"}, mapStrings(epsList, epsLabel)...)
+	p := cfg.newPool()
 
 	taxi, err := loadDataset(cfg, "Taxi")
 	if err != nil {
 		return nil, err
 	}
 
-	gammaErr := func(values []float64, adv attack.Adversary, gamma float64, eps float64, stream uint64) (float64, error) {
-		return sim.Average(cfg.Seed+stream, cfg.Trials, func(r *rand.Rand) (float64, error) {
+	gammaErr := func(values []float64, adv attack.Adversary, gamma float64, eps float64, stream uint64) *future[float64] {
+		return p.avg(cfg.Seed+stream, cfg.Trials, func(r *rand.Rand) (float64, error) {
 			gh, err := probeGamma(r, values, eps, adv, gamma, cfg.EMFMaxIter)
 			if err != nil {
 				return 0, err
@@ -39,58 +40,91 @@ func Fig5(cfg Config) ([]*Table, error) {
 		})
 	}
 
-	makePanel := func(title string, gamma float64) (*Table, error) {
+	makePanel := func(title string, gamma float64) (*Table, func() error) {
 		t := &Table{Title: title, Header: header}
+		futs := make([][]*future[float64], len(rangeLabels))
 		for ri, label := range rangeLabels {
 			adv := attack.NewBBA(mustRange(label), attack.DistUniform)
-			row := []string{"Poi" + label}
+			futs[ri] = make([]*future[float64], len(epsList))
 			for ei, eps := range epsList {
-				v, err := gammaErr(taxi.Values, adv, gamma, eps, uint64(ri*100+ei))
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, e2s(v))
+				futs[ri][ei] = gammaErr(taxi.Values, adv, gamma, eps, uint64(ri*100+ei))
 			}
-			t.Rows = append(t.Rows, row)
 		}
-		return t, nil
+		collect := func() error {
+			for ri, label := range rangeLabels {
+				row, err := collectCells([]string{"Poi" + label}, futs[ri], e2s)
+				if err != nil {
+					return err
+				}
+				t.Rows = append(t.Rows, row)
+			}
+			return nil
+		}
+		return t, collect
 	}
 
-	a, err := makePanel("Fig. 5(a): |γ̂−γ| vs ε, γ=0.1 (Taxi)", 0.1)
-	if err != nil {
-		return nil, err
-	}
-	b, err := makePanel("Fig. 5(b): |γ̂−γ| vs ε, γ=0.4 (Taxi)", 0.4)
-	if err != nil {
-		return nil, err
-	}
+	a, collectA := makePanel("Fig. 5(a): |γ̂−γ| vs ε, γ=0.1 (Taxi)", 0.1)
+	b, collectB := makePanel("Fig. 5(b): |γ̂−γ| vs ε, γ=0.4 (Taxi)", 0.4)
 
 	c := &Table{Title: "Fig. 5(c): false-positive γ̂ vs ε₀, no attack", Header: header}
 	d := &Table{Title: "Fig. 5(d): γ̂ under IMA(g=1), γ=0.25", Header: header}
-	for di, name := range dataset.Names() {
+	names := dataset.Names()
+	futsC := make([][]*future[float64], len(names))
+	futsD := make([][]*future[float64], len(names))
+	for di, name := range names {
 		ds, err := loadDataset(cfg, name)
 		if err != nil {
 			return nil, err
 		}
-		rowC := []string{name}
-		rowD := []string{name}
+		futsC[di] = make([]*future[float64], len(epsList))
+		futsD[di] = make([]*future[float64], len(epsList))
 		for ei, eps := range epsList {
-			fpr, err := gammaErr(ds.Values, attack.None{}, 0, eps, uint64(0xC0+di*10+ei))
-			if err != nil {
-				return nil, err
-			}
-			rowC = append(rowC, e2s(fpr))
+			futsC[di][ei] = gammaErr(ds.Values, attack.None{}, 0, eps, uint64(0xC0+di*10+ei))
 			// Panel (d) reports γ̂ itself.
-			ima, err := sim.Average(cfg.Seed+uint64(0xD0+di*10+ei), cfg.Trials, func(r *rand.Rand) (float64, error) {
-				return probeGamma(r, ds.Values, eps, &attack.IMA{G: 1}, 0.25, cfg.EMFMaxIter)
-			})
-			if err != nil {
-				return nil, err
-			}
-			rowD = append(rowD, e2s(ima))
+			vals, e := ds.Values, eps
+			futsD[di][ei] = p.avg(cfg.Seed+uint64(0xD0+di*10+ei), cfg.Trials,
+				func(r *rand.Rand) (float64, error) {
+					return probeGamma(r, vals, e, &attack.IMA{G: 1}, 0.25, cfg.EMFMaxIter)
+				})
+		}
+	}
+	if err := collectA(); err != nil {
+		return nil, err
+	}
+	if err := collectB(); err != nil {
+		return nil, err
+	}
+	for di, name := range names {
+		rowC, err := collectCells([]string{name}, futsC[di], e2s)
+		if err != nil {
+			return nil, err
+		}
+		rowD, err := collectCells([]string{name}, futsD[di], e2s)
+		if err != nil {
+			return nil, err
 		}
 		c.Rows = append(c.Rows, rowC)
 		d.Rows = append(d.Rows, rowD)
 	}
 	return []*Table{a, b, c, d}, nil
+}
+
+// Fig5Cell evaluates one Fig. 5(a)-style cell — the Monte-Carlo average of
+// |γ̂−γ| for Poi[C/2,C] on Taxi at the given ε and γ — exported so the
+// repository benchmarks can track the cost of a single cell of the
+// hottest experiment.
+func Fig5Cell(cfg Config, eps, gamma float64) (float64, error) {
+	cfg = cfg.withDefaults()
+	taxi, err := loadDataset(cfg, "Taxi")
+	if err != nil {
+		return 0, err
+	}
+	adv := attack.NewBBA(mustRange("[C/2,C]"), attack.DistUniform)
+	return sim.Average(cfg.Seed, cfg.Trials, func(r *rand.Rand) (float64, error) {
+		gh, err := probeGamma(r, taxi.Values, eps, adv, gamma, cfg.EMFMaxIter)
+		if err != nil {
+			return 0, err
+		}
+		return math.Abs(gh - gamma), nil
+	})
 }

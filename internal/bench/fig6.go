@@ -73,14 +73,18 @@ func mseTable(cfg Config, title string, values []float64, trueMean float64, adv 
 			return trimmingTrial(values, eps, adv, gamma, true)
 		}},
 	)
+	p := cfg.newPool()
+	futs := make([][]*future[float64], len(schemes))
 	for si, sc := range schemes {
-		row := []string{sc.name}
+		futs[si] = make([]*future[float64], len(epsList))
 		for ei, eps := range epsList {
-			mse, err := sim.MSE(cfg.Seed+stream+uint64(si*10+ei), cfg.Trials, trueMean, sc.trial(eps))
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, e2s(mse))
+			futs[si][ei] = p.mse(cfg.Seed+stream+uint64(si*10+ei), cfg.Trials, trueMean, sc.trial(eps))
+		}
+	}
+	for si, sc := range schemes {
+		row, err := collectCells([]string{sc.name}, futs[si], e2s)
+		if err != nil {
+			return nil, err
 		}
 		t.Rows = append(t.Rows, row)
 	}

@@ -97,15 +97,21 @@ func fillSchemeRows(cfg Config, t *Table, values []float64, trueMean, eps float6
 			return trimmingTrial(values, eps, adv, gamma, true)
 		}},
 	)
+	p := cfg.newPool()
+	futs := make([][]*future[float64], len(rows))
 	for si, sr := range rows {
-		row := []string{sr.name}
+		futs[si] = make([]*future[float64], len(gammas))
 		for gi, gamma := range gammas {
+			// advFor stays in scheduling order (column-major per row) so
+			// stateful adversary factories see the sequential call pattern.
 			adv := advFor(gamma)
-			mse, err := sim.MSE(cfg.Seed+stream+uint64(si*16+gi), cfg.Trials, trueMean, sr.trial(adv, gamma))
-			if err != nil {
-				return err
-			}
-			row = append(row, e2s(mse))
+			futs[si][gi] = p.mse(cfg.Seed+stream+uint64(si*16+gi), cfg.Trials, trueMean, sr.trial(adv, gamma))
+		}
+	}
+	for si, sr := range rows {
+		row, err := collectCells([]string{sr.name}, futs[si], e2s)
+		if err != nil {
+			return err
 		}
 		t.Rows = append(t.Rows, row)
 	}

@@ -31,6 +31,7 @@ func Fig8(cfg Config) ([]*Table, error) {
 	// Raw Beta values on [0,1] — SW's native input domain.
 	beta25 := rawBeta(cfg, 2, 5)
 	beta52 := rawBeta(cfg, 5, 2)
+	p := cfg.newPool()
 
 	// Panel (a): distribution estimation quality.
 	a := &Table{
@@ -48,29 +49,25 @@ func Fig8(cfg Config) ([]*Table, error) {
 		{"CEMF*", core.SchemeCEMFStar, false},
 		{"Ostrich", 0, true},
 	}
+	futsA := make([][]*future[float64], len(recons))
 	for si, rc := range recons {
-		row := []string{rc.name}
+		futsA[si] = make([]*future[float64], len(epsListA))
 		for ei, eps := range epsListA {
-			w, err := sim.Average(cfg.Seed+uint64(0x8A00+si*16+ei), cfg.Trials, func(r *rand.Rand) (float64, error) {
+			rc, eps := rc, eps
+			futsA[si][ei] = p.avg(cfg.Seed+uint64(0x8A00+si*16+ei), cfg.Trials, func(r *rand.Rand) (float64, error) {
 				reports, err := swCollect(r, beta25, eps, attack.SWTop{}, 0.25)
 				if err != nil {
 					return 0, err
 				}
 				s := &core.SWSingle{Eps: eps, Scheme: rc.scheme, IgnorePoison: rc.ignorePoison, EMFMaxIter: cfg.EMFMaxIter}
-				xhat, centers, err := s.Reconstruct(reports)
+				xhat, _, err := s.Reconstruct(reports)
 				if err != nil {
 					return 0, err
 				}
 				trueHist := stats.Histogram(beta25, 0, 1, len(xhat)).Normalized()
-				_ = centers
 				return stats.Wasserstein1(xhat, trueHist, 1/float64(len(xhat))), nil
 			})
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, e2s(w))
 		}
-		a.Rows = append(a.Rows, row)
 	}
 
 	// Panel (b): γ̂ accuracy for SW.
@@ -78,23 +75,35 @@ func Fig8(cfg Config) ([]*Table, error) {
 		Title:  "Fig. 8(b): |γ̂−γ| for SW vs ε, γ=0.25, Poi[1+b/2,1+b]",
 		Header: append([]string{"Dataset"}, mapStrings(epsListA, epsLabel)...),
 	}
-	for di, it := range []struct {
+	betaSets := []struct {
 		name string
 		vals []float64
-	}{{"Beta(2,5)", beta25}, {"Beta(5,2)", beta52}} {
-		row := []string{it.name}
+	}{{"Beta(2,5)", beta25}, {"Beta(5,2)", beta52}}
+	futsB := make([][]*future[float64], len(betaSets))
+	for di, it := range betaSets {
+		futsB[di] = make([]*future[float64], len(epsListA))
 		for ei, eps := range epsListA {
-			v, err := sim.Average(cfg.Seed+uint64(0x8B00+di*16+ei), cfg.Trials, func(r *rand.Rand) (float64, error) {
-				gh, err := probeGammaSW(r, it.vals, eps, attack.SWTop{}, 0.25, cfg.EMFMaxIter)
+			vals, eps := it.vals, eps
+			futsB[di][ei] = p.avg(cfg.Seed+uint64(0x8B00+di*16+ei), cfg.Trials, func(r *rand.Rand) (float64, error) {
+				gh, err := probeGammaSW(r, vals, eps, attack.SWTop{}, 0.25, cfg.EMFMaxIter)
 				if err != nil {
 					return 0, err
 				}
 				return math.Abs(gh - 0.25), nil
 			})
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, e2s(v))
+		}
+	}
+	for si, rc := range recons {
+		row, err := collectCells([]string{rc.name}, futsA[si], e2s)
+		if err != nil {
+			return nil, err
+		}
+		a.Rows = append(a.Rows, row)
+	}
+	for di, it := range betaSets {
+		row, err := collectCells([]string{it.name}, futsB[di], e2s)
+		if err != nil {
+			return nil, err
 		}
 		b.Rows = append(b.Rows, row)
 	}
@@ -145,14 +154,17 @@ func Fig8(cfg Config) ([]*Table, error) {
 				return swOstrichTrial(it.vals, eps, attack.SWTop{}, 0.25, cfg.EMFMaxIter, true)
 			}},
 		)
+		futs := make([][]*future[float64], len(schemes))
 		for si, sc := range schemes {
-			row := []string{sc.name}
+			futs[si] = make([]*future[float64], len(epsListC))
 			for ei, eps := range epsListC {
-				mse, err := sim.MSE(cfg.Seed+uint64(0x8C00+pi*1000+si*16+ei), cfg.Trials, trueMean, sc.trial(eps))
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, e2s(mse))
+				futs[si][ei] = p.mse(cfg.Seed+uint64(0x8C00+pi*1000+si*16+ei), cfg.Trials, trueMean, sc.trial(eps))
+			}
+		}
+		for si, sc := range schemes {
+			row, err := collectCells([]string{sc.name}, futs[si], e2s)
+			if err != nil {
+				return nil, err
 			}
 			t.Rows = append(t.Rows, row)
 		}
@@ -179,12 +191,16 @@ func swCollect(r *rand.Rand, values []float64, eps float64, adv attack.Adversary
 	}
 	n := len(values)
 	nByz := int(math.Round(gamma * float64(n)))
-	perm := r.Perm(n)
 	env := attack.EnvFor(mech, 0.5)
 	reports := make([]float64, 0, n)
 	reports = append(reports, adv.Poison(r, env, nByz)...)
-	for _, u := range perm[nByz:] {
-		reports = append(reports, mech.Perturb(r, values[u]))
+	// As in core.CollectPM: report order is irrelevant downstream, so a
+	// sampled Byzantine bitset replaces the full O(N) permutation.
+	byz := core.SampleSubset(r, n, nByz)
+	for u, v := range values {
+		if byz == nil || byz[u>>6]&(1<<(uint(u)&63)) == 0 {
+			reports = append(reports, mech.Perturb(r, v))
+		}
 	}
 	return reports, nil
 }
@@ -197,7 +213,7 @@ func probeGammaSW(r *rand.Rand, values []float64, eps float64, adv attack.Advers
 	}
 	mech := sw.MustNew(eps)
 	d, dp := emf.BucketCounts(len(reports), mech.OutputDomain().Width())
-	m, err := emf.BuildNumeric(mech, d, dp)
+	m, err := emf.BuildNumericCached(mech, d, dp)
 	if err != nil {
 		return 0, err
 	}

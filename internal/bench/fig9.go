@@ -10,7 +10,6 @@ import (
 	"repro/internal/defense"
 	"repro/internal/emf"
 	"repro/internal/ldp/pm"
-	"repro/internal/sim"
 	"repro/internal/stats"
 )
 
@@ -39,6 +38,7 @@ func Fig9(cfg Config) ([]*Table, error) {
 	}
 	trueMean := taxi.TrueMean()
 	adv := attack.NewBBA(attack.RangeHighHalf, attack.DistUniform)
+	p := cfg.newPool()
 
 	// Panel (a): DAP vs k-means under BBA.
 	epsList := []float64{0.25, 0.5, 1, 1.5, 2}
@@ -46,27 +46,27 @@ func Fig9(cfg Config) ([]*Table, error) {
 		Title:  "Fig. 9(a): MSE vs ε — DAP vs k-means defense, Taxi, Poi[C/2,C], γ=0.25",
 		Header: append([]string{"Scheme"}, mapStrings(epsList, epsLabel)...),
 	}
-	for si, sc := range core.Schemes() {
-		row := []string{"DAP_" + sc.String()}
+	schemes := core.Schemes()
+	futsA := make([][]*future[float64], len(schemes))
+	for si, sc := range schemes {
+		futsA[si] = make([]*future[float64], len(epsList))
 		for ei, eps := range epsList {
 			d, err := core.NewDAP(dapParams(sc, eps, cfg.EMFMaxIter))
 			if err != nil {
 				return nil, err
 			}
-			mse, err := sim.MSE(cfg.Seed+uint64(0x9A00+si*16+ei), cfg.Trials, trueMean,
+			futsA[si][ei] = p.mse(cfg.Seed+uint64(0x9A00+si*16+ei), cfg.Trials, trueMean,
 				dapTrial(d, taxi.Values, adv, 0.25))
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, e2s(mse))
 		}
-		a.Rows = append(a.Rows, row)
 	}
-	for bi, beta := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
-		row := []string{fmt.Sprintf("K-means(β=%.1f)", beta)}
+	betas := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	futsKM := make([][]*future[float64], len(betas))
+	for bi, beta := range betas {
+		futsKM[bi] = make([]*future[float64], len(epsList))
 		for ei, eps := range epsList {
 			def := &defense.KMeansDefense{Subsets: kmSubsets, Rate: beta}
-			mse, err := sim.MSE(cfg.Seed+uint64(0x9B00+bi*16+ei), cfg.Trials, trueMean,
+			eps := eps
+			futsKM[bi][ei] = p.mse(cfg.Seed+uint64(0x9B00+bi*16+ei), cfg.Trials, trueMean,
 				func(r *rand.Rand) (float64, error) {
 					reports, err := core.CollectPM(r, taxi.Values, eps, adv, 0.25, 0)
 					if err != nil {
@@ -78,16 +78,10 @@ func Fig9(cfg Config) ([]*Table, error) {
 					}
 					return stats.Clamp(est, -1, 1), nil
 				})
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, e2s(mse))
 		}
-		a.Rows = append(a.Rows, row)
 	}
 
 	// Panel (b): IMA — EMF-based integration vs plain k-means.
-	betas := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
 	b := &Table{
 		Title:  "Fig. 9(b): MSE vs sampling rate β — IMA on Taxi, γ=0.25, ε=1",
 		Header: append([]string{"Scheme"}, mapStrings(betas, func(v float64) string { return fmt.Sprintf("%.1f", v) })...),
@@ -95,14 +89,16 @@ func Fig9(cfg Config) ([]*Table, error) {
 	const imaEps = 1.0
 	mech := pm.MustNew(imaEps)
 	din, dprime := emf.BucketCounts(cfg.N, mech.C())
-	matrix, err := emf.BuildNumeric(mech, din, dprime)
+	matrix, err := emf.BuildNumericCached(mech, din, dprime)
 	if err != nil {
 		return nil, err
 	}
-	for gi, g := range []float64{-1, 1, 0} {
+	gs := []float64{-1, 1, 0}
+	futsEMF := make([]*future[float64], len(gs))
+	for gi, g := range gs {
 		ima := &attack.IMA{G: g}
 		// EMF-based: no β dependence; one MSE reused across columns.
-		emfBased, err := sim.MSE(cfg.Seed+uint64(0x9C00+gi), cfg.Trials, trueMean,
+		futsEMF[gi] = p.mse(cfg.Seed+uint64(0x9C00+gi), cfg.Trials, trueMean,
 			func(r *rand.Rand) (float64, error) {
 				reports, err := core.CollectPM(r, taxi.Values, imaEps, ima, 0.25, 0)
 				if err != nil {
@@ -115,21 +111,14 @@ func Fig9(cfg Config) ([]*Table, error) {
 				}
 				return stats.Clamp(est, -1, 1), nil
 			})
-		if err != nil {
-			return nil, err
-		}
-		row := []string{fmt.Sprintf("EMF-based(g=%g)", g)}
-		for range betas {
-			row = append(row, e2s(emfBased))
-		}
-		b.Rows = append(b.Rows, row)
 	}
-	for gi, g := range []float64{-1, 1, 0} {
+	futsIKM := make([][]*future[float64], len(gs))
+	for gi, g := range gs {
 		ima := &attack.IMA{G: g}
-		row := []string{fmt.Sprintf("K-means(g=%g)", g)}
+		futsIKM[gi] = make([]*future[float64], len(betas))
 		for bi, beta := range betas {
 			def := &defense.KMeansDefense{Subsets: kmSubsets, Rate: beta}
-			mse, err := sim.MSE(cfg.Seed+uint64(0x9D00+gi*16+bi), cfg.Trials, trueMean,
+			futsIKM[gi][bi] = p.mse(cfg.Seed+uint64(0x9D00+gi*16+bi), cfg.Trials, trueMean,
 				func(r *rand.Rand) (float64, error) {
 					reports, err := core.CollectPM(r, taxi.Values, imaEps, ima, 0.25, 0)
 					if err != nil {
@@ -141,34 +130,27 @@ func Fig9(cfg Config) ([]*Table, error) {
 					}
 					return stats.Clamp(est, -1, 1), nil
 				})
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, e2s(mse))
 		}
-		b.Rows = append(b.Rows, row)
 	}
 
 	// Panels (c)(d): categorical frequency estimation on COVID-19.
 	cov := dataset.COVID19()
 	cats := cov.Sample(rng9(cfg), cfg.N)
 	trueFreqs := cov.Freqs()
-	var tables []*Table
-	tables = append(tables, a, b)
-	for pi, poisonCats := range [][]int{{10}, {10, 11, 12}} {
-		t := &Table{
-			Title:  fmt.Sprintf("Fig. 9(%c): frequency MSE vs ε — COVID-19, poison cats %v, γ=0.25", 'c'+pi, poisonCats),
-			Header: append([]string{"Scheme"}, mapStrings(epsList, epsLabel)...),
-		}
-		for si, sc := range core.Schemes() {
-			row := []string{"DAP_" + sc.String()}
+	poisonSets := [][]int{{10}, {10, 11, 12}}
+	futsCD := make([][][]*future[float64], len(poisonSets))
+	futsOst := make([][]*future[float64], len(poisonSets))
+	for pi, poisonCats := range poisonSets {
+		futsCD[pi] = make([][]*future[float64], len(schemes))
+		for si, sc := range schemes {
+			futsCD[pi][si] = make([]*future[float64], len(epsList))
 			for ei, eps := range epsList {
 				f, err := core.NewFreqDAP(core.FreqParams{Eps: eps, Eps0: 1.0 / 16, K: cov.K(), Scheme: sc, EMFMaxIter: cfg.EMFMaxIter})
 				if err != nil {
 					return nil, err
 				}
 				pc := poisonCats
-				mse, err := sim.MSEVec(cfg.Seed+uint64(0x9E00+pi*1000+si*16+ei), cfg.Trials, trueFreqs,
+				futsCD[pi][si][ei] = p.mseVec(cfg.Seed+uint64(0x9E00+pi*1000+si*16+ei), cfg.Trials, trueFreqs,
 					func(r *rand.Rand) ([]float64, error) {
 						est, err := f.RunFreq(r, cats, pc, 0.25)
 						if err != nil {
@@ -176,22 +158,16 @@ func Fig9(cfg Config) ([]*Table, error) {
 						}
 						return est.Freqs, nil
 					})
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, e2s(mse))
 			}
-			t.Rows = append(t.Rows, row)
 		}
-		// Ostrich frequency baseline.
-		row := []string{"Ostrich"}
+		futsOst[pi] = make([]*future[float64], len(epsList))
 		for ei, eps := range epsList {
 			f, err := core.NewFreqDAP(core.FreqParams{Eps: eps, Eps0: 1.0 / 16, K: cov.K(), EMFMaxIter: cfg.EMFMaxIter})
 			if err != nil {
 				return nil, err
 			}
 			pc := poisonCats
-			mse, err := sim.MSEVec(cfg.Seed+uint64(0x9F00+pi*1000+ei), cfg.Trials, trueFreqs,
+			futsOst[pi][ei] = p.mseVec(cfg.Seed+uint64(0x9F00+pi*1000+ei), cfg.Trials, trueFreqs,
 				func(r *rand.Rand) ([]float64, error) {
 					col, err := f.CollectFreq(r, cats, pc, 0.25)
 					if err != nil {
@@ -199,10 +175,58 @@ func Fig9(cfg Config) ([]*Table, error) {
 					}
 					return f.OstrichFreq(col)
 				})
+		}
+	}
+
+	// Collect everything in table order.
+	for si, sc := range schemes {
+		row, err := collectCells([]string{"DAP_" + sc.String()}, futsA[si], e2s)
+		if err != nil {
+			return nil, err
+		}
+		a.Rows = append(a.Rows, row)
+	}
+	for bi, beta := range betas {
+		row, err := collectCells([]string{fmt.Sprintf("K-means(β=%.1f)", beta)}, futsKM[bi], e2s)
+		if err != nil {
+			return nil, err
+		}
+		a.Rows = append(a.Rows, row)
+	}
+	for gi, g := range gs {
+		emfBased, err := futsEMF[gi].get()
+		if err != nil {
+			return nil, err
+		}
+		row := []string{fmt.Sprintf("EMF-based(g=%g)", g)}
+		for range betas {
+			row = append(row, e2s(emfBased))
+		}
+		b.Rows = append(b.Rows, row)
+	}
+	for gi, g := range gs {
+		row, err := collectCells([]string{fmt.Sprintf("K-means(g=%g)", g)}, futsIKM[gi], e2s)
+		if err != nil {
+			return nil, err
+		}
+		b.Rows = append(b.Rows, row)
+	}
+	tables := []*Table{a, b}
+	for pi, poisonCats := range poisonSets {
+		t := &Table{
+			Title:  fmt.Sprintf("Fig. 9(%c): frequency MSE vs ε — COVID-19, poison cats %v, γ=0.25", 'c'+pi, poisonCats),
+			Header: append([]string{"Scheme"}, mapStrings(epsList, epsLabel)...),
+		}
+		for si, sc := range schemes {
+			row, err := collectCells([]string{"DAP_" + sc.String()}, futsCD[pi][si], e2s)
 			if err != nil {
 				return nil, err
 			}
-			row = append(row, e2s(mse))
+			t.Rows = append(t.Rows, row)
+		}
+		row, err := collectCells([]string{"Ostrich"}, futsOst[pi], e2s)
+		if err != nil {
+			return nil, err
 		}
 		t.Rows = append(t.Rows, row)
 		tables = append(tables, t)

@@ -102,7 +102,7 @@ func probeGamma(r *rand.Rand, values []float64, eps float64, adv attack.Adversar
 	}
 	mech := pm.MustNew(eps)
 	d, dp := emf.BucketCounts(len(reports), mech.C())
-	m, err := emf.BuildNumeric(mech, d, dp)
+	m, err := emf.BuildNumericCached(mech, d, dp)
 	if err != nil {
 		return 0, err
 	}

@@ -15,6 +15,10 @@ import (
 // ranges and ε ∈ {2, 1/2, 1/4, 1/8, 1/16}. The right side (the truly
 // poisoned one) must yield the smaller variance everywhere, which is what
 // lets Algorithm 3 pick the side.
+//
+// Each (range, ε) cell owns a deterministic rng stream, so the cells run
+// concurrently on the experiment pool and the table is identical for any
+// Workers setting.
 func Table1(cfg Config) ([]*Table, error) {
 	epsList := []float64{2, 0.5, 0.25, 0.125, 0.0625}
 	ds, err := loadDataset(cfg, "Taxi")
@@ -25,28 +29,44 @@ func Table1(cfg Config) ([]*Table, error) {
 		Title:  "Table I: Variance of reconstructed normal data (Taxi, γ=0.25)",
 		Header: append([]string{"Poi[l,r]", "Side"}, mapStrings(epsList, epsLabel)...),
 	}
-	r := rng.Split(cfg.Seed, 0x7AB1)
-	for _, label := range rangeLabels {
+	p := cfg.newPool()
+	futs := make([][]*future[[2]float64], len(rangeLabels))
+	for ri, label := range rangeLabels {
 		adv := attack.NewBBA(mustRange(label), attack.DistUniform)
+		futs[ri] = make([]*future[[2]float64], len(epsList))
+		for ei, eps := range epsList {
+			stream := uint64(0x7AB1 + ri*16 + ei)
+			eps := eps
+			futs[ri][ei] = submit(p, func() ([2]float64, error) {
+				r := rng.Split(cfg.Seed, stream)
+				reports, err := core.CollectPM(r, ds.Values, eps, adv, 0.25, 0)
+				if err != nil {
+					return [2]float64{}, err
+				}
+				mech := pm.MustNew(eps)
+				d, dp := emf.BucketCounts(len(reports), mech.C())
+				m, err := emf.BuildNumericCached(mech, d, dp)
+				if err != nil {
+					return [2]float64{}, err
+				}
+				probe, err := emf.ProbeSide(m, m.Counts(reports), 0, emf.Config{Tol: emf.PaperTol(eps), MaxIter: cfg.EMFMaxIter})
+				if err != nil {
+					return [2]float64{}, err
+				}
+				return [2]float64{stats.Variance(probe.Left.X), stats.Variance(probe.Right.X)}, nil
+			})
+		}
+	}
+	for ri, label := range rangeLabels {
 		rowL := []string{label, "L"}
 		rowR := []string{label, "R"}
-		for _, eps := range epsList {
-			reports, err := core.CollectPM(r, ds.Values, eps, adv, 0.25, 0)
+		for _, f := range futs[ri] {
+			v, err := f.get()
 			if err != nil {
 				return nil, err
 			}
-			mech := pm.MustNew(eps)
-			d, dp := emf.BucketCounts(len(reports), mech.C())
-			m, err := emf.BuildNumeric(mech, d, dp)
-			if err != nil {
-				return nil, err
-			}
-			probe, err := emf.ProbeSide(m, m.Counts(reports), 0, emf.Config{Tol: emf.PaperTol(eps), MaxIter: cfg.EMFMaxIter})
-			if err != nil {
-				return nil, err
-			}
-			rowL = append(rowL, e2s(stats.Variance(probe.Left.X)))
-			rowR = append(rowR, e2s(stats.Variance(probe.Right.X)))
+			rowL = append(rowL, e2s(v[0]))
+			rowR = append(rowR, e2s(v[1]))
 		}
 		t.Rows = append(t.Rows, rowL, rowR)
 	}

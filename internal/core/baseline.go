@@ -113,7 +113,7 @@ func (b *Baseline) Estimate(col *BaselineCollection) (*Estimate, error) {
 		return nil, errors.New("core: baseline collection is empty")
 	}
 	din, dprime := emf.BucketCounts(len(col.Alpha), b.mechAlpha.C())
-	m, err := emf.BuildNumeric(b.mechAlpha, din, dprime)
+	m, err := emf.BuildNumericCached(b.mechAlpha, din, dprime)
 	if err != nil {
 		return nil, err
 	}

@@ -123,14 +123,14 @@ func (d *DAP) Collect(r *rand.Rand, values []float64, adv attack.Adversary, gamm
 		adv = attack.None{}
 	}
 	nByz := int(math.Round(gamma * float64(n)))
-	// A single shuffle provides both the Byzantine subset (first nByz
-	// positions) and the group assignment (contiguous chunks).
+	// A single shuffle provides both the Byzantine subset and the group
+	// assignment: group t holds users perm[t·n/h : (t+1)·n/h], and the
+	// Byzantine users are the fixed ids {0..nByz−1}, met wherever the
+	// shuffle scattered them. Byzantine users never report their own
+	// values (Poison ignores them), so fixing their ids costs nothing,
+	// while each group's Byzantine count stays multivariate hypergeometric
+	// exactly as with the second O(N) permutation the seed version drew.
 	perm := r.Perm(n)
-	isByz := make([]bool, n)
-	for _, u := range perm[:nByz] {
-		isByz[u] = true
-	}
-	assign := r.Perm(n)
 	col := &Collection{Groups: make([][]float64, d.H()), ByzCount: nByz}
 	h := d.H()
 	for t := 0; t < h; t++ {
@@ -139,12 +139,13 @@ func (d *DAP) Collect(r *rand.Rand, values []float64, adv attack.Adversary, gamm
 		mech := d.mechs[t]
 		env := attack.EnvFor(mech, d.p.OPrime)
 		reports := make([]float64, 0, (hi-lo)*g.Reports)
-		for _, u := range assign[lo:hi] {
-			if isByz[u] {
+		for _, u := range perm[lo:hi] {
+			if u < nByz {
 				reports = append(reports, adv.Poison(r, env, g.Reports)...)
 			} else {
+				v := values[u]
 				for k := 0; k < g.Reports; k++ {
-					reports = append(reports, mech.Perturb(r, values[u]))
+					reports = append(reports, mech.Perturb(r, v))
 				}
 			}
 		}
@@ -169,13 +170,18 @@ func (d *DAP) Estimate(col *Collection) (*Estimate, error) {
 		if len(col.Groups[t]) == 0 {
 			return nil, fmt.Errorf("core: group %d holds no reports", t)
 		}
+	}
+	if err := forEachGroup(h, func(t int) error {
 		din, dprime := emf.BucketCounts(len(col.Groups[t]), d.mechs[t].C())
-		m, err := emf.BuildNumeric(d.mechs[t], din, dprime)
+		m, err := emf.BuildNumericCached(d.mechs[t], din, dprime)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		matrices[t] = m
 		counts[t] = m.Counts(col.Groups[t])
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 
 	// Stage 3: probe side and γ̂ at the smallest budget (group h−1).
@@ -209,11 +215,13 @@ func (d *DAP) Estimate(col *Collection) (*Estimate, error) {
 	}
 	est.OPrime = oPrime
 	b := make([]float64, h)
-	// Stage 4: intra-group estimation.
-	for t := 0; t < h; t++ {
+	// Stage 4: intra-group estimation. The h EM fits are independent (each
+	// reads shared immutable inputs and writes only its own index), so they
+	// run concurrently; the estimate is bit-identical to the sequential one.
+	if err := forEachGroup(h, func(t int) error {
 		res, gammaT, err := d.groupResult(matrices[t], counts[t], side, gammaGlobal, oPrime, t)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		nt := float64(len(col.Groups[t]))
 		mHat := gammaT * nt
@@ -227,6 +235,9 @@ func (d *DAP) Estimate(col *Collection) (*Estimate, error) {
 		// n̂_t = (N_t − m̂_t)·ε_t/ε converts report counts to user counts.
 		est.NHat[t] = (nt - mHat) * d.groups[t].Eps / d.p.Eps
 		b[t] = est.NHat[t] * d.mechs[t].WorstCaseVar()
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 
 	// Stage 5: inter-group aggregation (Algorithm 5).
@@ -299,12 +310,36 @@ func CollectPM(r *rand.Rand, values []float64, eps float64, adv attack.Adversary
 	}
 	n := len(values)
 	nByz := int(math.Round(gamma * float64(n)))
-	perm := r.Perm(n)
 	env := attack.EnvFor(mech, oPrime)
 	reports := make([]float64, 0, n)
 	reports = append(reports, adv.Poison(r, env, nByz)...)
-	for _, u := range perm[nByz:] {
-		reports = append(reports, mech.Perturb(r, values[u]))
+	// Only the Byzantine subset matters here (report order is irrelevant to
+	// every consumer — counts, sums and trimming are order-invariant), so a
+	// rejection-sampled index bitset replaces the full O(N) permutation the
+	// seed version drew. At γ = 0 no selection randomness is consumed at all.
+	byz := SampleSubset(r, n, nByz)
+	for u, v := range values {
+		if byz == nil || byz[u>>6]&(1<<(uint(u)&63)) == 0 {
+			reports = append(reports, mech.Perturb(r, v))
+		}
 	}
 	return reports, nil
+}
+
+// SampleSubset draws a uniform random k-subset of [0,n) as a bitset via
+// rejection sampling (expected n·ln(n/(n−k)) draws, ≤ ~1.4k at the threat
+// model's k ≤ n/2). It returns nil when k = 0.
+func SampleSubset(r *rand.Rand, n, k int) []uint64 {
+	if k <= 0 {
+		return nil
+	}
+	set := make([]uint64, (n+63)/64)
+	for c := 0; c < k; {
+		j := uint(r.IntN(n))
+		if set[j>>6]&(1<<(j&63)) == 0 {
+			set[j>>6] |= 1 << (j & 63)
+			c++
+		}
+	}
+	return set
 }

@@ -94,12 +94,11 @@ func (d *FreqDAP) CollectFreq(r *rand.Rand, cats []int, poisonCats []int, gamma 
 		}
 	}
 	nByz := int(math.Round(gamma * float64(n)))
+	// One shuffle provides both the Byzantine subset (the fixed ids
+	// {0..nByz−1}, scattered by the shuffle; their categories are never
+	// reported) and the group assignment (contiguous chunks), mirroring
+	// DAP.Collect — per-group Byzantine counts stay hypergeometric.
 	perm := r.Perm(n)
-	isByz := make([]bool, n)
-	for _, u := range perm[:nByz] {
-		isByz[u] = true
-	}
-	assign := r.Perm(n)
 	h := d.H()
 	col := &FreqCollection{Counts: make([][]float64, h), ByzCount: nByz}
 	for t := 0; t < h; t++ {
@@ -107,9 +106,9 @@ func (d *FreqDAP) CollectFreq(r *rand.Rand, cats []int, poisonCats []int, gamma 
 		g := d.groups[t]
 		mech := d.mechs[t]
 		counts := make([]float64, d.p.K)
-		for _, u := range assign[lo:hi] {
+		for _, u := range perm[lo:hi] {
 			for k := 0; k < g.Reports; k++ {
-				if isByz[u] {
+				if u < nByz {
 					counts[poisonCats[r.IntN(len(poisonCats))]]++
 				} else {
 					counts[mech.PerturbCat(r, cats[u])]++
@@ -146,7 +145,7 @@ func (d *FreqDAP) EstimateFreq(col *FreqCollection) (*FreqEstimate, error) {
 		if len(col.Counts[t]) != d.p.K {
 			return nil, fmt.Errorf("core: group %d counts have wrong arity", t)
 		}
-		matrices[t] = emf.BuildCategorical(d.mechs[t])
+		matrices[t] = emf.BuildCategoricalCached(d.mechs[t])
 	}
 	// Probe poisoned categories and γ̂ at the smallest budget.
 	probeSet, probeRes, err := emf.ProbeCategories(matrices[h-1], col.Counts[h-1], d.cfg(h-1))
@@ -162,19 +161,21 @@ func (d *FreqDAP) EstimateFreq(col *FreqCollection) (*FreqEstimate, error) {
 	}
 	b := make([]float64, h)
 	nHat := make([]float64, h)
-	for t := 0; t < h; t++ {
+	// The per-group EM fits are independent; run them concurrently (each
+	// writes only its own index, so the output is order-independent).
+	if err := forEachGroup(h, func(t int) error {
 		m := matrices[t]
 		cfg := d.cfg(t)
 		base, err := emf.Run(m, col.Counts[t], probeSet, cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res := base
 		gammaT := base.Gamma()
 		switch d.p.Scheme {
 		case SchemeEMFStar:
 			if res, err = emf.RunConstrained(m, col.Counts[t], probeSet, gammaGlobal, cfg); err != nil {
-				return nil, err
+				return err
 			}
 			gammaT = gammaGlobal
 		case SchemeCEMFStar:
@@ -183,7 +184,7 @@ func (d *FreqDAP) EstimateFreq(col *FreqCollection) (*FreqEstimate, error) {
 				factor = 0.5
 			}
 			if res, err = emf.RunConcentrated(m, col.Counts[t], base, gammaGlobal, factor, cfg); err != nil {
-				return nil, err
+				return err
 			}
 			gammaT = res.Gamma()
 		}
@@ -195,6 +196,9 @@ func (d *FreqDAP) EstimateFreq(col *FreqCollection) (*FreqEstimate, error) {
 		}
 		nHat[t] = (nt - mHat) * d.groups[t].Eps / d.p.Eps
 		b[t] = nHat[t] * d.mechs[t].WorstCaseVar()
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	w, err := OptimalWeights(b, nHat, d.p.WeightMode)
 	if err != nil {

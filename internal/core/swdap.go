@@ -133,7 +133,7 @@ func (d *SWDAP) Estimate(col *Collection) (*SWEstimate, error) {
 		}
 		c := d.mechs[t].OutputDomain().Width() // SW analogue of 2C/2
 		din, dprime := emf.BucketCounts(len(col.Groups[t]), c)
-		m, err := emf.BuildNumeric(d.mechs[t], din, dprime)
+		m, err := emf.BuildNumericCached(d.mechs[t], din, dprime)
 		if err != nil {
 			return nil, err
 		}
@@ -297,7 +297,7 @@ func (s *SWSingle) Reconstruct(reports []float64) (xhat, centers []float64, err 
 		return nil, nil, err
 	}
 	din, dprime := emf.BucketCounts(len(reports), mech.OutputDomain().Width())
-	m, err := emf.BuildNumeric(mech, din, dprime)
+	m, err := emf.BuildNumericCached(mech, din, dprime)
 	if err != nil {
 		return nil, nil, err
 	}

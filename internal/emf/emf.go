@@ -3,6 +3,7 @@ package emf
 import (
 	"errors"
 	"math"
+	"sync"
 )
 
 // Config controls the EM iterations shared by EMF, EMF* and CEMF*.
@@ -17,6 +18,10 @@ type Config struct {
 	// after each M-step (used with the Square Wave mechanism, per Li et
 	// al.'s EMS and the paper's §V-D extension).
 	Smooth bool
+	// Dense forces the O(D′×D) dense E-step even when the matrix carries a
+	// banded representation — for tests and benchmarks comparing the two
+	// paths. Production callers leave it false.
+	Dense bool
 }
 
 // Default iteration controls.
@@ -71,16 +76,49 @@ func (r *Result) Gamma() float64 {
 	return s
 }
 
-// state carries preallocated buffers for the EM loops.
+// state carries the EM loop buffers. States are pooled: repeated
+// Estimate/trial calls reuse the five slices instead of reallocating them
+// per run, which matters when the Monte-Carlo harness fires thousands of
+// EM fits.
 type state struct {
 	m        *Matrix
 	counts   []float64
+	poison   []int
 	isPoison []bool // indexed by output bucket
 	x        []float64
 	y        []float64 // indexed by output bucket; zero outside poison
 	px       []float64
 	py       []float64
-	den      []float64
+	// Banded E-step scratch: the rows with nonzero observed count (the
+	// only ones that contribute), the poison subset of those, and the
+	// per-row denominators/weights of the current iteration. Splitting the
+	// sweep into short batched passes over these lets the per-row
+	// divisions and logarithms pipeline instead of serializing on each
+	// row's dependency chain.
+	rows []int
+	// xpre and diff are scratch for the regular banded E-step: prefix sums
+	// of x̂ and the Px difference array (both length D+1, L1-resident).
+	xpre []float64
+	diff []float64
+	// sumPx and sumPy are Σ Px and Σ Py of the latest E-step, accumulated
+	// during the sweep so the M-step normalization needs no extra pass.
+	sumPx, sumPy float64
+}
+
+var statePool = sync.Pool{New: func() any { return new(state) }}
+
+func growF(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growB(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
 }
 
 func newState(m *Matrix, counts []float64, poison []int) (*state, error) {
@@ -90,18 +128,19 @@ func newState(m *Matrix, counts []float64, poison []int) (*state, error) {
 	if err := m.validatePoison(poison); err != nil {
 		return nil, err
 	}
-	s := &state{
-		m:        m,
-		counts:   counts,
-		isPoison: make([]bool, m.DPrime),
-		x:        make([]float64, m.D),
-		y:        make([]float64, m.DPrime),
-		px:       make([]float64, m.D),
-		py:       make([]float64, m.DPrime),
-		den:      make([]float64, m.DPrime),
-	}
-	for _, j := range poison {
-		s.isPoison[j] = true
+	s := statePool.Get().(*state)
+	s.m, s.counts, s.poison = m, counts, poison
+	s.isPoison = growB(s.isPoison, m.DPrime)
+	s.x = growF(s.x, m.D)
+	s.y = growF(s.y, m.DPrime)
+	s.px = growF(s.px, m.D)
+	s.py = growF(s.py, m.DPrime)
+	s.xpre = growF(s.xpre, m.D+1)
+	s.diff = growF(s.diff, m.D+1)
+	for i := range s.isPoison {
+		s.isPoison[i] = false
+		s.y[i] = 0
+		s.py[i] = 0
 	}
 	// Initialization of Algorithm 2: x̂_k = ŷ_j = 1/(d + |P|).
 	init := 1.0 / float64(m.D+len(poison))
@@ -109,18 +148,55 @@ func newState(m *Matrix, counts []float64, poison []int) (*state, error) {
 		s.x[k] = init
 	}
 	for _, j := range poison {
+		s.isPoison[j] = true
 		s.y[j] = init
+	}
+	s.rows = s.rows[:0]
+	for i, c := range counts {
+		if c > 0 {
+			s.rows = append(s.rows, i)
+		}
 	}
 	return s, nil
 }
 
+// release returns the buffers to the pool; the state must not be used
+// afterwards. Results hand out copies, so pooling is invisible to callers.
+func (s *state) release() {
+	s.m, s.counts, s.poison = nil, nil, nil
+	statePool.Put(s)
+}
+
 // eStep computes the expected component masses Px, Py and returns the
-// current log-likelihood l(F) = Σ_i c_i ln D_i.
-func (s *state) eStep() float64 {
+// current log-likelihood l(F) = Σ_i c_i ln D_i, dispatching to the banded
+// fast path when the matrix carries one.
+func (s *state) eStep(dense bool) float64 {
+	if !dense && s.m.band != nil {
+		if s.m.band.regular {
+			return s.eStepBandedRegular()
+		}
+		return s.eStepBanded()
+	}
+	return s.eStepDense()
+}
+
+// eStepDense is the reference O(D′×D) E-step, fused into a single sweep:
+// each row's denominator, log-likelihood contribution, Px accumulation and
+// Py update happen while the row is hot in cache. Rows with zero observed
+// count contribute nothing and are skipped.
+func (s *state) eStepDense() float64 {
 	m := s.m
 	d := m.D
-	var ll float64
+	px := s.px
+	for k := range px {
+		px[k] = 0
+	}
+	var ll, sumPy float64
 	for i := 0; i < m.DPrime; i++ {
+		c := s.counts[i]
+		if c <= 0 {
+			continue
+		}
 		row := m.P[i*d : i*d+d]
 		den := s.y[i] // zero outside the poison set
 		for k, p := range row {
@@ -129,83 +205,236 @@ func (s *state) eStep() float64 {
 		if den < 1e-300 {
 			den = 1e-300
 		}
-		s.den[i] = den
-		if c := s.counts[i]; c > 0 {
-			ll += c * math.Log(den)
+		// Manually inlined fastLog(den) (see banded.go): the call itself
+		// costs as much as the table lookup at this call frequency.
+		bits := math.Float64bits(den)
+		lt := &logTab[(bits>>(52-logTabBits))&(1<<logTabBits-1)]
+		lr := math.Float64frombits((bits&0x000fffffffffffff)|0x3ff0000000000000)*lt.inv - 1
+		ll += c * (float64(int(bits>>52)-1023)*ln2 + (lt.log + lr*(1-lr*(0.5-lr*(1.0/3-lr*0.25)))))
+		w := c / den
+		for k, p := range row {
+			px[k] += w * p
+		}
+		if s.isPoison[i] {
+			py := s.y[i] * w
+			s.py[i] = py
+			sumPy += py
 		}
 	}
+	var sumPx float64
 	for k := 0; k < d; k++ {
-		var acc float64
-		for i := 0; i < m.DPrime; i++ {
-			if c := s.counts[i]; c > 0 {
-				acc += c * m.P[i*d+k] / s.den[i]
+		v := px[k] * s.x[k]
+		px[k] = v
+		sumPx += v
+	}
+	s.sumPx, s.sumPy = sumPx, sumPy
+	return ll
+}
+
+// eStepBanded exploits the two-level column structure: with
+// P[i,k] = base[k] + delta(i,k), each denominator is the running baseline
+// sum S = Σ base[k]·x̂_k plus an O(band) correction, and the Px accumulation
+// likewise splits into base[k]·Σ w_i (one scalar per sweep) plus banded
+// corrections — O(band + D + D′) per iteration instead of O(D·D′). The
+// sweep is organized as short batched passes over the active rows so that
+// the per-row division and logarithm issue back-to-back (throughput-bound)
+// instead of serializing on each row's dependency chain; all scratch
+// arrays are ≤ D′ floats and stay L1-resident.
+func (s *state) eStepBanded() float64 {
+	m := s.m
+	b := m.band
+	d := m.D
+	var S float64
+	for k, bk := range b.base {
+		S += bk * s.x[k]
+	}
+	px := s.px
+	for k := range px {
+		px[k] = 0
+	}
+	var ll, T, sumPy float64
+	for _, i := range s.rows {
+		c := s.counts[i]
+		vals := b.vals[b.off[i]:b.off[i+1]]
+		lo := b.lo[i]
+		xs := s.x[lo : lo+len(vals)]
+		// Specialized dot product: bands of one or two columns (the common
+		// case at small ε, where D = d′/C is tiny) skip the loop entirely;
+		// longer bands use two accumulators so the multiplies overlap
+		// instead of serializing on one add chain. Band widths are nearly
+		// constant within a matrix, so the switch predicts perfectly.
+		var dot float64
+		switch len(vals) {
+		case 1:
+			dot = vals[0] * xs[0]
+		case 2:
+			dot = vals[0]*xs[0] + vals[1]*xs[1]
+		default:
+			var d0, d1 float64
+			n2 := len(vals) &^ 1
+			for j := 0; j < n2; j += 2 {
+				d0 += vals[j] * xs[j]
+				d1 += vals[j+1] * xs[j+1]
 			}
+			if n2 < len(vals) {
+				d0 += vals[n2] * xs[n2]
+			}
+			dot = d0 + d1
 		}
-		s.px[k] = s.x[k] * acc
-	}
-	for i := 0; i < m.DPrime; i++ {
-		if s.isPoison[i] && s.counts[i] > 0 {
-			s.py[i] = s.y[i] * s.counts[i] / s.den[i]
-		} else {
-			s.py[i] = 0
+		den := s.y[i] + S + dot
+		if den < 1e-300 {
+			den = 1e-300
+		}
+		// Manually inlined fastLog(den) (see banded.go: the call overhead
+		// alone is measurable at this frequency).
+		bits := math.Float64bits(den)
+		lt := &logTab[(bits>>(52-logTabBits))&(1<<logTabBits-1)]
+		lr := math.Float64frombits((bits&0x000fffffffffffff)|0x3ff0000000000000)*lt.inv - 1
+		ll += c * (float64(int(bits>>52)-1023)*ln2 + (lt.log + lr*(1-lr*(0.5-lr*(1.0/3-lr*0.25)))))
+		w := c / den
+		T += w
+		pxs := px[lo : lo+len(vals)]
+		for j, v := range vals {
+			pxs[j] += w * v
+		}
+		if s.isPoison[i] {
+			py := s.y[i] * w
+			s.py[i] = py
+			sumPy += py
 		}
 	}
+	var sumPx float64
+	for k := 0; k < d; k++ {
+		v := s.x[k] * (b.base[k]*T + px[k])
+		px[k] = v
+		sumPx += v
+	}
+	s.sumPx, s.sumPy = sumPx, sumPy
+	return ll
+}
+
+// eStepBandedRegular is the O(D + D′) E-step for matrices whose band
+// interior is one constant delta0 (PM, SW, k-RR — see bandRep). Each
+// denominator needs only the two window-edge terms plus
+// delta0·(X[hi−1] − X[lo+1]) over the prefix sums X of x̂, and the Px
+// scatter becomes two edge writes plus a difference-array update, so one
+// EM iteration costs O(D + D′) independent of the band width.
+func (s *state) eStepBandedRegular() float64 {
+	m := s.m
+	b := m.band
+	d := m.D
+	x := s.x
+	var S float64
+	for k, bk := range b.base {
+		S += bk * x[k]
+	}
+	X := s.xpre
+	X[0] = 0
+	for k := 0; k < d; k++ {
+		X[k+1] = X[k] + x[k]
+	}
+	px := s.px
+	diff := s.diff
+	for k := range px {
+		px[k] = 0
+	}
+	for k := range diff {
+		diff[k] = 0
+	}
+	d0 := b.delta0
+	var ll, T, sumPy float64
+	for _, i := range s.rows {
+		c := s.counts[i]
+		lo, hi := b.lo[i], b.hi[i]
+		den := s.y[i] + S
+		switch hi - lo {
+		case 0:
+		case 1:
+			den += b.edgeLo[i] * x[lo]
+		case 2:
+			den += b.edgeLo[i]*x[lo] + b.edgeHi[i]*x[hi-1]
+		default:
+			den += b.edgeLo[i]*x[lo] + b.edgeHi[i]*x[hi-1] + d0*(X[hi-1]-X[lo+1])
+		}
+		if den < 1e-300 {
+			den = 1e-300
+		}
+		// Manually inlined fastLog(den) (see banded.go: the call overhead
+		// alone is measurable at this frequency).
+		bits := math.Float64bits(den)
+		lt := &logTab[(bits>>(52-logTabBits))&(1<<logTabBits-1)]
+		lr := math.Float64frombits((bits&0x000fffffffffffff)|0x3ff0000000000000)*lt.inv - 1
+		ll += c * (float64(int(bits>>52)-1023)*ln2 + (lt.log + lr*(1-lr*(0.5-lr*(1.0/3-lr*0.25)))))
+		w := c / den
+		T += w
+		switch hi - lo {
+		case 0:
+		case 1:
+			px[lo] += b.edgeLo[i] * w
+		case 2:
+			px[lo] += b.edgeLo[i] * w
+			px[hi-1] += b.edgeHi[i] * w
+		default:
+			px[lo] += b.edgeLo[i] * w
+			px[hi-1] += b.edgeHi[i] * w
+			dw := d0 * w
+			diff[lo+1] += dw
+			diff[hi-1] -= dw
+		}
+		if s.isPoison[i] {
+			py := s.y[i] * w
+			s.py[i] = py
+			sumPy += py
+		}
+	}
+	var run, sumPx float64
+	for k := 0; k < d; k++ {
+		run += diff[k]
+		v := x[k] * (b.base[k]*T + px[k] + run)
+		px[k] = v
+		sumPx += v
+	}
+	s.sumPx, s.sumPy = sumPx, sumPy
 	return ll
 }
 
 // mStepEMF is Algorithm 2's M-step: joint normalization of Px and Py.
+// One reciprocal replaces the D+|P| divisions of the literal form — at
+// ~10⁷ normalizations per harness run the divider latency is visible.
 func (s *state) mStepEMF() {
-	var total float64
-	for _, v := range s.px {
-		total += v
-	}
-	for _, v := range s.py {
-		total += v
-	}
+	total := s.sumPx + s.sumPy
 	if total <= 0 {
 		return
 	}
+	inv := 1 / total
 	for k := range s.x {
-		s.x[k] = s.px[k] / total
+		s.x[k] = s.px[k] * inv
 	}
-	for i := range s.y {
-		if s.isPoison[i] {
-			s.y[i] = s.py[i] / total
-		}
+	for _, j := range s.poison {
+		s.y[j] = s.py[j] * inv
 	}
 }
 
 // mStepConstrained is Algorithm 4's M-step (Theorem 4): x̂ renormalized to
 // mass 1−γ and ŷ to mass γ.
 func (s *state) mStepConstrained(gamma float64) {
-	var sx, sy float64
-	for _, v := range s.px {
-		sx += v
-	}
-	for _, v := range s.py {
-		sy += v
-	}
+	sx, sy := s.sumPx, s.sumPy
 	if sx > 0 {
+		scale := (1 - gamma) / sx
 		for k := range s.x {
-			s.x[k] = (1 - gamma) * s.px[k] / sx
+			s.x[k] = scale * s.px[k]
 		}
 	}
-	nPoison := 0
-	for i := range s.y {
-		if s.isPoison[i] {
-			nPoison++
+	if sy > 0 {
+		scale := gamma / sy
+		for _, j := range s.poison {
+			s.y[j] = scale * s.py[j]
 		}
-	}
-	for i := range s.y {
-		if !s.isPoison[i] {
-			continue
-		}
-		if sy > 0 {
-			s.y[i] = gamma * s.py[i] / sy
-		} else if nPoison > 0 {
-			// No observed mass in poison buckets: spread γ uniformly so the
-			// constraint Σŷ = γ still holds.
-			s.y[i] = gamma / float64(nPoison)
+	} else {
+		// No observed mass in poison buckets: spread γ uniformly so the
+		// constraint Σŷ = γ still holds.
+		for _, j := range s.poison {
+			s.y[j] = gamma / float64(len(s.poison))
 		}
 	}
 }
@@ -260,11 +489,12 @@ func Run(m *Matrix, counts []float64, poison []int, cfg Config) (*Result, error)
 	if err != nil {
 		return nil, err
 	}
+	defer s.release()
 	tol, maxIter := cfg.tol(), cfg.maxIter()
 	prevLL := math.Inf(-1)
 	var ll float64
 	for it := 1; it <= maxIter; it++ {
-		ll = s.eStep()
+		ll = s.eStep(cfg.Dense)
 		s.mStepEMF()
 		if cfg.Smooth {
 			s.smoothX()
@@ -287,11 +517,12 @@ func RunConstrained(m *Matrix, counts []float64, poison []int, gamma float64, cf
 	if err != nil {
 		return nil, err
 	}
+	defer s.release()
 	tol, maxIter := cfg.tol(), cfg.maxIter()
 	prevLL := math.Inf(-1)
 	var ll float64
 	for it := 1; it <= maxIter; it++ {
-		ll = s.eStep()
+		ll = s.eStep(cfg.Dense)
 		s.mStepConstrained(gamma)
 		if cfg.Smooth {
 			s.smoothX()

@@ -33,6 +33,9 @@ type Matrix struct {
 	OutLo  float64
 	OutHi  float64
 	P      []float64 // DPrime × D, row-major
+	// band is the optional two-level structured representation detected at
+	// build time; nil keeps the dense E-step (see banded.go).
+	band *bandRep
 }
 
 // At returns Pr[output bucket i | input bucket k].
@@ -79,11 +82,22 @@ func (m *Matrix) OutBucket(v float64) int {
 }
 
 // Counts histograms reports into the matrix's output buckets (the c_i of
-// Algorithm 2).
+// Algorithm 2). The bucket division is hoisted to one reciprocal so the
+// per-report work is a single fused multiply (reports number in the
+// millions per harness run).
 func (m *Matrix) Counts(reports []float64) []float64 {
 	c := make([]float64, m.DPrime)
+	lo, inv, last := m.OutLo, 1/m.OutWidth(), m.DPrime-1
 	for _, v := range reports {
-		c[m.OutBucket(v)]++
+		// v ≥ lo−ulp for in-domain reports, so truncation matches Floor;
+		// the clamps keep out-of-domain reports in the boundary buckets.
+		i := int((v - lo) * inv)
+		if i < 0 {
+			i = 0
+		} else if i > last {
+			i = last
+		}
+		c[i]++
 	}
 	return c
 }
@@ -116,6 +130,7 @@ func BuildNumeric(mech ldp.IntervalProber, d, dprime int) (*Matrix, error) {
 			m.P[i*d+k] = mech.IntervalProb(v, a, a+ow)
 		}
 	}
+	m.detectBands()
 	return m, nil
 }
 
@@ -139,6 +154,7 @@ func BuildCategorical(mech ldp.Categorical) *Matrix {
 			m.P[to*k+from] = mech.TransitionProb(from, to)
 		}
 	}
+	m.detectBands()
 	return m
 }
 

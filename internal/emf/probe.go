@@ -1,6 +1,8 @@
 package emf
 
 import (
+	"sync"
+
 	"repro/internal/stats"
 )
 
@@ -44,13 +46,25 @@ func (p *SideProbe) Chosen() *Result {
 // reconstructed normal-user histogram x̂ has the smaller variance
 // (Theorem 3: under the correct side x̂ tends to uniform).
 func ProbeSide(m *Matrix, counts []float64, oPrime float64, cfg Config) (*SideProbe, error) {
-	left, err := Run(m, counts, m.PoisonLeft(oPrime), cfg)
-	if err != nil {
-		return nil, err
+	// The two probes are independent EM fits over shared immutable inputs;
+	// overlap them (the caller blocks on both, so the result is unchanged).
+	var (
+		left, right *Result
+		errL, errR  error
+		wg          sync.WaitGroup
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		left, errL = Run(m, counts, m.PoisonLeft(oPrime), cfg)
+	}()
+	right, errR = Run(m, counts, m.PoisonRight(oPrime), cfg)
+	wg.Wait()
+	if errL != nil {
+		return nil, errL
 	}
-	right, err := Run(m, counts, m.PoisonRight(oPrime), cfg)
-	if err != nil {
-		return nil, err
+	if errR != nil {
+		return nil, errR
 	}
 	p := &SideProbe{
 		Left:  left,

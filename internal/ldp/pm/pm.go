@@ -20,11 +20,13 @@ import (
 
 // Mechanism is a Piecewise Mechanism instance for a fixed budget.
 type Mechanism struct {
-	eps    float64
-	c      float64 // output bound C
-	thresh float64 // probability of the high band: e^{ε/2}/(e^{ε/2}+1)
-	dIn    float64 // density inside [l, r]
-	dOut   float64 // density outside
+	eps       float64
+	c         float64 // output bound C
+	thresh    float64 // probability of the high band: e^{ε/2}/(e^{ε/2}+1)
+	dIn       float64 // density inside [l, r]
+	dOut      float64 // density outside
+	invThresh float64 // 1/thresh, hoisted off the Perturb hot path
+	invTail   float64 // 1/(1−thresh)
 }
 
 // New returns a Piecewise Mechanism with privacy budget eps.
@@ -36,11 +38,13 @@ func New(eps float64) (*Mechanism, error) {
 	c := (e2 + 1) / (e2 - 1)
 	thresh := e2 / (e2 + 1)
 	return &Mechanism{
-		eps:    eps,
-		c:      c,
-		thresh: thresh,
-		dIn:    thresh / (c - 1),
-		dOut:   (1 - thresh) / (c + 1),
+		eps:       eps,
+		c:         c,
+		thresh:    thresh,
+		dIn:       thresh / (c - 1),
+		dOut:      (1 - thresh) / (c + 1),
+		invThresh: 1 / thresh,
+		invTail:   1 / (1 - thresh),
 	}, nil
 }
 
@@ -74,21 +78,32 @@ func (m *Mechanism) Band(v float64) (l, r float64) {
 	return l, l + m.c - 1
 }
 
-// Perturb implements Algorithm 1 of the paper.
+// Perturb implements Algorithm 1 of the paper. It consumes a single
+// uniform draw: conditioned on u < thresh, u/thresh is again U[0,1) (and
+// (u−thresh)/(1−thresh) in the complementary branch), so the branch
+// selector is recycled as the position inside the selected segment — an
+// exact distributional identity, not an approximation. Halving the
+// generator traffic is measurable when the Monte-Carlo harness perturbs
+// millions of values per experiment.
 func (m *Mechanism) Perturb(r *rand.Rand, v float64) float64 {
-	v = m.InputDomain().Clamp(v)
+	if v < -1 {
+		v = -1
+	} else if v > 1 {
+		v = 1
+	}
 	l, rr := m.Band(v)
-	if r.Float64() < m.thresh {
-		return l + (rr-l)*r.Float64()
+	u := r.Float64()
+	if u < m.thresh {
+		return l + (rr-l)*(u*m.invThresh)
 	}
 	// Uniform over [−C, l) ∪ (r, C], proportional to segment lengths.
 	left := l + m.c
 	right := m.c - rr
-	u := r.Float64() * (left + right)
-	if u < left {
-		return -m.c + u
+	t := (u - m.thresh) * m.invTail * (left + right)
+	if t < left {
+		return -m.c + t
 	}
-	return rr + (u - left)
+	return rr + (t - left)
 }
 
 // PDF returns the output density at out given input v.
