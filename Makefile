@@ -3,7 +3,7 @@
 GO ?= go
 DATE := $(shell date +%Y%m%d)
 
-.PHONY: all build vet test bench bench-json bench-smoke
+.PHONY: all build vet test race bench bench-json bench-smoke load-smoke
 
 all: vet build test
 
@@ -15,6 +15,10 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Race-detector pass over the concurrent serving layer.
+race:
+	$(GO) test -race ./internal/stream/ ./internal/transport/ ./internal/privacy/
 
 # Micro- and experiment-level benchmarks (reduced scale; see bench_test.go).
 bench:
@@ -28,3 +32,16 @@ bench-smoke:
 # wall-clock trajectory in a dated BENCH_<date>.json (see EXPERIMENTS.md).
 bench-json:
 	$(GO) run ./cmd/dapbench -exp all -bench-json BENCH_$(DATE).json > /dev/null
+
+# Load-generator smoke: boot an in-process collector over real loopback
+# HTTP, drive 10k reports through batched ingest with a rotating epoch
+# clock, and require ≥100k reports/sec plus a sane live per-epoch estimate.
+load-smoke:
+	$(GO) run ./cmd/daploadgen -addr "" -reports 10000 -epoch 150ms \
+		-min-rate 100000 -assert
+
+# load-smoke plus: merge the measured throughput/latency into the dated
+# BENCH_<date>.json next to the experiment timings.
+load-json:
+	$(GO) run ./cmd/daploadgen -addr "" -reports 10000 -epoch 150ms \
+		-min-rate 100000 -assert -bench-json BENCH_$(DATE).json

@@ -1,46 +1,82 @@
-// Command dapcollect serves the DAP collector over HTTP.
+// Command dapcollect serves the multi-tenant DAP collector over HTTP.
 //
 // Usage:
 //
-//	dapcollect -addr :8080 -eps 1 -eps0 0.0625 -scheme cemf
+//	dapcollect -addr :8080 -eps 1 -eps0 0.0625 -scheme cemf -epoch 30s
 //
-// Endpoints: GET /v1/config, POST /v1/join, POST /v1/report,
-// GET /v1/status, GET /v1/estimate. Clients perturb locally; the server
-// never sees raw values and enforces each user's ε with a budget
-// accountant.
+// The default tenant is created from the protocol flags; further tenants
+// are managed at runtime via POST /v1/tenants. Endpoints: the original
+// single-collector API (GET /v1/config, POST /v1/join, POST /v1/report,
+// GET /v1/status, GET /v1/estimate) plus POST /v1/ingest (batched
+// reports), POST /v1/rotate (seal the epoch), tenant CRUD under
+// /v1/tenants and the same routes per tenant under
+// /v1/tenants/{tenant}/... . Clients perturb locally; the server never
+// sees raw values, charges each user's ε atomically before any state
+// changes, and stores only sharded histograms — never raw reports.
+//
+// The process shuts down gracefully: SIGINT/SIGTERM stop accepting
+// connections, in-flight requests drain (bounded by -drain-timeout), and
+// every tenant's epoch clock is stopped.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/stream"
 	"repro/internal/transport"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		eps     = flag.Float64("eps", 1, "total privacy budget ε")
-		eps0    = flag.Float64("eps0", 1.0/16, "minimum group budget ε0")
-		schemeF = flag.String("scheme", "cemf", "estimation scheme: emf, emfstar, cemf")
+		addr     = flag.String("addr", ":8080", "listen address")
+		eps      = flag.Float64("eps", 1, "default tenant: total privacy budget ε")
+		eps0     = flag.Float64("eps0", 1.0/16, "default tenant: minimum group budget ε0")
+		schemeF  = flag.String("scheme", "cemf", "default tenant: estimation scheme (emf, emfstar, cemf)")
+		kindF    = flag.String("kind", "mean", "default tenant: protocol kind (mean, freq, dist)")
+		k        = flag.Int("k", 0, "default tenant: category count (kind freq)")
+		buckets  = flag.Int("buckets", 0, "default tenant: fixed per-group histogram resolution d′ (0 = derive from -expected-users)")
+		expUsers = flag.Int("expected-users", 0, "default tenant: expected user population for deriving d′ (0 = engine default)")
+		shards   = flag.Int("shards", 0, "default tenant: lock stripes per group histogram (0 = engine default)")
+		windowF  = flag.String("window", "tumbling", "default tenant: epoch window mode (tumbling, sliding)")
+		span     = flag.Int("span", 0, "default tenant: sliding window span in epochs")
+		epoch    = flag.Duration("epoch", 0, "default tenant: epoch length for automatic rotation (0 = manual)")
+		oPrime   = flag.Float64("oprime", 0, "default tenant: fixed pessimistic mean O′")
+		autoO    = flag.Bool("auto-oprime", false, "default tenant: derive O′ per Theorem 2")
+		gammaSup = flag.Float64("gamma-sup", 0, "default tenant: Byzantine-proportion bound γsup for Theorem 2 (0 = 1/2)")
+
+		readTimeout  = flag.Duration("read-timeout", 30*time.Second, "HTTP read timeout")
+		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "HTTP write timeout")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain deadline")
 	)
 	flag.Parse()
-	var scheme core.Scheme
-	switch *schemeF {
-	case "emf":
-		scheme = core.SchemeEMF
-	case "emfstar", "emf*":
-		scheme = core.SchemeEMFStar
-	case "cemf", "cemf*", "cemfstar":
-		scheme = core.SchemeCEMFStar
-	default:
-		log.Fatalf("dapcollect: unknown scheme %q", *schemeF)
+	scheme, err := core.ParseScheme(*schemeF)
+	if err != nil {
+		log.Fatal("dapcollect: ", err)
 	}
-	srv, err := transport.NewServer(core.Params{Eps: *eps, Eps0: *eps0, Scheme: scheme})
+	kind, err := stream.ParseKind(*kindF)
+	if err != nil {
+		log.Fatal("dapcollect: ", err)
+	}
+	mode, err := stream.ParseWindowMode(*windowF)
+	if err != nil {
+		log.Fatal("dapcollect: ", err)
+	}
+	srv, err := transport.NewServerConfig(stream.Config{
+		Kind: kind, Eps: *eps, Eps0: *eps0, Scheme: scheme, K: *k,
+		Buckets: *buckets, ExpectedUsers: *expUsers, Shards: *shards,
+		Window: stream.WindowConfig{Mode: mode, Span: *span, Epoch: *epoch},
+		OPrime: *oPrime, AutoOPrime: *autoO, GammaSup: *gammaSup,
+	})
 	if err != nil {
 		log.Fatal("dapcollect: ", err)
 	}
@@ -48,7 +84,28 @@ func main() {
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
 	}
-	fmt.Printf("dapcollect: listening on %s (ε=%g, ε0=%g, scheme=%v)\n", *addr, *eps, *eps0, scheme)
-	log.Fatal(httpSrv.ListenAndServe())
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.ListenAndServe() }()
+	fmt.Printf("dapcollect: listening on %s (ε=%g, ε0=%g, scheme=%v, kind=%v, window=%v, epoch=%v)\n",
+		*addr, *eps, *eps0, scheme, kind, mode, *epoch)
+	select {
+	case err := <-done:
+		srv.Close()
+		log.Fatal("dapcollect: ", err)
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Println("dapcollect: shutting down, draining in-flight requests")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("dapcollect: drain incomplete: %v", err)
+	}
+	srv.Close() // stop every tenant's epoch clock
+	fmt.Println("dapcollect: bye")
 }

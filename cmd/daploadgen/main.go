@@ -1,0 +1,352 @@
+// Command daploadgen drives a running DAP collector with a configurable
+// honest+Byzantine client mix and reports ingest throughput and latency
+// percentiles — the serving layer's benchmark harness.
+//
+// Usage:
+//
+//	daploadgen -addr http://localhost:8080 -users 10000 -gamma 0.1 -conns 8
+//	daploadgen -addr "" -reports 10000 -epoch 150ms -min-rate 100000 -assert
+//
+// With -addr "" the generator boots an in-process collector over a real
+// loopback HTTP listener (the full wire stack, no external process) —
+// that is the CI smoke mode. Honest users perturb locally with their
+// assigned group's budget, exactly like real clients; Byzantine users
+// submit high-half poison values. Reports travel in batched /v1/ingest
+// requests of -batch users each.
+//
+// -min-rate fails the run when ingest throughput drops below the bound;
+// -assert additionally checks that a live per-epoch estimate exists and is
+// sane. -bench-json merges a "load" record into an existing BENCH_*.json
+// (or creates the file), recording throughput and estimate latency next to
+// the experiment timings.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/ldp/pm"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/stream"
+	"repro/internal/transport"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "http://127.0.0.1:8080", "collector base URL; empty boots an in-process collector")
+		tenant  = flag.String("tenant", transport.DefaultTenant, "tenant to drive")
+		users   = flag.Int("users", 0, "users to simulate (0 = derive from -reports)")
+		reports = flag.Int("reports", 10000, "target total report count (used when -users is 0)")
+		conns   = flag.Int("conns", 4, "concurrent sender connections")
+		batch   = flag.Int("batch", 200, "users per ingest request")
+		gamma   = flag.Float64("gamma", 0, "Byzantine user fraction")
+		lo      = flag.Float64("lo", -0.5, "honest value range low")
+		hi      = flag.Float64("hi", 0.1, "honest value range high")
+		seed    = flag.Uint64("seed", 1, "workload rng seed")
+		rotate  = flag.Bool("rotate", true, "seal the epoch after ingest (fresh cached estimate)")
+		minRate = flag.Float64("min-rate", 0, "fail when ingest reports/sec falls below this")
+		assert  = flag.Bool("assert", false, "fail unless a sane per-epoch estimate is served")
+		jsonOut = flag.String("bench-json", "", "merge a load record into this BENCH_*.json")
+
+		// Self-serve collector knobs (only with -addr "").
+		eps     = flag.Float64("eps", 1, "self-serve: total budget ε")
+		eps0    = flag.Float64("eps0", 0.25, "self-serve: minimum group budget ε0")
+		schemeF = flag.String("scheme", "emfstar", "self-serve: estimation scheme")
+		epoch   = flag.Duration("epoch", 0, "self-serve: epoch length (0 = manual rotation)")
+	)
+	flag.Parse()
+
+	base := *addr
+	if base == "" {
+		var closeSrv func()
+		var err error
+		base, closeSrv, err = selfServe(*eps, *eps0, *schemeF, *epoch, *users, *reports)
+		if err != nil {
+			log.Fatal("daploadgen: ", err)
+		}
+		defer closeSrv()
+		fmt.Printf("daploadgen: self-serving collector at %s\n", base)
+	}
+	hc := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        *conns * 2,
+		MaxIdleConnsPerHost: *conns * 2,
+	}}
+	c := transport.NewClient(base, hc).Tenant(*tenant)
+	ctx := context.Background()
+	cfg, err := c.Config(ctx)
+	if err != nil {
+		log.Fatal("daploadgen: ", err)
+	}
+	if cfg.Kind != "" && cfg.Kind != "mean" {
+		log.Fatalf("daploadgen: tenant kind %q not supported (mean only)", cfg.Kind)
+	}
+
+	entries, honestMean := workload(cfg, *users, *reports, *gamma, *lo, *hi, *seed)
+	var total int
+	for _, e := range entries {
+		total += len(e.Values)
+	}
+	fmt.Printf("daploadgen: %d users, %d reports, γ=%g, %d conns, batch %d\n",
+		len(entries), total, *gamma, *conns, *batch)
+
+	accepted, latencies, wall, err := drive(ctx, c, entries, *conns, *batch)
+	if err != nil {
+		log.Fatal("daploadgen: ", err)
+	}
+	rate := float64(accepted) / wall.Seconds()
+	p50 := stats.Quantile(latencies, 0.5)
+	p90 := stats.Quantile(latencies, 0.9)
+	p99 := stats.Quantile(latencies, 0.99)
+	fmt.Printf("daploadgen: ingested %d reports in %v → %.0f reports/sec\n", accepted, wall.Round(time.Millisecond), rate)
+	fmt.Printf("daploadgen: request latency ms p50=%.2f p90=%.2f p99=%.2f (n=%d)\n", p50, p90, p99, len(latencies))
+
+	if *rotate {
+		if _, err := c.Rotate(ctx); err != nil {
+			log.Fatal("daploadgen: rotate: ", err)
+		}
+	}
+	liveStart := time.Now()
+	live, err := c.Estimate(ctx, "1")
+	if err != nil {
+		log.Fatal("daploadgen: live estimate: ", err)
+	}
+	liveMs := float64(time.Since(liveStart).Microseconds()) / 1000
+	cachedStart := time.Now()
+	cached, cachedErr := c.Estimate(ctx, "0")
+	cachedMs := float64(time.Since(cachedStart).Microseconds()) / 1000
+	fmt.Printf("daploadgen: live estimate %.2fms → mean %.4f γ̂ %.3f (epoch %d)\n", liveMs, live.Mean, live.Gamma, live.Epoch)
+	if cachedErr == nil {
+		fmt.Printf("daploadgen: cached per-epoch estimate %.2fms → mean %.4f (epoch %d)\n", cachedMs, cached.Mean, cached.Epoch)
+	}
+
+	failed := false
+	if *minRate > 0 && rate < *minRate {
+		fmt.Printf("daploadgen: FAIL ingest rate %.0f < required %.0f reports/sec\n", rate, *minRate)
+		failed = true
+	}
+	if *assert {
+		if err := sane(live, cached, cachedErr, honestMean, *gamma, *rotate || *epoch > 0); err != nil {
+			fmt.Printf("daploadgen: FAIL %v\n", err)
+			failed = true
+		} else {
+			fmt.Println("daploadgen: estimate sanity OK")
+		}
+	}
+	if *jsonOut != "" {
+		rec := map[string]any{
+			"users":           len(entries),
+			"reports":         accepted,
+			"conns":           *conns,
+			"batch":           *batch,
+			"gamma":           *gamma,
+			"wall_ms":         wall.Milliseconds(),
+			"reports_per_sec": math.Round(rate),
+			"latency_ms":      map[string]float64{"p50": p50, "p90": p90, "p99": p99},
+			"estimate_live_ms": liveMs,
+		}
+		if cachedErr == nil {
+			rec["estimate_cached_ms"] = cachedMs
+		}
+		if err := mergeBenchJSON(*jsonOut, rec); err != nil {
+			log.Fatal("daploadgen: ", err)
+		}
+		fmt.Fprintf(os.Stderr, "daploadgen: load record merged into %s\n", *jsonOut)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// selfServe boots an in-process collector over a loopback listener.
+func selfServe(eps, eps0 float64, schemeF string, epoch time.Duration, users, reports int) (string, func(), error) {
+	scheme, err := core.ParseScheme(schemeF)
+	if err != nil {
+		return "", nil, err
+	}
+	expected := users
+	if expected == 0 {
+		// Mirror workload sizing: users round-robin over the h groups and
+		// group t's users report 2^t times, so -reports total reports come
+		// from about reports·h/(2^h−1) users.
+		h := int(math.Ceil(math.Log2(eps/eps0)-1e-12)) + 1
+		expected = reports * h / (1<<h - 1)
+	}
+	srv, err := transport.NewServerConfig(stream.Config{
+		Kind: stream.KindMean, Eps: eps, Eps0: eps0, Scheme: scheme,
+		ExpectedUsers: expected,
+		Window:        stream.WindowConfig{Mode: stream.Tumbling, Epoch: epoch},
+	})
+	if err != nil {
+		return "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	closeFn := func() {
+		_ = hs.Close()
+		srv.Close()
+	}
+	return "http://" + ln.Addr().String(), closeFn, nil
+}
+
+// entry is one user's upload.
+type entry = transport.ReportRequest
+
+// workload builds the client mix: users round-robin across groups, honest
+// users perturb one value per report slot with the group budget, Byzantine
+// users submit BBA high-half poison. Returns the entries and the honest
+// population's true mean.
+func workload(cfg *transport.ConfigResponse, users, reports int, gamma, lo, hi float64, seed uint64) ([]entry, float64) {
+	r := rng.New(seed)
+	mechs := make([]*pm.Mechanism, len(cfg.Groups))
+	envs := make([]attack.Env, len(cfg.Groups))
+	for i, g := range cfg.Groups {
+		m, err := pm.New(g.Eps)
+		if err != nil {
+			log.Fatal("daploadgen: ", err)
+		}
+		mechs[i] = m
+		envs[i] = attack.EnvFor(m, 0)
+	}
+	adv := attack.NewBBA(attack.RangeHighHalf, attack.DistUniform)
+	var entries []entry
+	var honestSum float64
+	var honest int
+	total := 0
+	for i := 0; users > 0 && i < users || users == 0 && total < reports; i++ {
+		g := cfg.Groups[i%len(cfg.Groups)]
+		vals := make([]float64, g.Reports)
+		if gamma > 0 && r.Float64() < gamma {
+			copy(vals, adv.Poison(r, envs[g.Index], g.Reports))
+		} else {
+			v := rng.Uniform(r, lo, hi)
+			honestSum += v
+			honest++
+			for k := range vals {
+				vals[k] = mechs[g.Index].Perturb(r, v)
+			}
+		}
+		entries = append(entries, entry{User: "lg" + strconv.Itoa(i), Group: g.Index, Values: vals})
+		total += len(vals)
+	}
+	if honest == 0 {
+		return entries, 0
+	}
+	return entries, honestSum / float64(honest)
+}
+
+// drive sends the entries in batches over conns parallel workers and
+// returns accepted report count, per-request latencies (ms) and the wall
+// time of the whole ingest.
+func drive(ctx context.Context, c *transport.TenantClient, entries []entry, conns, batch int) (int, []float64, time.Duration, error) {
+	if batch < 1 {
+		batch = 1
+	}
+	var batches [][]entry
+	for lo := 0; lo < len(entries); lo += batch {
+		batches = append(batches, entries[lo:min(lo+batch, len(entries))])
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		accepted int
+		lats     []float64
+		firstErr error
+	)
+	ch := make(chan []entry)
+	start := time.Now()
+	for w := 0; w < conns; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b := range ch {
+				t0 := time.Now()
+				res, err := c.Ingest(ctx, b)
+				lat := float64(time.Since(t0).Microseconds()) / 1000
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				if err == nil {
+					accepted += res.Accepted
+					if res.Rejected > 0 && firstErr == nil {
+						firstErr = fmt.Errorf("collector rejected %d entries: %v", res.Rejected, res.Errors)
+					}
+				}
+				lats = append(lats, lat)
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, b := range batches {
+		ch <- b
+	}
+	close(ch)
+	wg.Wait()
+	return accepted, lats, time.Since(start), firstErr
+}
+
+// sane validates the served estimates.
+func sane(live, cached *transport.EstimateResponse, cachedErr error, honestMean, gamma float64, epochs bool) error {
+	var wSum float64
+	for _, w := range live.Weights {
+		wSum += w
+	}
+	if math.Abs(wSum-1) > 1e-6 {
+		return fmt.Errorf("weights sum to %v", wSum)
+	}
+	if live.Mean < -1 || live.Mean > 1 || math.IsNaN(live.Mean) {
+		return fmt.Errorf("mean %v outside [-1,1]", live.Mean)
+	}
+	if gamma == 0 && math.Abs(live.Mean-honestMean) > 0.35 {
+		return fmt.Errorf("no-attack mean %v far from truth %v", live.Mean, honestMean)
+	}
+	if gamma > 0 && math.Abs(live.Mean-honestMean) > 0.5 {
+		return fmt.Errorf("attacked mean %v implausibly far from truth %v", live.Mean, honestMean)
+	}
+	if epochs {
+		if cachedErr != nil {
+			return fmt.Errorf("no cached per-epoch estimate: %v", cachedErr)
+		}
+		if cached.Epoch < 1 {
+			return fmt.Errorf("cached estimate has epoch %d", cached.Epoch)
+		}
+	}
+	return nil
+}
+
+// mergeBenchJSON sets key "load" in the JSON object at path, creating the
+// file (with schema/date stamps) when absent.
+func mergeBenchJSON(path string, load map[string]any) error {
+	obj := map[string]any{}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &obj); err != nil {
+			return fmt.Errorf("merge %s: %w", path, err)
+		}
+	} else {
+		obj["schema"] = 1
+		obj["date"] = time.Now().UTC().Format(time.RFC3339)
+	}
+	obj["load"] = load
+	data, err := json.MarshalIndent(obj, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -47,6 +47,35 @@
 // table order. cmd/dapbench exposes the same knob as -workers and can
 // write a BENCH_*.json wall-clock record via -bench-json.
 //
+// # Serving layer
+//
+// internal/stream turns the one-shot batch collector into a long-lived
+// service. Reports are never stored: ingestion discretizes each report
+// into the mechanism's output buckets (ldp.Discretizer, index-compatible
+// with the batch histogramming) and increments a lock-striped per-group
+// count histogram, so memory is O(shards·h·d′) and concurrent ingests do
+// not serialize. Epoch windows — tumbling or sliding over the last Span
+// epochs — seal the live shards on rotation and re-estimate the window
+// through EstimateHist, the histogram entry point of the estimation
+// pipeline, caching the result so reads are pointer loads. A tenant
+// registry hosts many concurrent aggregations (mean/PM, frequency/k-RR,
+// distribution/SW), each with its own parameters, privacy accountant and
+// epoch clock. The load-bearing invariant, enforced by tests: the
+// per-group output histogram plus the exact report sum is a sufficient
+// statistic, so histogram-fed estimates reproduce the batch Estimate bit
+// for bit on the same reports (under AutoOPrime the Theorem 2 trimmed
+// mean substitutes bucket centers for sorted raw reports — agreement
+// there is to within a bucket width, not bit-exact).
+//
+// internal/transport serves the engine over HTTP — the original
+// single-collector API on the "default" tenant, the same routes per
+// tenant under /v1/tenants/{tenant}/..., tenant CRUD, epoch rotation and
+// a batched ingest endpoint. Budgets are charged atomically before any
+// state changes; NaN/Inf, out-of-domain values and bucket-index abuse are
+// rejected at the wire boundary. cmd/dapcollect runs it with graceful
+// shutdown; cmd/daploadgen drives it with honest+Byzantine client mixes
+// and records ingest throughput and estimate latency.
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-versus-measured record of every table and figure plus the
 // performance trajectory.

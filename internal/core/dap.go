@@ -166,6 +166,8 @@ func (d *DAP) Estimate(col *Collection) (*Estimate, error) {
 	}
 	matrices := make([]*emf.Matrix, h)
 	counts := make([][]float64, h)
+	sums := make([]float64, h)
+	ns := make([]float64, h)
 	for t := 0; t < h; t++ {
 		if len(col.Groups[t]) == 0 {
 			return nil, fmt.Errorf("core: group %d holds no reports", t)
@@ -179,11 +181,22 @@ func (d *DAP) Estimate(col *Collection) (*Estimate, error) {
 		}
 		matrices[t] = m
 		counts[t] = m.Counts(col.Groups[t])
+		sums[t] = stats.Sum(col.Groups[t])
+		ns[t] = float64(len(col.Groups[t]))
 		return nil
 	}); err != nil {
 		return nil, err
 	}
+	return d.estimateFromCounts(matrices, counts, sums, ns, col.Groups[h-1])
+}
 
+// estimateFromCounts runs stages 3–5 over the per-group sufficient
+// statistic (transform matrices, output histograms, report sums and
+// counts). probeRaw carries the smallest-budget group's raw reports for
+// Theorem 2's AutoOPrime trimmed mean; the histogram entry point passes
+// nil and the trimmed mean falls back to bucket centers.
+func (d *DAP) estimateFromCounts(matrices []*emf.Matrix, counts [][]float64, sums, ns []float64, probeRaw []float64) (*Estimate, error) {
+	h := d.H()
 	// Stage 3: probe side and γ̂ at the smallest budget (group h−1).
 	probeCfg := d.cfg(h - 1)
 	oPrime := d.p.OPrime
@@ -196,8 +209,13 @@ func (d *DAP) Estimate(col *Collection) (*Estimate, error) {
 		// Theorem 2: trim the suspected-poisoned tail of the smallest-budget
 		// reports (PM reports are unbiased, so their trimmed mean lives on
 		// the input scale) and re-probe around the pessimistic O′.
-		oPrime = stats.Clamp(
-			PessimisticO(col.Groups[h-1], d.p.GammaSup, side == emf.Right), -1, 1)
+		if probeRaw != nil {
+			oPrime = PessimisticO(probeRaw, d.p.GammaSup, side == emf.Right)
+		} else {
+			oPrime = PessimisticOHist(counts[h-1], outCenters(matrices[h-1]),
+				d.p.GammaSup, side == emf.Right)
+		}
+		oPrime = stats.Clamp(oPrime, -1, 1)
 		if probe, err = emf.ProbeSide(matrices[h-1], counts[h-1], oPrime, probeCfg); err != nil {
 			return nil, err
 		}
@@ -223,13 +241,13 @@ func (d *DAP) Estimate(col *Collection) (*Estimate, error) {
 		if err != nil {
 			return err
 		}
-		nt := float64(len(col.Groups[t]))
+		nt := ns[t]
 		mHat := gammaT * nt
 		if mHat > 0.95*nt {
 			mHat = 0.95 * nt
 		}
 		poisonMean := emf.PoisonMean(matrices[t], res)
-		mt := (stats.Sum(col.Groups[t]) - mHat*poisonMean) / (nt - mHat)
+		mt := (sums[t] - mHat*poisonMean) / (nt - mHat)
 		est.GroupMeans[t] = stats.Clamp(mt, -1, 1)
 		est.GroupGammas[t] = gammaT
 		// n̂_t = (N_t − m̂_t)·ε_t/ε converts report counts to user counts.

@@ -65,6 +65,9 @@ func (d *FreqDAP) H() int { return len(d.groups) }
 // Groups returns the group layout.
 func (d *FreqDAP) Groups() []Group { return append([]Group(nil), d.groups...) }
 
+// Mechanism returns the k-RR instance of group t.
+func (d *FreqDAP) Mechanism(t int) *krr.Mechanism { return d.mechs[t] }
+
 // FreqCollection holds per-group categorical report counts.
 type FreqCollection struct {
 	// Counts[t][j] is the number of reports of category j in group t.

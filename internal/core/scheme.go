@@ -42,6 +42,21 @@ func (s Scheme) String() string {
 // Schemes lists all estimation schemes in paper order.
 func Schemes() []Scheme { return []Scheme{SchemeEMF, SchemeEMFStar, SchemeCEMFStar} }
 
+// ParseScheme parses a scheme name as accepted on command lines and wire
+// requests ("emf", "emfstar"/"emf*", "cemf"/"cemf*"/"cemfstar"; empty
+// selects CEMF*, the paper's best performer).
+func ParseScheme(s string) (Scheme, error) {
+	switch s {
+	case "emf", "EMF":
+		return SchemeEMF, nil
+	case "emfstar", "emf*", "EMF*":
+		return SchemeEMFStar, nil
+	case "", "cemf", "cemf*", "cemfstar", "CEMF*":
+		return SchemeCEMFStar, nil
+	}
+	return 0, errors.New("core: unknown scheme " + s)
+}
+
 // Estimate is the collector's output for one protocol run.
 type Estimate struct {
 	// Mean is the final aggregated mean estimate (the paper's M̃).

@@ -127,6 +127,7 @@ func (d *SWDAP) Estimate(col *Collection) (*SWEstimate, error) {
 	}
 	matrices := make([]*emf.Matrix, h)
 	counts := make([][]float64, h)
+	ns := make([]float64, h)
 	for t := 0; t < h; t++ {
 		if len(col.Groups[t]) == 0 {
 			return nil, fmt.Errorf("core: group %d holds no reports", t)
@@ -139,6 +140,7 @@ func (d *SWDAP) Estimate(col *Collection) (*SWEstimate, error) {
 		}
 		matrices[t] = m
 		counts[t] = m.Counts(col.Groups[t])
+		ns[t] = float64(len(col.Groups[t]))
 	}
 
 	// Pessimistic O′ via trimmed EMS on the smallest-budget group (§V-D).
@@ -146,7 +148,14 @@ func (d *SWDAP) Estimate(col *Collection) (*SWEstimate, error) {
 	if err != nil {
 		return nil, err
 	}
+	return d.estimateFromCounts(matrices, counts, ns, oPrime)
+}
 
+// estimateFromCounts runs the SW collector stages over the per-group
+// sufficient statistic with a precomputed pessimistic O′ (trimmed from raw
+// reports by Estimate, from histogram mass by EstimateHist).
+func (d *SWDAP) estimateFromCounts(matrices []*emf.Matrix, counts [][]float64, ns []float64, oPrime float64) (*SWEstimate, error) {
+	h := d.H()
 	probe, err := emf.ProbeSide(matrices[h-1], counts[h-1], oPrime, d.cfg(h-1))
 	if err != nil {
 		return nil, err
@@ -201,7 +210,7 @@ func (d *SWDAP) Estimate(col *Collection) (*SWEstimate, error) {
 		mean := stats.HistMean(res.X, m.InCenters())
 		est.GroupMeans[t] = stats.Clamp(mean, 0, 1)
 		est.GroupGammas[t] = gammaT
-		nt := float64(len(col.Groups[t]))
+		nt := ns[t]
 		mHat := gammaT * nt
 		if mHat > 0.95*nt {
 			mHat = 0.95 * nt

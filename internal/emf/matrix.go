@@ -165,21 +165,38 @@ func BuildCategorical(mech ldp.Categorical) *Matrix {
 // mechanism's C (output half-width over input half-width); results are
 // clamped to sane minima.
 func BucketCounts(n int, c float64) (d, dprime int) {
-	dprime = int(math.Sqrt(float64(n)))
+	return InputBuckets(OutputBuckets(n), c), OutputBuckets(n)
+}
+
+// OutputBuckets is the paper's output resolution rule on its own:
+// d′ = ⌊√n⌋ rounded down to even, floored at 8. Callers that fix d′ ahead
+// of the data (the streaming engine sizes histograms from an expected
+// volume) share the exact rounding rules of the batch path.
+func OutputBuckets(n int) int {
+	dprime := int(math.Sqrt(float64(n)))
 	if dprime%2 == 1 {
 		dprime--
 	}
 	if dprime < 8 {
 		dprime = 8
 	}
-	d = int(float64(dprime) / c)
+	return dprime
+}
+
+// InputBuckets derives the input bucket count d = ⌊d′/C⌋ for a chosen
+// output bucket count d′, clamped to [1, d′] — the second half of
+// BucketCounts, split out so callers that fix d′ up front (the streaming
+// engine stores histograms at a tenant-configured resolution) share the
+// exact rounding rules of the batch path.
+func InputBuckets(dprime int, c float64) int {
+	d := int(float64(dprime) / c)
 	if d < 1 {
 		d = 1
 	}
 	if d > dprime {
 		d = dprime
 	}
-	return d, dprime
+	return d
 }
 
 // PoisonRight returns the output-bucket indices whose centers lie on the

@@ -2,24 +2,47 @@
 // the composition rules that DAP's grouping relies on: sequential
 // composition (budgets of repeated reports on the same value add up) and
 // the per-user cap ε. The simulator uses it to assert that every user —
-// whichever group they land in — spends exactly the advertised budget.
+// whichever group they land in — spends exactly the advertised budget; the
+// streaming collector consults it on every ingested report, so the ledger
+// is striped by user hash to keep concurrent spends from serializing on
+// one lock.
 package privacy
 
 import (
 	"errors"
 	"fmt"
+	"hash/maphash"
 	"sync"
 )
 
 // ErrBudgetExceeded is returned when a spend would push a user past cap.
 var ErrBudgetExceeded = errors.New("privacy: budget exceeded")
 
-// Accountant tracks per-user spent budget against a common cap. It is
-// safe for concurrent use.
-type Accountant struct {
+// stripes is the number of independent ledger shards. Spends for different
+// users hash to different stripes and proceed concurrently; 64 keeps the
+// collision probability low for any realistic ingest worker count.
+const stripes = 64
+
+// spendTol absorbs floating-point drift so that h reports of ε/h compose
+// to exactly ε.
+const spendTol = 1e-9
+
+// ledgerStripe is one shard of the spend ledger, padded to a full cache
+// line (8B mutex + 8B map header + 48B pad = 64B) so adjacent stripes
+// don't false-share under concurrent spends.
+type ledgerStripe struct {
 	mu    sync.Mutex
-	cap   float64
 	spent map[string]float64
+	_     [48]byte
+}
+
+// Accountant tracks per-user spent budget against a common cap. It is
+// safe for concurrent use; operations on different users mostly proceed
+// without contention.
+type Accountant struct {
+	cap  float64
+	seed maphash.Seed
+	part [stripes]ledgerStripe
 }
 
 // NewAccountant creates an accountant with the given per-user cap ε.
@@ -27,7 +50,11 @@ func NewAccountant(cap float64) (*Accountant, error) {
 	if cap <= 0 {
 		return nil, errors.New("privacy: cap must be positive")
 	}
-	return &Accountant{cap: cap, spent: make(map[string]float64)}, nil
+	a := &Accountant{cap: cap, seed: maphash.MakeSeed()}
+	for i := range a.part {
+		a.part[i].spent = make(map[string]float64)
+	}
+	return a, nil
 }
 
 // Cap returns the per-user budget cap.
@@ -35,37 +62,51 @@ func (a *Accountant) Cap() float64 {
 	return a.cap
 }
 
+func (a *Accountant) stripe(id string) *ledgerStripe {
+	return &a.part[maphash.String(a.seed, id)&(stripes-1)]
+}
+
 // Spend records eps of budget consumption for user id, applying
 // sequential composition. It fails without recording when the spend would
-// exceed the cap (with a small floating-point tolerance so that h
-// reports of ε/h compose to exactly ε).
+// exceed the cap.
 func (a *Accountant) Spend(id string, eps float64) error {
+	return a.SpendN(id, eps, 1)
+}
+
+// SpendN atomically records n spends of eps each for user id. Either the
+// whole batch fits under the cap and is recorded, or nothing is: a
+// multi-report upload can never burn part of a user's budget and then be
+// rejected, and no concurrent interleaving can overspend.
+func (a *Accountant) SpendN(id string, eps float64, n int) error {
 	if eps <= 0 {
 		return errors.New("privacy: spend must be positive")
 	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	const tol = 1e-9
-	if a.spent[id]+eps > a.cap+tol {
-		return fmt.Errorf("%w: user %s at %.6g of %.6g, requested %.6g",
-			ErrBudgetExceeded, id, a.spent[id], a.cap, eps)
+	if n <= 0 {
+		return errors.New("privacy: spend count must be positive")
 	}
-	a.spent[id] += eps
+	total := eps * float64(n)
+	p := a.stripe(id)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.spent[id]+total > a.cap+spendTol {
+		return fmt.Errorf("%w: user %s at %.6g of %.6g, requested %.6g",
+			ErrBudgetExceeded, id, p.spent[id], a.cap, total)
+	}
+	p.spent[id] += total
 	return nil
 }
 
 // Spent returns the budget consumed by user id so far.
 func (a *Accountant) Spent(id string) float64 {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.spent[id]
+	p := a.stripe(id)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.spent[id]
 }
 
 // Remaining returns the budget user id may still spend.
 func (a *Accountant) Remaining(id string) float64 {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	r := a.cap - a.spent[id]
+	r := a.cap - a.Spent(id)
 	if r < 0 {
 		return 0
 	}
@@ -74,15 +115,18 @@ func (a *Accountant) Remaining(id string) float64 {
 
 // Users returns the number of users with recorded spends.
 func (a *Accountant) Users() int {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return len(a.spent)
+	var n int
+	for i := range a.part {
+		p := &a.part[i]
+		p.mu.Lock()
+		n += len(p.spent)
+		p.mu.Unlock()
+	}
+	return n
 }
 
 // Exhausted reports whether user id has depleted the cap (within
 // tolerance), i.e. reported the full number of times their group demands.
 func (a *Accountant) Exhausted(id string) bool {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.spent[id] >= a.cap-1e-9
+	return a.Spent(id) >= a.cap-spendTol
 }

@@ -115,6 +115,52 @@ func TestConcurrentSpends(t *testing.T) {
 	}
 }
 
+func TestSpendNAtomicity(t *testing.T) {
+	a, _ := NewAccountant(1)
+	// Four slots of 0.25 fit exactly.
+	if err := a.SpendN("u", 0.25, 4); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Exhausted("u") {
+		t.Fatal("u should be exhausted")
+	}
+	// A batch that does not fit must leave the ledger untouched: no
+	// partial spend survives a rejected upload.
+	b, _ := NewAccountant(1)
+	if err := b.SpendN("v", 0.5, 3); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("want ErrBudgetExceeded, got %v", err)
+	}
+	if got := b.Spent("v"); got != 0 {
+		t.Fatalf("rejected batch recorded %v", got)
+	}
+	if err := b.SpendN("v", 0.5, 2); err != nil {
+		t.Fatalf("exact batch rejected after failed one: %v", err)
+	}
+	if err := b.SpendN("v", 0.5, 0); err == nil {
+		t.Fatal("zero-count batch accepted")
+	}
+}
+
+func TestSpendNConcurrentNoOverspend(t *testing.T) {
+	// 8 workers race 100 single-slot batches against a cap of 50: exactly
+	// 50 must land regardless of interleaving.
+	a, _ := NewAccountant(50)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_ = a.SpendN("shared", 1, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := a.Spent("shared"); got != 50 {
+		t.Fatalf("spent = %v, want 50", got)
+	}
+}
+
 func TestCap(t *testing.T) {
 	a, _ := NewAccountant(3)
 	if a.Cap() != 3 {

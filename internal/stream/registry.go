@@ -1,0 +1,88 @@
+package stream
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"sync"
+)
+
+// tenantName constrains names to something URL-path and log friendly.
+var tenantName = regexp.MustCompile(`^[a-zA-Z0-9][a-zA-Z0-9_.-]{0,63}$`)
+
+// Registry hosts many concurrent tenants in one process. Creation starts a
+// tenant's epoch clock; deletion stops it.
+type Registry struct {
+	mu      sync.RWMutex
+	tenants map[string]*Tenant
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{tenants: make(map[string]*Tenant)}
+}
+
+// Create builds, registers and starts a tenant. It fails when the name is
+// invalid or already taken.
+func (r *Registry) Create(name string, cfg Config) (*Tenant, error) {
+	if !tenantName.MatchString(name) {
+		return nil, fmt.Errorf("stream: invalid tenant name %q", name)
+	}
+	t, err := NewTenant(name, cfg)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	if _, ok := r.tenants[name]; ok {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("stream: tenant %q already exists", name)
+	}
+	// Start the clock while still holding the lock: a concurrent Delete
+	// can only observe the tenant after it is published, so its Stop
+	// always lands after (never between) the start.
+	t.Start()
+	r.tenants[name] = t
+	r.mu.Unlock()
+	return t, nil
+}
+
+// Get returns the named tenant.
+func (r *Registry) Get(name string) (*Tenant, bool) {
+	r.mu.RLock()
+	t, ok := r.tenants[name]
+	r.mu.RUnlock()
+	return t, ok
+}
+
+// Delete unregisters the named tenant and stops its epoch clock. It
+// reports whether the tenant existed.
+func (r *Registry) Delete(name string) bool {
+	r.mu.Lock()
+	t, ok := r.tenants[name]
+	delete(r.tenants, name)
+	r.mu.Unlock()
+	if ok {
+		t.Stop()
+	}
+	return ok
+}
+
+// List returns all tenants sorted by name.
+func (r *Registry) List() []*Tenant {
+	r.mu.RLock()
+	ts := make([]*Tenant, 0, len(r.tenants))
+	for _, t := range r.tenants {
+		ts = append(ts, t)
+	}
+	r.mu.RUnlock()
+	sort.Slice(ts, func(i, j int) bool { return ts[i].name < ts[j].name })
+	return ts
+}
+
+// Close stops every tenant's epoch clock. The registry remains usable;
+// Close exists for collector shutdown.
+func (r *Registry) Close() {
+	for _, t := range r.List() {
+		t.Stop()
+	}
+}

@@ -1,0 +1,213 @@
+// Package stream is the serving layer of the DAP reproduction: a
+// streaming aggregation engine that turns the paper's one-shot batch
+// collector into a long-lived, multi-tenant service.
+//
+// Three layers compose:
+//
+//   - Sharded histograms (shard.go). Per (tenant, group) the live epoch is
+//     a set of lock-striped count histograms over the mechanism's
+//     discretized output domain. Ingesting a report is a bucket-index
+//     computation plus a counter increment under one stripe's lock —
+//     memory is O(shards·h·d′) regardless of how many reports arrive, and
+//     ingest throughput scales with the stripe count instead of
+//     serializing on a global mutex. The bucket indices are computed with
+//     ldp.Discretizer, which reproduces emf.(*Matrix).Counts exactly, so a
+//     histogram accumulated report-by-report equals the batch histogram
+//     bucket-for-bucket and the downstream estimate is identical (the
+//     histogram-equivalence invariant, enforced by tests).
+//
+//   - Epoch windows (tenant.go). Rotate seals the live shards into an
+//     immutable epoch snapshot, re-estimates the configured window (the
+//     sealed epoch for tumbling windows, the last Span sealed epochs for
+//     sliding ones) and caches the result, so reading an estimate is a
+//     pointer load — always fresh without rescanning reports. Live
+//     estimates that fold in the unsealed epoch are available on demand.
+//
+//   - A tenant registry (registry.go). One process hosts many concurrent
+//     aggregations — mean estimation over PM, frequency estimation over
+//     k-RR, distribution estimation over SW — each with its own protocol
+//     parameters, privacy accountant, histograms and epoch clock.
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Kind selects which DAP instantiation a tenant runs.
+type Kind int
+
+// Tenant kinds.
+const (
+	// KindMean is mean estimation over the Piecewise Mechanism (§V).
+	KindMean Kind = iota
+	// KindFreq is categorical frequency estimation over k-RR (§V-D).
+	KindFreq
+	// KindDist is distribution (and mean) estimation over Square Wave (§V-D).
+	KindDist
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindMean:
+		return "mean"
+	case KindFreq:
+		return "freq"
+	case KindDist:
+		return "dist"
+	}
+	return "unknown"
+}
+
+// ParseKind parses a tenant kind name.
+func ParseKind(s string) (Kind, error) {
+	switch strings.ToLower(s) {
+	case "", "mean", "pm":
+		return KindMean, nil
+	case "freq", "frequency", "krr":
+		return KindFreq, nil
+	case "dist", "distribution", "sw":
+		return KindDist, nil
+	}
+	return 0, fmt.Errorf("stream: unknown tenant kind %q", s)
+}
+
+// WindowMode selects the epoch window shape.
+type WindowMode int
+
+// Window modes.
+const (
+	// Tumbling estimates each sealed epoch on its own: Rotate seals the
+	// live histograms and the cached estimate covers exactly that epoch.
+	Tumbling WindowMode = iota
+	// Sliding estimates the union of the last Span sealed epochs: each
+	// rotation slides the window forward by one epoch.
+	Sliding
+)
+
+// String implements fmt.Stringer.
+func (m WindowMode) String() string {
+	if m == Sliding {
+		return "sliding"
+	}
+	return "tumbling"
+}
+
+// ParseWindowMode parses a window mode name.
+func ParseWindowMode(s string) (WindowMode, error) {
+	switch strings.ToLower(s) {
+	case "", "tumbling", "fixed":
+		return Tumbling, nil
+	case "sliding":
+		return Sliding, nil
+	}
+	return 0, fmt.Errorf("stream: unknown window mode %q", s)
+}
+
+// WindowConfig shapes a tenant's epoch windows.
+type WindowConfig struct {
+	// Mode selects tumbling (per-epoch) or sliding (last-Span-epochs)
+	// estimation windows.
+	Mode WindowMode
+	// Span is the number of sealed epochs a sliding window covers
+	// (default 1; tumbling windows always cover exactly one).
+	Span int
+	// Epoch is the wall-clock epoch length driving automatic rotation;
+	// zero disables the clock and epochs rotate only on explicit Rotate
+	// calls (the batch-compatible default: the live window then simply
+	// accumulates everything ever ingested).
+	Epoch time.Duration
+}
+
+// Config parameterizes one tenant.
+type Config struct {
+	// Kind selects the protocol instantiation.
+	Kind Kind
+	// Eps and Eps0 are the total and minimal group budgets.
+	Eps, Eps0 float64
+	// Scheme selects EMF, EMF* or CEMF* estimation.
+	Scheme core.Scheme
+	// K is the category count (KindFreq only).
+	K int
+	// Buckets fixes one output histogram resolution d′ for every group
+	// (numeric kinds), rounded down to even and floored at 8 like
+	// emf.BucketCounts. Zero derives per-group resolutions from
+	// ExpectedUsers instead — the streaming default.
+	Buckets int
+	// ExpectedUsers is the anticipated user population per window. With
+	// Buckets zero, group t's resolution follows the paper's rule on the
+	// report volume that population yields — users split equally, group t
+	// reporting 2^t times — exactly as the batch collector would pick for
+	// the same collection (default 4096 users).
+	ExpectedUsers int
+	// Shards is the number of lock stripes per group histogram
+	// (default 8).
+	Shards int
+	// Window shapes the epoch windows.
+	Window WindowConfig
+	// OPrime, AutoOPrime and GammaSup configure the pessimistic mean
+	// initialization (KindMean).
+	OPrime     float64
+	AutoOPrime bool
+	GammaSup   float64
+	// SuppressFactor is CEMF*'s concentration threshold factor.
+	SuppressFactor float64
+	// EMFMaxIter caps EM iterations per fit.
+	EMFMaxIter int
+	// WeightMode selects the inter-group aggregation weights.
+	WeightMode core.WeightMode
+	// TrimFrac is the SW pessimistic-O′ trim fraction (KindDist).
+	TrimFrac float64
+}
+
+// normalize validates cfg and fills defaults, returning the effective
+// configuration.
+func (cfg Config) normalize() (Config, error) {
+	if cfg.Kind < KindMean || cfg.Kind > KindDist {
+		return cfg, fmt.Errorf("stream: invalid tenant kind %d", int(cfg.Kind))
+	}
+	if cfg.Kind == KindFreq && cfg.K < 2 {
+		return cfg, errors.New("stream: freq tenant needs K >= 2")
+	}
+	if cfg.ExpectedUsers == 0 {
+		cfg.ExpectedUsers = 4096
+	}
+	if cfg.ExpectedUsers < 0 {
+		return cfg, errors.New("stream: ExpectedUsers must be positive")
+	}
+	if cfg.Buckets < 0 {
+		return cfg, errors.New("stream: Buckets must be non-negative")
+	}
+	if cfg.Buckets > 0 {
+		if cfg.Buckets%2 == 1 {
+			cfg.Buckets--
+		}
+		if cfg.Buckets < 8 {
+			cfg.Buckets = 8
+		}
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = 8
+	}
+	if cfg.Shards < 1 {
+		return cfg, errors.New("stream: Shards must be positive")
+	}
+	if cfg.Window.Span == 0 {
+		cfg.Window.Span = 1
+	}
+	if cfg.Window.Span < 1 {
+		return cfg, errors.New("stream: window span must be positive")
+	}
+	if cfg.Window.Mode == Tumbling {
+		cfg.Window.Span = 1
+	}
+	if cfg.Window.Epoch < 0 {
+		return cfg, errors.New("stream: epoch duration must be non-negative")
+	}
+	return cfg, nil
+}

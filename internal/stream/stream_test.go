@@ -1,0 +1,485 @@
+package stream_test
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ldp/pm"
+	"repro/internal/privacy"
+	"repro/internal/rng"
+	"repro/internal/stream"
+)
+
+func meanConfig() stream.Config {
+	return stream.Config{
+		Kind: stream.KindMean, Eps: 1, Eps0: 0.25, Scheme: core.SchemeEMFStar,
+	}
+}
+
+func newMeanTenant(t *testing.T, cfg stream.Config) *stream.Tenant {
+	t.Helper()
+	tn, err := stream.NewTenant("t", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tn
+}
+
+// fillTenant drives usersPerGroup honest users through every group:
+// user (g,i) perturbs value with group g's budget once per report slot.
+func fillTenant(t *testing.T, tn *stream.Tenant, r *rand.Rand, usersPerGroup int, lo, hi float64) {
+	t.Helper()
+	for g, grp := range tn.Groups() {
+		mech, err := pm.New(grp.Eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < usersPerGroup; i++ {
+			id := "g" + string(rune('0'+g)) + "u" + itoa(i)
+			vals := make([]float64, grp.Reports)
+			v := rng.Uniform(r, lo, hi)
+			for k := range vals {
+				vals[k] = mech.Perturb(r, v)
+			}
+			if err := tn.Ingest(id, g, vals); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}
+
+func TestParsers(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want stream.Kind
+	}{{"mean", stream.KindMean}, {"", stream.KindMean}, {"freq", stream.KindFreq}, {"sw", stream.KindDist}} {
+		k, err := stream.ParseKind(tc.in)
+		if err != nil || k != tc.want {
+			t.Fatalf("ParseKind(%q) = %v, %v", tc.in, k, err)
+		}
+	}
+	if _, err := stream.ParseKind("nope"); err == nil {
+		t.Fatal("bad kind accepted")
+	}
+	if m, err := stream.ParseWindowMode("sliding"); err != nil || m != stream.Sliding {
+		t.Fatalf("ParseWindowMode(sliding) = %v, %v", m, err)
+	}
+	if _, err := stream.ParseWindowMode("bogus"); err == nil {
+		t.Fatal("bad mode accepted")
+	}
+}
+
+func TestConfigDefaultsAndValidation(t *testing.T) {
+	tn := newMeanTenant(t, meanConfig())
+	cfg := tn.Config()
+	if cfg.Shards != 8 || cfg.ExpectedUsers != 4096 || cfg.Window.Span != 1 {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+	// Per-group resolutions follow the paper's rule on the expected split.
+	bkt := tn.Buckets()
+	if len(bkt) != 3 {
+		t.Fatalf("buckets = %v", bkt)
+	}
+	for i, b := range bkt {
+		if b < 8 || b%2 != 0 {
+			t.Fatalf("group %d resolution %d", i, b)
+		}
+		if i > 0 && bkt[i] <= bkt[i-1] {
+			t.Fatalf("resolutions should grow with report volume: %v", bkt)
+		}
+	}
+	// Tumbling forces span 1.
+	c := meanConfig()
+	c.Window = stream.WindowConfig{Mode: stream.Tumbling, Span: 5}
+	if tn := newMeanTenant(t, c); tn.Config().Window.Span != 1 {
+		t.Fatal("tumbling span not forced to 1")
+	}
+	for _, bad := range []stream.Config{
+		{Kind: stream.KindFreq, Eps: 1, Eps0: 0.5},           // K missing
+		{Kind: stream.KindMean, Eps: -1, Eps0: 0.5},          // bad budgets
+		{Kind: stream.KindMean, Eps: 1, Eps0: 0.5, Shards: -1},
+		{Kind: 42, Eps: 1, Eps0: 0.5},
+	} {
+		if _, err := stream.NewTenant("x", bad); err == nil {
+			t.Fatalf("invalid config accepted: %+v", bad)
+		}
+	}
+	if _, err := stream.NewTenant("", meanConfig()); err == nil {
+		t.Fatal("empty name accepted")
+	}
+}
+
+func TestJoinRoundRobin(t *testing.T) {
+	tn := newMeanTenant(t, meanConfig())
+	h := len(tn.Groups())
+	seen := map[int]int{}
+	for i := 0; i < 3*h; i++ {
+		_, g := tn.Join()
+		seen[g.Index]++
+	}
+	for g := 0; g < h; g++ {
+		if seen[g] != 3 {
+			t.Fatalf("group %d joined %d times", g, seen[g])
+		}
+	}
+	if tn.Joined() != 3*h {
+		t.Fatalf("joined = %d", tn.Joined())
+	}
+}
+
+func TestIngestValidation(t *testing.T) {
+	tn := newMeanTenant(t, meanConfig())
+	dom := pmDomain(t, tn.Groups()[0].Eps)
+	for _, tc := range []struct {
+		name   string
+		user   string
+		group  int
+		values []float64
+	}{
+		{"empty user", "", 0, []float64{0}},
+		{"bad group", "u", 9, []float64{0}},
+		{"negative group", "u", -1, []float64{0}},
+		{"no values", "u", 0, nil},
+		{"oversized", "u", 0, []float64{0, 0}}, // group 0 has 1 slot
+		{"nan", "u", 0, []float64{math.NaN()}},
+		{"+inf", "u", 0, []float64{math.Inf(1)}},
+		{"-inf", "u", 0, []float64{math.Inf(-1)}},
+		{"above domain", "u", 0, []float64{dom + 1}},
+		{"below domain", "u", 0, []float64{-dom - 1}},
+	} {
+		if err := tn.Ingest(tc.user, tc.group, tc.values); err == nil {
+			t.Fatalf("%s: accepted", tc.name)
+		}
+	}
+	// Nothing above may have consumed budget or mutated state.
+	if tn.Accountant().Users() != 0 {
+		t.Fatal("rejected ingests consumed budget")
+	}
+	st := tn.Status()
+	for _, n := range st.GroupReports {
+		if n != 0 {
+			t.Fatalf("rejected ingests landed: %v", st.GroupReports)
+		}
+	}
+}
+
+func pmDomain(t *testing.T, eps float64) float64 {
+	t.Helper()
+	m, err := pm.New(eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m.OutputDomain().Hi
+}
+
+func TestIngestGroupBindingAndBudget(t *testing.T) {
+	tn := newMeanTenant(t, meanConfig())
+	// First report binds u to group 0.
+	if err := tn.Ingest("u", 0, []float64{0.1}); err != nil {
+		t.Fatal(err)
+	}
+	err := tn.Ingest("u", 1, []float64{0.1})
+	if !errors.Is(err, stream.ErrWrongGroup) {
+		t.Fatalf("cross-group report: %v", err)
+	}
+	// Group 0 costs ε per report; u's budget is exhausted.
+	err = tn.Ingest("u", 0, []float64{0.1})
+	if !errors.Is(err, privacy.ErrBudgetExceeded) {
+		t.Fatalf("overspend: %v", err)
+	}
+	// Atomicity: group 2 has 4 slots of ε/4. A fresh user uploading 3 then
+	// 2 must be rejected on the second batch with nothing recorded.
+	if err := tn.Ingest("v", 2, []float64{0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	before := tn.Accountant().Spent("v")
+	if err := tn.Ingest("v", 2, []float64{0, 0}); !errors.Is(err, privacy.ErrBudgetExceeded) {
+		t.Fatalf("partial batch: %v", err)
+	}
+	if got := tn.Accountant().Spent("v"); got != before {
+		t.Fatalf("rejected batch changed spent: %v → %v", before, got)
+	}
+	if err := tn.Ingest("v", 2, []float64{0}); err != nil {
+		t.Fatalf("final slot rejected: %v", err)
+	}
+}
+
+func TestFreqIngestValidation(t *testing.T) {
+	tn, err := stream.NewTenant("f", stream.Config{
+		Kind: stream.KindFreq, Eps: 1, Eps0: 0.5, K: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range [][]float64{{4}, {-1}, {1.5}, {math.NaN()}} {
+		if err := tn.Ingest("u", 0, bad); err == nil {
+			t.Fatalf("category %v accepted", bad)
+		}
+	}
+	if err := tn.Ingest("u", 0, []float64{3}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRotateTumblingAndSliding(t *testing.T) {
+	r := rng.New(1)
+	// Tumbling: each epoch estimated on its own.
+	c := meanConfig()
+	c.ExpectedUsers = 300
+	tumb := newMeanTenant(t, c)
+	fillTenant(t, tumb, r, 100, -0.5, 0.1)
+	snap, err := tumb.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Epoch != 1 || snap.Live || snap.Mean == nil {
+		t.Fatalf("snapshot %+v", snap)
+	}
+	firstReports := snap.Reports
+	if firstReports != float64(100*(1+2+4)) {
+		t.Fatalf("window reports = %v", firstReports)
+	}
+	if got := tumb.Cached(); got != snap {
+		t.Fatal("rotation did not cache")
+	}
+	// Second epoch holds fresh users (first epoch's spent their ε).
+	for g, grp := range tumb.Groups() {
+		mech, _ := pm.New(grp.Eps)
+		for i := 0; i < 100; i++ {
+			vals := make([]float64, grp.Reports)
+			for k := range vals {
+				vals[k] = mech.Perturb(r, 0.3)
+			}
+			if err := tumb.Ingest("e2g"+itoa(g)+"u"+itoa(i), g, vals); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	snap2, err := tumb.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap2.Epoch != 2 || snap2.Reports != firstReports {
+		t.Fatalf("tumbling window leaked epochs: %+v", snap2)
+	}
+
+	// Sliding span 2: the second window covers both epochs.
+	c = meanConfig()
+	c.ExpectedUsers = 300
+	c.Window = stream.WindowConfig{Mode: stream.Sliding, Span: 2}
+	slide := newMeanTenant(t, c)
+	fillTenant(t, slide, r, 100, -0.5, 0.1)
+	if snap, err = slide.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	one := snap.Reports
+	for g, grp := range slide.Groups() {
+		mech, _ := pm.New(grp.Eps)
+		for i := 0; i < 50; i++ {
+			vals := make([]float64, grp.Reports)
+			for k := range vals {
+				vals[k] = mech.Perturb(r, 0.3)
+			}
+			if err := slide.Ingest("s2g"+itoa(g)+"u"+itoa(i), g, vals); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	snap2, err = slide.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := one + float64(50*(1+2+4)); snap2.Reports != want {
+		t.Fatalf("sliding window reports = %v, want %v", snap2.Reports, want)
+	}
+	// A third rotation (empty live epoch) drops the first epoch.
+	snap3, err := slide.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := float64(50 * (1 + 2 + 4)); snap3.Reports != want {
+		t.Fatalf("sliding window did not slide: %v, want %v", snap3.Reports, want)
+	}
+}
+
+func TestEstimateLiveAndCached(t *testing.T) {
+	r := rng.New(2)
+	c := meanConfig()
+	c.ExpectedUsers = 300
+	tn := newMeanTenant(t, c)
+	if _, err := tn.Estimate(false); err == nil {
+		t.Fatal("cached estimate before any rotation")
+	}
+	if _, err := tn.Estimate(true); err == nil {
+		t.Fatal("live estimate on empty tenant")
+	}
+	fillTenant(t, tn, r, 120, -0.4, 0)
+	live, err := tn.Estimate(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !live.Live || live.Mean == nil || live.Epoch != 0 {
+		t.Fatalf("live snapshot %+v", live)
+	}
+	if math.Abs(live.Mean.Mean-(-0.2)) > 0.35 {
+		t.Fatalf("live mean %v implausible", live.Mean.Mean)
+	}
+	var wSum float64
+	for _, w := range live.Mean.Weights {
+		wSum += w
+	}
+	if math.Abs(wSum-1) > 1e-9 {
+		t.Fatalf("weights sum %v", wSum)
+	}
+}
+
+func TestEpochClock(t *testing.T) {
+	r := rng.New(3)
+	c := meanConfig()
+	c.ExpectedUsers = 300
+	c.Window = stream.WindowConfig{Mode: stream.Tumbling, Epoch: 10 * time.Millisecond}
+	tn := newMeanTenant(t, c)
+	fillTenant(t, tn, r, 100, -0.5, 0.1)
+	tn.Start()
+	defer tn.Stop()
+	deadline := time.Now().Add(2 * time.Second)
+	for tn.Cached() == nil && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	snap := tn.Cached()
+	if snap == nil {
+		t.Fatal("epoch clock produced no cached estimate")
+	}
+	if snap.Epoch < 1 || snap.Mean == nil {
+		t.Fatalf("clocked snapshot %+v", snap)
+	}
+	tn.Stop()
+	// Stop is idempotent and Start restarts.
+	tn.Stop()
+	tn.Start()
+	tn.Stop()
+}
+
+func TestRegistry(t *testing.T) {
+	reg := stream.NewRegistry()
+	a, err := reg.Create("alpha", meanConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Create("alpha", meanConfig()); err == nil {
+		t.Fatal("duplicate tenant accepted")
+	}
+	if _, err := reg.Create("bad name!", meanConfig()); err == nil {
+		t.Fatal("invalid name accepted")
+	}
+	if _, err := reg.Create("x", stream.Config{Kind: stream.KindMean, Eps: -1, Eps0: 1}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	b, err := reg.Create("beta", stream.Config{Kind: stream.KindFreq, Eps: 1, Eps0: 0.5, K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := reg.Get("alpha"); !ok || got != a {
+		t.Fatal("Get(alpha) broken")
+	}
+	ts := reg.List()
+	if len(ts) != 2 || ts[0] != a || ts[1] != b {
+		t.Fatalf("List = %v", ts)
+	}
+	if !reg.Delete("alpha") || reg.Delete("alpha") {
+		t.Fatal("Delete semantics broken")
+	}
+	if _, ok := reg.Get("alpha"); ok {
+		t.Fatal("deleted tenant still resolvable")
+	}
+	reg.Close()
+}
+
+func TestCrossTenantIsolation(t *testing.T) {
+	r := rng.New(4)
+	reg := stream.NewRegistry()
+	cfg := meanConfig()
+	cfg.ExpectedUsers = 300
+	a, _ := reg.Create("a", cfg)
+	b, _ := reg.Create("b", cfg)
+	fillTenant(t, a, r, 120, -0.8, -0.4)
+	fillTenant(t, b, r, 120, 0.4, 0.8)
+	// Same user ids were used in both tenants: budgets are independent.
+	if a.Accountant().Spent("g0u0") == 0 || b.Accountant().Spent("g0u0") == 0 {
+		t.Fatal("budgets not tracked per tenant")
+	}
+	ea, err := a.Estimate(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := b.Estimate(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ea.Mean.Mean >= 0 || eb.Mean.Mean <= 0 {
+		t.Fatalf("tenant estimates bled into each other: a=%v b=%v", ea.Mean.Mean, eb.Mean.Mean)
+	}
+	// Deleting one tenant leaves the other fully functional.
+	reg.Delete("a")
+	if _, err := b.Estimate(true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A freq tenant end to end: k-RR perturbed categories in, frequency
+// estimate out.
+func TestFreqTenantEndToEnd(t *testing.T) {
+	r := rng.New(6)
+	tn, err := stream.NewTenant("f", stream.Config{
+		Kind: stream.KindFreq, Eps: 2, Eps0: 1, K: 4, Scheme: core.SchemeEMFStar,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	freq, err := core.NewFreqDAP(core.FreqParams{Eps: 2, Eps0: 1, K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g, grp := range tn.Groups() {
+		mech := freq.Mechanism(g)
+		for i := 0; i < 400; i++ {
+			cat := 0 // heavily skewed truth
+			if i%4 == 3 {
+				cat = 1 + r.IntN(3)
+			}
+			vals := make([]float64, grp.Reports)
+			for k := range vals {
+				vals[k] = float64(mech.PerturbCat(r, cat))
+			}
+			if err := tn.Ingest("g"+itoa(g)+"u"+itoa(i), g, vals); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	snap, err := tn.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Freq == nil || len(snap.Freq.Freqs) != 4 {
+		t.Fatalf("freq snapshot %+v", snap)
+	}
+	if snap.Freq.Freqs[0] < 0.5 {
+		t.Fatalf("dominant category estimated at %v", snap.Freq.Freqs[0])
+	}
+}

@@ -1,0 +1,501 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/emf"
+	"repro/internal/ldp"
+	"repro/internal/privacy"
+)
+
+// ErrWrongGroup is returned by Ingest when a user reports for a different
+// group than the one they are bound to.
+var ErrWrongGroup = errors.New("stream: user belongs to another group")
+
+// Snapshot is one materialized estimate of a tenant's window. Exactly one
+// of Mean, Freq, Dist is non-nil, matching the tenant's kind.
+type Snapshot struct {
+	// Tenant is the owning tenant's name.
+	Tenant string
+	// Kind is the tenant's protocol instantiation.
+	Kind Kind
+	// Epoch is the number of epochs sealed when the snapshot was taken.
+	Epoch uint64
+	// Live reports whether the unsealed live epoch was folded in.
+	Live bool
+	// At is the estimation wall-clock time.
+	At time.Time
+	// Reports is the total report count across the window's groups.
+	Reports float64
+	// Mean is the PM mean-estimation result (KindMean).
+	Mean *core.Estimate
+	// Freq is the k-RR frequency-estimation result (KindFreq).
+	Freq *core.FreqEstimate
+	// Dist is the SW distribution-estimation result (KindDist).
+	Dist *core.SWEstimate
+}
+
+// epochHist is one sealed epoch: per-group histograms, exact sums and
+// report counts. Sealed epochs are immutable and shared by reference.
+type epochHist struct {
+	counts [][]float64
+	sums   []float64
+	ns     []float64
+}
+
+// Tenant is one hosted aggregation: a protocol instance, a privacy
+// accountant, per-group sharded live histograms, a ring of sealed epochs
+// and the cached window estimate.
+type Tenant struct {
+	name   string
+	cfg    Config
+	groups []core.Group
+	mean   *core.DAP
+	freq   *core.FreqDAP
+	dist   *core.SWDAP
+	acct   *privacy.Accountant
+	disc   []ldp.Discretizer // per group; unused for KindFreq
+	bkt    []int             // per-group histogram resolution d′
+	seed   maphash.Seed      // user → stripe
+
+	joinMu sync.Mutex
+	joined int
+
+	userGrp sync.Map // user id → group index (set at join or first report)
+
+	// mu orders ingestion against rotation: ingesters hold it shared while
+	// touching a live stripe, Rotate holds it exclusively while swapping
+	// the live shard sets and sealing the epoch.
+	mu     sync.RWMutex
+	live   []*shardSet
+	sealed []epochHist // newest last; len ≤ cfg.Window.Span
+	seq    uint64
+
+	cached atomic.Pointer[Snapshot]
+
+	clockMu sync.Mutex
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// NewTenant builds a tenant from cfg (defaults filled, see Config).
+func NewTenant(name string, cfg Config) (*Tenant, error) {
+	if name == "" {
+		return nil, errors.New("stream: tenant name must be non-empty")
+	}
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	t := &Tenant{name: name, cfg: cfg, seed: maphash.MakeSeed()}
+	switch cfg.Kind {
+	case KindMean:
+		d, err := core.NewDAP(core.Params{
+			Eps: cfg.Eps, Eps0: cfg.Eps0, Scheme: cfg.Scheme,
+			OPrime: cfg.OPrime, AutoOPrime: cfg.AutoOPrime, GammaSup: cfg.GammaSup,
+			SuppressFactor: cfg.SuppressFactor, EMFMaxIter: cfg.EMFMaxIter,
+			WeightMode: cfg.WeightMode,
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.mean = d
+		t.groups = d.Groups()
+	case KindFreq:
+		d, err := core.NewFreqDAP(core.FreqParams{
+			Eps: cfg.Eps, Eps0: cfg.Eps0, K: cfg.K, Scheme: cfg.Scheme,
+			SuppressFactor: cfg.SuppressFactor, EMFMaxIter: cfg.EMFMaxIter,
+			WeightMode: cfg.WeightMode,
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.freq = d
+		t.groups = d.Groups()
+	case KindDist:
+		d, err := core.NewSWDAP(core.SWParams{
+			Eps: cfg.Eps, Eps0: cfg.Eps0, Scheme: cfg.Scheme,
+			TrimFrac: cfg.TrimFrac, SuppressFactor: cfg.SuppressFactor,
+			EMFMaxIter: cfg.EMFMaxIter, WeightMode: cfg.WeightMode,
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.dist = d
+		t.groups = d.Groups()
+	}
+	h := len(t.groups)
+	// Per-group histogram resolution: the paper's d′ rule applied to the
+	// report volume ExpectedUsers would yield — users split into h equal
+	// chunks with the batch collector's exact rounding, group t reporting
+	// 2^t times — so a window collected at the expected scale estimates at
+	// the same resolution the batch path would have picked.
+	t.bkt = make([]int, h)
+	for i := range t.groups {
+		switch {
+		case cfg.Kind == KindFreq:
+			t.bkt[i] = cfg.K
+		case cfg.Buckets > 0:
+			t.bkt[i] = cfg.Buckets
+		default:
+			users := (i+1)*cfg.ExpectedUsers/h - i*cfg.ExpectedUsers/h
+			t.bkt[i] = emf.OutputBuckets(users * t.groups[i].Reports)
+		}
+	}
+	if cfg.Kind != KindFreq {
+		t.disc = make([]ldp.Discretizer, h)
+		for i := range t.groups {
+			t.disc[i] = ldp.NewDiscretizer(t.outputDomain(i), t.bkt[i])
+		}
+	}
+	t.acct, err = privacy.NewAccountant(cfg.Eps)
+	if err != nil {
+		return nil, err
+	}
+	t.live = t.freshLive()
+	return t, nil
+}
+
+// freshLive allocates one empty shard set per group.
+func (t *Tenant) freshLive() []*shardSet {
+	live := make([]*shardSet, len(t.groups))
+	for i := range live {
+		live[i] = newShardSet(t.cfg.Shards, t.bkt[i])
+	}
+	return live
+}
+
+// Buckets returns the per-group histogram resolutions d′.
+func (t *Tenant) Buckets() []int { return append([]int(nil), t.bkt...) }
+
+// Name returns the tenant name.
+func (t *Tenant) Name() string { return t.name }
+
+// Kind returns the tenant's protocol instantiation.
+func (t *Tenant) Kind() Kind { return t.cfg.Kind }
+
+// Config returns the effective (normalized) configuration.
+func (t *Tenant) Config() Config { return t.cfg }
+
+// Groups returns the group layout.
+func (t *Tenant) Groups() []core.Group { return append([]core.Group(nil), t.groups...) }
+
+// Accountant exposes the tenant's privacy accountant.
+func (t *Tenant) Accountant() *privacy.Accountant { return t.acct }
+
+// Join assigns the next user to a group round-robin and records the
+// binding, mirroring the batch collector's equal-sized grouping.
+func (t *Tenant) Join() (string, core.Group) {
+	t.joinMu.Lock()
+	id := fmt.Sprintf("u%06d", t.joined)
+	grp := t.joined % len(t.groups)
+	t.joined++
+	t.joinMu.Unlock()
+	t.userGrp.Store(id, grp)
+	return id, t.groups[grp]
+}
+
+// Joined returns how many users have joined.
+func (t *Tenant) Joined() int {
+	t.joinMu.Lock()
+	defer t.joinMu.Unlock()
+	return t.joined
+}
+
+// Ingest validates and records a batch of reports from one user. The
+// sequence is strict: every value is validated and discretized first, the
+// user's budget is charged atomically for the whole batch, and only then
+// is group state touched — a rejected request mutates nothing. Unknown
+// users are bound to the group they first report for; later reports for a
+// different group are rejected.
+func (t *Tenant) Ingest(user string, group int, values []float64) error {
+	if user == "" {
+		return errors.New("stream: user id must be non-empty")
+	}
+	if group < 0 || group >= len(t.groups) {
+		return fmt.Errorf("stream: group %d out of range [0,%d)", group, len(t.groups))
+	}
+	g := t.groups[group]
+	if len(values) == 0 {
+		return errors.New("stream: no values")
+	}
+	if len(values) > g.Reports {
+		return fmt.Errorf("stream: group %d accepts at most %d reports per request", group, g.Reports)
+	}
+	idx, err := t.indices(group, values)
+	if err != nil {
+		return err
+	}
+	if prev, loaded := t.userGrp.LoadOrStore(user, group); loaded && prev.(int) != group {
+		return fmt.Errorf("%w: user %s is bound to group %d", ErrWrongGroup, user, prev.(int))
+	}
+	// Budget accounting: each report in group t costs ε_t; the batch is
+	// charged atomically before any histogram is touched.
+	if err := t.acct.SpendN(user, g.Eps, len(values)); err != nil {
+		return err
+	}
+	stripe := maphash.String(t.seed, user)
+	t.mu.RLock()
+	t.live[group].add(stripe, idx, values)
+	t.mu.RUnlock()
+	return nil
+}
+
+// indices validates values for the tenant's kind and returns their bucket
+// indices. NaN, ±Inf, out-of-domain values and (for freq tenants)
+// non-integral or out-of-range categories are rejected here, at the wire
+// boundary, before any state changes.
+func (t *Tenant) indices(group int, values []float64) ([]int, error) {
+	idx := make([]int, len(values))
+	if t.cfg.Kind == KindFreq {
+		k := float64(t.cfg.K)
+		for j, v := range values {
+			c := int(v)
+			if v != float64(c) || v < 0 || v >= k {
+				return nil, fmt.Errorf("stream: value %g is not a category in [0,%d)", v, t.cfg.K)
+			}
+			idx[j] = c
+		}
+		return idx, nil
+	}
+	d := t.disc[group]
+	for j, v := range values {
+		i, ok := d.Index(v)
+		if !ok {
+			dom := t.outputDomain(group)
+			return nil, fmt.Errorf("stream: value %g outside output domain [%g,%g]", v, dom.Lo, dom.Hi)
+		}
+		idx[j] = i
+	}
+	return idx, nil
+}
+
+// outputDomain returns group's mechanism output domain (numeric kinds).
+func (t *Tenant) outputDomain(group int) ldp.Domain {
+	if t.cfg.Kind == KindDist {
+		return t.dist.Mechanism(group).OutputDomain()
+	}
+	return t.mean.Mechanism(group).OutputDomain()
+}
+
+// Rotate seals the live epoch, re-estimates the window and caches the
+// snapshot. The sealed epoch enters the ring even when the window cannot
+// be estimated yet (some group still empty) — the error then reports why
+// no fresh cache exists, and the next epochs accumulate normally.
+func (t *Tenant) Rotate() (*Snapshot, error) {
+	t.mu.Lock()
+	eh := epochHist{
+		counts: make([][]float64, len(t.groups)),
+		sums:   make([]float64, len(t.groups)),
+		ns:     make([]float64, len(t.groups)),
+	}
+	for i, s := range t.live {
+		eh.counts[i] = make([]float64, t.bkt[i])
+		eh.sums[i], eh.ns[i] = s.mergeLocked(eh.counts[i])
+	}
+	t.live = t.freshLive()
+	t.sealed = append(t.sealed, eh)
+	if over := len(t.sealed) - t.cfg.Window.Span; over > 0 {
+		t.sealed = append([]epochHist(nil), t.sealed[over:]...)
+	}
+	t.seq++
+	seq := t.seq
+	window := append([]epochHist(nil), t.sealed...)
+	t.mu.Unlock()
+
+	snap, err := t.estimateWindow(window, nil, seq, false)
+	if err != nil {
+		return nil, err
+	}
+	// Rotations race only in the estimation phase (the seal above is
+	// serialized): a slow wire-triggered rotation must not overwrite the
+	// epoch clock's fresher snapshot, so publish only monotonically.
+	for {
+		old := t.cached.Load()
+		if old != nil && old.Epoch >= snap.Epoch {
+			break
+		}
+		if t.cached.CompareAndSwap(old, snap) {
+			break
+		}
+	}
+	return snap, nil
+}
+
+// Estimate returns a window estimate. With includeLive the unsealed live
+// epoch is folded into the window and estimated on demand; otherwise the
+// snapshot cached by the last successful rotation is returned.
+func (t *Tenant) Estimate(includeLive bool) (*Snapshot, error) {
+	if !includeLive {
+		if snap := t.cached.Load(); snap != nil {
+			return snap, nil
+		}
+		return nil, errors.New("stream: no sealed estimate yet (rotate first or request a live estimate)")
+	}
+	t.mu.RLock()
+	window := append([]epochHist(nil), t.sealed...)
+	liveHist := epochHist{
+		counts: make([][]float64, len(t.groups)),
+		sums:   make([]float64, len(t.groups)),
+		ns:     make([]float64, len(t.groups)),
+	}
+	for i, s := range t.live {
+		liveHist.counts[i] = make([]float64, t.bkt[i])
+		liveHist.sums[i], liveHist.ns[i] = s.mergeLive(liveHist.counts[i])
+	}
+	seq := t.seq
+	t.mu.RUnlock()
+	return t.estimateWindow(window, &liveHist, seq, true)
+}
+
+// Cached returns the snapshot of the last successful rotation, nil if none.
+func (t *Tenant) Cached() *Snapshot { return t.cached.Load() }
+
+// estimateWindow merges the sealed window (plus the optional live epoch)
+// into one histogram collection and runs the tenant's estimator. No locks
+// are held: sealed epochs are immutable and the live epoch was copied.
+func (t *Tenant) estimateWindow(window []epochHist, liveHist *epochHist, seq uint64, live bool) (*Snapshot, error) {
+	h := len(t.groups)
+	counts := make([][]float64, h)
+	sums := make([]float64, h)
+	var total float64
+	for i := 0; i < h; i++ {
+		counts[i] = make([]float64, t.bkt[i])
+	}
+	merge := func(eh *epochHist) {
+		for i := 0; i < h; i++ {
+			for b, c := range eh.counts[i] {
+				counts[i][b] += c
+			}
+			sums[i] += eh.sums[i]
+			total += eh.ns[i]
+		}
+	}
+	for i := range window {
+		merge(&window[i])
+	}
+	if liveHist != nil {
+		merge(liveHist)
+	}
+	snap := &Snapshot{
+		Tenant:  t.name,
+		Kind:    t.cfg.Kind,
+		Epoch:   seq,
+		Live:    live,
+		At:      time.Now(),
+		Reports: total,
+	}
+	var err error
+	switch t.cfg.Kind {
+	case KindMean:
+		snap.Mean, err = t.mean.EstimateHist(&core.HistCollection{Counts: counts, Sums: sums})
+	case KindFreq:
+		snap.Freq, err = t.freq.EstimateFreq(&core.FreqCollection{Counts: counts})
+	case KindDist:
+		snap.Dist, err = t.dist.EstimateHist(&core.HistCollection{Counts: counts})
+	}
+	if err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// Status summarizes a tenant for monitoring.
+type Status struct {
+	// Name and Kind identify the tenant.
+	Name string
+	Kind Kind
+	// Eps and Eps0 are the configured budgets.
+	Eps, Eps0 float64
+	// Scheme names the estimation scheme.
+	Scheme string
+	// Users is how many users have joined; Reporters how many have spent
+	// budget.
+	Users     int
+	Reporters int
+	// Epoch is the number of sealed epochs.
+	Epoch uint64
+	// GroupReports counts the reports per group currently in the window
+	// (sealed window plus live epoch).
+	GroupReports []float64
+	// CachedEpoch is the epoch of the cached estimate (0 = none yet).
+	CachedEpoch uint64
+}
+
+// Status returns a monitoring summary.
+func (t *Tenant) Status() Status {
+	st := Status{
+		Name:   t.name,
+		Kind:   t.cfg.Kind,
+		Eps:    t.cfg.Eps,
+		Eps0:   t.cfg.Eps0,
+		Scheme: t.schemeName(),
+		Users:  t.Joined(),
+	}
+	st.Reporters = t.acct.Users()
+	t.mu.RLock()
+	st.Epoch = t.seq
+	st.GroupReports = make([]float64, len(t.groups))
+	for i := range t.groups {
+		for e := range t.sealed {
+			st.GroupReports[i] += t.sealed[e].ns[i]
+		}
+		st.GroupReports[i] += t.live[i].count()
+	}
+	t.mu.RUnlock()
+	if snap := t.cached.Load(); snap != nil {
+		st.CachedEpoch = snap.Epoch
+	}
+	return st
+}
+
+func (t *Tenant) schemeName() string { return t.cfg.Scheme.String() }
+
+// Start launches the epoch clock when the configuration carries one
+// (Window.Epoch > 0): the tenant rotates itself every epoch, keeping the
+// cached estimate at most one epoch stale. Rotation errors (typically an
+// empty window during warm-up) leave the previous cache in place. Start is
+// a no-op for clockless tenants and when the clock already runs.
+func (t *Tenant) Start() {
+	if t.cfg.Window.Epoch <= 0 {
+		return
+	}
+	t.clockMu.Lock()
+	defer t.clockMu.Unlock()
+	if t.stop != nil {
+		return
+	}
+	t.stop = make(chan struct{})
+	t.done = make(chan struct{})
+	go func(stop, done chan struct{}) {
+		defer close(done)
+		tick := time.NewTicker(t.cfg.Window.Epoch)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				_, _ = t.Rotate()
+			}
+		}
+	}(t.stop, t.done)
+}
+
+// Stop halts the epoch clock (if running) and waits for it to exit.
+func (t *Tenant) Stop() {
+	t.clockMu.Lock()
+	stop, done := t.stop, t.done
+	t.stop, t.done = nil, nil
+	t.clockMu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}

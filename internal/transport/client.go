@@ -55,7 +55,7 @@ func (c *Client) do(req *http.Request, out any) error {
 		return err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		var e ErrorResponse
 		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
 			return fmt.Errorf("transport: %s %s: %s", req.Method, req.URL.Path, e.Error)
@@ -105,6 +105,131 @@ func (c *Client) Status(ctx context.Context) (*StatusResponse, error) {
 func (c *Client) Estimate(ctx context.Context) (*EstimateResponse, error) {
 	var out EstimateResponse
 	if err := c.get(ctx, "/v1/estimate", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Rotate asks the collector to seal the current epoch and re-estimate the
+// window.
+func (c *Client) Rotate(ctx context.Context) (*EstimateResponse, error) {
+	var out EstimateResponse
+	if err := c.post(ctx, "/v1/rotate", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Ingest uploads many reports in one round-trip.
+func (c *Client) Ingest(ctx context.Context, reports []ReportRequest) (*IngestResponse, error) {
+	var out IngestResponse
+	if err := c.post(ctx, "/v1/ingest", IngestRequest{Reports: reports}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// CreateTenant registers a new tenant.
+func (c *Client) CreateTenant(ctx context.Context, req TenantRequest) (*TenantStatusResponse, error) {
+	var out TenantStatusResponse
+	if err := c.post(ctx, "/v1/tenants", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Tenants lists all hosted tenants.
+func (c *Client) Tenants(ctx context.Context) (*TenantListResponse, error) {
+	var out TenantListResponse
+	if err := c.get(ctx, "/v1/tenants", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// DeleteTenant unregisters a tenant.
+func (c *Client) DeleteTenant(ctx context.Context, name string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.base+"/v1/tenants/"+name, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, nil)
+}
+
+// Tenant returns a client addressing the named tenant's routes. The
+// default tenant is reachable both ways: c and c.Tenant("default") hit the
+// same engine state.
+func (c *Client) Tenant(name string) *TenantClient {
+	return &TenantClient{c: c, prefix: "/v1/tenants/" + name}
+}
+
+// TenantClient scopes the wire API to one tenant.
+type TenantClient struct {
+	c      *Client
+	prefix string
+}
+
+// Config fetches the tenant's configuration.
+func (tc *TenantClient) Config(ctx context.Context) (*ConfigResponse, error) {
+	var out ConfigResponse
+	if err := tc.c.get(ctx, tc.prefix+"/config", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Join registers a user with the tenant.
+func (tc *TenantClient) Join(ctx context.Context) (*JoinResponse, error) {
+	var out JoinResponse
+	if err := tc.c.post(ctx, tc.prefix+"/join", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Report uploads already-perturbed values for a group.
+func (tc *TenantClient) Report(ctx context.Context, user string, group int, values []float64) error {
+	var out ReportResponse
+	return tc.c.post(ctx, tc.prefix+"/report", ReportRequest{User: user, Group: group, Values: values}, &out)
+}
+
+// Ingest uploads many reports in one round-trip.
+func (tc *TenantClient) Ingest(ctx context.Context, reports []ReportRequest) (*IngestResponse, error) {
+	var out IngestResponse
+	if err := tc.c.post(ctx, tc.prefix+"/ingest", IngestRequest{Reports: reports}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Status fetches the tenant's collection progress.
+func (tc *TenantClient) Status(ctx context.Context) (*StatusResponse, error) {
+	var out StatusResponse
+	if err := tc.c.get(ctx, tc.prefix+"/status", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Estimate fetches the tenant's window estimate. live selects the source:
+// "" lets the server prefer the per-epoch cache, "1" forces a live
+// estimate including the unsealed epoch, "0" demands the cache.
+func (tc *TenantClient) Estimate(ctx context.Context, live string) (*EstimateResponse, error) {
+	path := tc.prefix + "/estimate"
+	if live != "" {
+		path += "?live=" + live
+	}
+	var out EstimateResponse
+	if err := tc.c.get(ctx, path, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Rotate seals the tenant's current epoch and re-estimates the window.
+func (tc *TenantClient) Rotate(ctx context.Context) (*EstimateResponse, error) {
+	var out EstimateResponse
+	if err := tc.c.post(ctx, tc.prefix+"/rotate", nil, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil

@@ -2,54 +2,105 @@ package transport
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
-	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/privacy"
+	"repro/internal/stream"
 )
 
-// Server is a DAP collector service. It assigns joining users to groups
-// round-robin, stores uploaded reports per group, enforces each user's
-// budget with a privacy accountant, and exposes the aggregated estimate.
+// DefaultTenant is the tenant the original (tenant-less) wire API
+// addresses.
+const DefaultTenant = "default"
+
+// maxIngestErrors caps the per-entry rejection reasons echoed back from a
+// batched ingest.
+const maxIngestErrors = 8
+
+// Server is a multi-tenant DAP collector service on top of the streaming
+// aggregation engine: reports land in sharded per-group histograms, epoch
+// windows keep estimates fresh without rescanning reports, and one process
+// hosts many concurrent aggregations.
 type Server struct {
-	dap  *core.DAP
-	acct *privacy.Accountant
-
-	mu      sync.Mutex
-	nextID  int
-	userGrp map[string]int
-	groups  [][]float64
+	reg *stream.Registry
+	def *stream.Tenant
 }
 
-// NewServer builds a collector for the given protocol parameters.
+// NewServer builds a collector whose default tenant runs mean estimation
+// with the given protocol parameters — the original single-collector
+// construction, preserved for compatibility.
 func NewServer(p core.Params) (*Server, error) {
-	d, err := core.NewDAP(p)
-	if err != nil {
-		return nil, err
-	}
-	acct, err := privacy.NewAccountant(p.Eps)
-	if err != nil {
-		return nil, err
-	}
-	return &Server{
-		dap:     d,
-		acct:    acct,
-		userGrp: make(map[string]int),
-		groups:  make([][]float64, d.H()),
-	}, nil
+	return NewServerConfig(stream.Config{
+		Kind: stream.KindMean, Eps: p.Eps, Eps0: p.Eps0, Scheme: p.Scheme,
+		OPrime: p.OPrime, AutoOPrime: p.AutoOPrime, GammaSup: p.GammaSup,
+		SuppressFactor: p.SuppressFactor, EMFMaxIter: p.EMFMaxIter,
+		WeightMode: p.WeightMode,
+	})
 }
+
+// NewServerConfig builds a collector whose default tenant runs the given
+// engine configuration (any kind, epoch clock, shard and bucket layout).
+func NewServerConfig(cfg stream.Config) (*Server, error) {
+	reg := stream.NewRegistry()
+	def, err := reg.Create(DefaultTenant, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{reg: reg, def: def}, nil
+}
+
+// Registry exposes the tenant registry (load generators and tests).
+func (s *Server) Registry() *stream.Registry { return s.reg }
+
+// Close stops every tenant's epoch clock.
+func (s *Server) Close() { s.reg.Close() }
 
 // Handler returns the HTTP API.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/config", s.handleConfig)
-	mux.HandleFunc("POST /v1/join", s.handleJoin)
-	mux.HandleFunc("POST /v1/report", s.handleReport)
-	mux.HandleFunc("GET /v1/status", s.handleStatus)
-	mux.HandleFunc("GET /v1/estimate", s.handleEstimate)
+	// Original wire API, bound to the default tenant.
+	mux.HandleFunc("GET /v1/config", s.tenantless(s.handleConfig))
+	mux.HandleFunc("POST /v1/join", s.tenantless(s.handleJoin))
+	mux.HandleFunc("POST /v1/report", s.tenantless(s.handleReport))
+	mux.HandleFunc("POST /v1/ingest", s.tenantless(s.handleIngest))
+	mux.HandleFunc("GET /v1/status", s.tenantless(s.handleStatus))
+	mux.HandleFunc("GET /v1/estimate", s.tenantless(s.handleEstimate))
+	mux.HandleFunc("POST /v1/rotate", s.tenantless(s.handleRotate))
+	// Tenant CRUD.
+	mux.HandleFunc("GET /v1/tenants", s.handleTenantList)
+	mux.HandleFunc("POST /v1/tenants", s.handleTenantCreate)
+	mux.HandleFunc("GET /v1/tenants/{tenant}", s.scoped(s.handleTenantStatus))
+	mux.HandleFunc("DELETE /v1/tenants/{tenant}", s.handleTenantDelete)
+	// Per-tenant routes, mirroring the original API.
+	mux.HandleFunc("GET /v1/tenants/{tenant}/config", s.scoped(s.handleConfig))
+	mux.HandleFunc("POST /v1/tenants/{tenant}/join", s.scoped(s.handleJoin))
+	mux.HandleFunc("POST /v1/tenants/{tenant}/report", s.scoped(s.handleReport))
+	mux.HandleFunc("POST /v1/tenants/{tenant}/ingest", s.scoped(s.handleIngest))
+	mux.HandleFunc("GET /v1/tenants/{tenant}/status", s.scoped(s.handleStatus))
+	mux.HandleFunc("GET /v1/tenants/{tenant}/estimate", s.scoped(s.handleEstimate))
+	mux.HandleFunc("POST /v1/tenants/{tenant}/rotate", s.scoped(s.handleRotate))
 	return mux
+}
+
+// tenantless adapts a tenant-scoped handler to the original API.
+func (s *Server) tenantless(h func(http.ResponseWriter, *http.Request, *stream.Tenant)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) { h(w, r, s.def) }
+}
+
+// scoped resolves {tenant} from the path.
+func (s *Server) scoped(h func(http.ResponseWriter, *http.Request, *stream.Tenant)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("tenant")
+		t, ok := s.reg.Get(name)
+		if !ok {
+			writeErr(w, http.StatusNotFound, "tenant %q not found", name)
+			return
+		}
+		h(w, r, t)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -62,108 +113,226 @@ func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
-func (s *Server) config() ConfigResponse {
-	p := s.dap.Params()
-	cfg := ConfigResponse{Eps: p.Eps, Eps0: p.Eps0, Scheme: p.Scheme.String()}
-	for _, g := range s.dap.Groups() {
-		cfg.Groups = append(cfg.Groups, GroupInfo{Index: g.Index, Eps: g.Eps, Reports: g.Reports})
+// ingestStatus maps an engine rejection to an HTTP status.
+func ingestStatus(err error) int {
+	switch {
+	case errors.Is(err, privacy.ErrBudgetExceeded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, stream.ErrWrongGroup):
+		return http.StatusForbidden
+	default:
+		return http.StatusBadRequest
 	}
-	return cfg
 }
 
-func (s *Server) handleConfig(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.config())
+func configResponse(t *stream.Tenant) ConfigResponse {
+	cfg := t.Config()
+	out := ConfigResponse{
+		Eps: cfg.Eps, Eps0: cfg.Eps0, Scheme: cfg.Scheme.String(),
+		Kind: t.Kind().String(), K: cfg.K, Shards: cfg.Shards,
+		WindowMode: cfg.Window.Mode.String(), WindowSpan: cfg.Window.Span,
+		EpochMs: cfg.Window.Epoch.Milliseconds(),
+	}
+	if t.Kind() != stream.KindFreq {
+		out.Buckets = cfg.Buckets
+	}
+	for _, g := range t.Groups() {
+		out.Groups = append(out.Groups, GroupInfo{Index: g.Index, Eps: g.Eps, Reports: g.Reports})
+	}
+	return out
 }
 
-func (s *Server) handleJoin(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	id := fmt.Sprintf("u%06d", s.nextID)
-	grp := s.nextID % s.dap.H()
-	s.nextID++
-	s.userGrp[id] = grp
-	s.mu.Unlock()
-	g := s.dap.Groups()[grp]
+func (s *Server) handleConfig(w http.ResponseWriter, _ *http.Request, t *stream.Tenant) {
+	writeJSON(w, http.StatusOK, configResponse(t))
+}
+
+func (s *Server) handleJoin(w http.ResponseWriter, _ *http.Request, t *stream.Tenant) {
+	id, g := t.Join()
 	writeJSON(w, http.StatusOK, JoinResponse{
 		User:  id,
 		Group: GroupInfo{Index: g.Index, Eps: g.Eps, Reports: g.Reports},
 	})
 }
 
-func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request, t *stream.Tenant) {
 	var req ReportRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
 		return
 	}
-	if req.Group < 0 || req.Group >= s.dap.H() {
-		writeErr(w, http.StatusBadRequest, "group %d out of range", req.Group)
+	if err := t.Ingest(req.User, req.Group, req.Values); err != nil {
+		writeErr(w, ingestStatus(err), "%v", err)
 		return
 	}
-	if len(req.Values) == 0 {
-		writeErr(w, http.StatusBadRequest, "no values")
-		return
-	}
-	g := s.dap.Groups()[req.Group]
-	if len(req.Values) > g.Reports {
-		writeErr(w, http.StatusBadRequest, "group %d accepts at most %d reports", req.Group, g.Reports)
-		return
-	}
-	dom := s.dap.Mechanism(req.Group).OutputDomain()
-	for _, v := range req.Values {
-		if !dom.Contains(v) {
-			writeErr(w, http.StatusBadRequest, "value %g outside output domain [%g,%g]", v, dom.Lo, dom.Hi)
-			return
-		}
-	}
-	s.mu.Lock()
-	if grp, ok := s.userGrp[req.User]; ok && grp != req.Group {
-		s.mu.Unlock()
-		writeErr(w, http.StatusForbidden, "user %s belongs to group %d", req.User, grp)
-		return
-	}
-	s.mu.Unlock()
-	// Budget accounting: each report in group t costs ε_t.
-	for range req.Values {
-		if err := s.acct.Spend(req.User, g.Eps); err != nil {
-			writeErr(w, http.StatusTooManyRequests, "%v", err)
-			return
-		}
-	}
-	s.mu.Lock()
-	s.groups[req.Group] = append(s.groups[req.Group], req.Values...)
-	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, ReportResponse{Accepted: len(req.Values)})
 }
 
-func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	counts := make([]int, len(s.groups))
-	for i, g := range s.groups {
-		counts[i] = len(g)
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request, t *stream.Tenant) {
+	var req IngestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
 	}
-	users := len(s.userGrp)
-	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, StatusResponse{Users: users, GroupReports: counts})
+	var out IngestResponse
+	for i := range req.Reports {
+		e := &req.Reports[i]
+		if err := t.Ingest(e.User, e.Group, e.Values); err != nil {
+			out.Rejected++
+			if len(out.Errors) < maxIngestErrors {
+				out.Errors = append(out.Errors, err.Error())
+			}
+			continue
+		}
+		out.Accepted += len(e.Values)
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
-func (s *Server) handleEstimate(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	col := &core.Collection{Groups: make([][]float64, len(s.groups))}
-	for i, g := range s.groups {
-		col.Groups[i] = append([]float64(nil), g...)
+func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request, t *stream.Tenant) {
+	st := t.Status()
+	out := StatusResponse{
+		Users:        st.Users,
+		GroupReports: make([]int, len(st.GroupReports)),
+		Kind:         st.Kind.String(),
+		Reporters:    st.Reporters,
+		Epoch:        st.Epoch,
+		CachedEpoch:  st.CachedEpoch,
 	}
-	s.mu.Unlock()
-	est, err := s.dap.Estimate(col)
+	for i, n := range st.GroupReports {
+		out.GroupReports[i] = int(n)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request, t *stream.Tenant) {
+	var snap *stream.Snapshot
+	var err error
+	switch r.URL.Query().Get("live") {
+	case "1", "true":
+		snap, err = t.Estimate(true)
+	case "0", "false":
+		snap, err = t.Estimate(false)
+	default:
+		// Prefer the per-epoch cache (free and at most one epoch stale);
+		// fall back to a live estimate for clockless tenants.
+		if snap = t.Cached(); snap == nil {
+			snap, err = t.Estimate(true)
+		}
+	}
 	if err != nil {
 		writeErr(w, http.StatusConflict, "estimation failed: %v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, EstimateResponse{
-		Mean:          est.Mean,
-		Gamma:         est.Gamma,
-		PoisonedRight: est.PoisonedRight,
-		GroupMeans:    est.GroupMeans,
-		Weights:       est.Weights,
-		VarMin:        est.VarMin,
-	})
+	writeJSON(w, http.StatusOK, estimateResponse(snap))
+}
+
+func (s *Server) handleRotate(w http.ResponseWriter, _ *http.Request, t *stream.Tenant) {
+	snap, err := t.Rotate()
+	if err != nil {
+		writeErr(w, http.StatusConflict, "rotation sealed an epoch but estimation failed: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, estimateResponse(snap))
+}
+
+func estimateResponse(snap *stream.Snapshot) EstimateResponse {
+	out := EstimateResponse{
+		Kind:    snap.Kind.String(),
+		Epoch:   snap.Epoch,
+		Live:    snap.Live,
+		Reports: snap.Reports,
+	}
+	switch {
+	case snap.Mean != nil:
+		e := snap.Mean
+		out.Mean, out.Gamma, out.PoisonedRight = e.Mean, e.Gamma, e.PoisonedRight
+		out.GroupMeans, out.Weights, out.VarMin = e.GroupMeans, e.Weights, e.VarMin
+	case snap.Freq != nil:
+		e := snap.Freq
+		out.Gamma, out.Freqs, out.PoisonCats, out.Weights = e.Gamma, e.Freqs, e.PoisonCats, e.Weights
+	case snap.Dist != nil:
+		e := snap.Dist
+		out.Mean, out.Gamma, out.PoisonedRight = e.Mean, e.Gamma, e.PoisonedRight
+		out.GroupMeans, out.Weights, out.VarMin = e.GroupMeans, e.Weights, e.VarMin
+		out.XHat = e.XHat
+	}
+	return out
+}
+
+func tenantStatusResponse(t *stream.Tenant) TenantStatusResponse {
+	st := t.Status()
+	return TenantStatusResponse{
+		Name: st.Name, Kind: st.Kind.String(), Eps: st.Eps, Eps0: st.Eps0,
+		Scheme: st.Scheme, Users: st.Users, Reporters: st.Reporters,
+		Epoch: st.Epoch, GroupReports: st.GroupReports, CachedEpoch: st.CachedEpoch,
+	}
+}
+
+func (s *Server) handleTenantList(w http.ResponseWriter, _ *http.Request) {
+	out := TenantListResponse{Tenants: []TenantStatusResponse{}}
+	for _, t := range s.reg.List() {
+		out.Tenants = append(out.Tenants, tenantStatusResponse(t))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleTenantCreate(w http.ResponseWriter, r *http.Request) {
+	var req TenantRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	cfg, err := tenantConfig(req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	t, err := s.reg.Create(req.Name, cfg)
+	if err != nil {
+		writeErr(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, tenantStatusResponse(t))
+}
+
+func tenantConfig(req TenantRequest) (stream.Config, error) {
+	kind, err := stream.ParseKind(req.Kind)
+	if err != nil {
+		return stream.Config{}, err
+	}
+	scheme, err := core.ParseScheme(req.Scheme)
+	if err != nil {
+		return stream.Config{}, err
+	}
+	mode, err := stream.ParseWindowMode(req.WindowMode)
+	if err != nil {
+		return stream.Config{}, err
+	}
+	return stream.Config{
+		Kind: kind, Eps: req.Eps, Eps0: req.Eps0, Scheme: scheme, K: req.K,
+		Buckets: req.Buckets, ExpectedUsers: req.ExpectedUsers, Shards: req.Shards,
+		Window: stream.WindowConfig{
+			Mode: mode, Span: req.WindowSpan,
+			Epoch: time.Duration(req.EpochMs) * time.Millisecond,
+		},
+		OPrime: req.OPrime, AutoOPrime: req.AutoOPrime, GammaSup: req.GammaSup,
+		TrimFrac: req.TrimFrac,
+	}, nil
+}
+
+func (s *Server) handleTenantStatus(w http.ResponseWriter, _ *http.Request, t *stream.Tenant) {
+	writeJSON(w, http.StatusOK, tenantStatusResponse(t))
+}
+
+func (s *Server) handleTenantDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("tenant")
+	if name == DefaultTenant {
+		writeErr(w, http.StatusBadRequest, "the default tenant cannot be deleted")
+		return
+	}
+	if !s.reg.Delete(name) {
+		writeErr(w, http.StatusNotFound, "tenant %q not found", name)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
 }

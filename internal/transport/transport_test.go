@@ -2,6 +2,7 @@ package transport
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"net/http/httptest"
 	"strings"
@@ -193,4 +194,159 @@ func TestServerRejectsBadParams(t *testing.T) {
 	if _, err := NewServer(core.Params{Eps: -1, Eps0: 1}); err == nil {
 		t.Fatal("bad params accepted")
 	}
+}
+
+func TestReportRejectsNaNAndInf(t *testing.T) {
+	// NaN/Inf cannot travel in JSON numbers; they surface as either a JSON
+	// decode error or a domain rejection — in both cases HTTP 4xx and no
+	// state change. Exercise the wire with raw bodies.
+	srv, _ := newTestServer(t)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	for _, body := range []string{
+		`{"user":"u0","group":0,"values":[NaN]}`,
+		`{"user":"u0","group":0,"values":[1e999]}`,
+		`{"user":"u0","group":0,"values":["Inf"]}`,
+	} {
+		resp, err := ts.Client().Post(ts.URL+"/v1/report", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 400 {
+			t.Fatalf("body %s → HTTP %d", body, resp.StatusCode)
+		}
+	}
+	st, err := NewClient(ts.URL, ts.Client()).Status(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range st.GroupReports {
+		if n != 0 {
+			t.Fatalf("malformed reports landed: %v", st.GroupReports)
+		}
+	}
+}
+
+func TestTenantCRUDAndRoutes(t *testing.T) {
+	_, c := newTestServer(t)
+	ctx := context.Background()
+	// The default tenant is listed.
+	ls, err := c.Tenants(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ls.Tenants) != 1 || ls.Tenants[0].Name != DefaultTenant {
+		t.Fatalf("tenants = %+v", ls.Tenants)
+	}
+	// Create a frequency tenant and drive it through its scoped routes.
+	created, err := c.CreateTenant(ctx, TenantRequest{
+		Name: "clicks", Kind: "freq", Eps: 2, Eps0: 1, K: 3, Scheme: "emfstar",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created.Kind != "freq" {
+		t.Fatalf("created = %+v", created)
+	}
+	if _, err := c.CreateTenant(ctx, TenantRequest{Name: "clicks", Kind: "freq", Eps: 2, Eps0: 1, K: 3}); err == nil {
+		t.Fatal("duplicate tenant accepted")
+	}
+	if _, err := c.CreateTenant(ctx, TenantRequest{Name: "bad", Kind: "nope", Eps: 1, Eps0: 1}); err == nil {
+		t.Fatal("bad kind accepted")
+	}
+	tc := c.Tenant("clicks")
+	cfg, err := tc.Config(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Kind != "freq" || cfg.K != 3 || len(cfg.Groups) != 2 {
+		t.Fatalf("config = %+v", cfg)
+	}
+	// Categories flow through join/report; the default tenant is untouched.
+	for i := 0; i < 200; i++ {
+		j, err := tc.Join(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals := make([]float64, j.Group.Reports)
+		for k := range vals {
+			vals[k] = float64(i % 3 / 2) // mostly category 0
+		}
+		if err := tc.Report(ctx, j.User, j.Group.Index, vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tc.Report(ctx, "u000000", 0, []float64{7}); err == nil {
+		t.Fatal("out-of-range category accepted")
+	}
+	est, err := tc.Estimate(ctx, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Kind != "freq" || len(est.Freqs) != 3 {
+		t.Fatalf("estimate = %+v", est)
+	}
+	if st, err := c.Status(ctx); err != nil || st.Users != 0 {
+		t.Fatalf("default tenant leaked state: %+v, %v", st, err)
+	}
+	// Deletion: the scoped routes disappear; default cannot be deleted.
+	if err := c.DeleteTenant(ctx, "clicks"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tc.Status(ctx); err == nil {
+		t.Fatal("deleted tenant still served")
+	}
+	if err := c.DeleteTenant(ctx, DefaultTenant); err == nil {
+		t.Fatal("default tenant deleted")
+	}
+}
+
+func TestBatchIngestAndRotate(t *testing.T) {
+	_, c := newTestServer(t)
+	ctx := context.Background()
+	r := rng.New(8)
+	cfg, err := c.Config(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batch []ReportRequest
+	for i := 0; i < 600; i++ {
+		g := cfg.Groups[i%len(cfg.Groups)]
+		vals := make([]float64, g.Reports)
+		for k := range vals {
+			vals[k] = rng.Uniform(r, -0.2, 0.2) // in-domain for every group
+		}
+		batch = append(batch, ReportRequest{
+			User: "b" + string(rune('a'+i%26)) + itoa(i), Group: g.Index, Values: vals,
+		})
+	}
+	// Poison one entry so per-entry isolation is visible.
+	batch[0].Values = []float64{1e9}
+	res, err := c.Ingest(ctx, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejected != 1 || len(res.Errors) == 0 {
+		t.Fatalf("ingest = %+v", res)
+	}
+	est, err := c.Rotate(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Epoch != 1 || est.Reports != float64(res.Accepted) {
+		t.Fatalf("rotate = %+v (accepted %d)", est, res.Accepted)
+	}
+	// The cached per-epoch estimate now serves reads.
+	got, err := c.Estimate(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != 1 || got.Live {
+		t.Fatalf("estimate after rotate = %+v", got)
+	}
+}
+
+func itoa(i int) string {
+	return fmt.Sprintf("%d", i)
 }

@@ -1,8 +1,16 @@
-// Package transport provides a minimal HTTP deployment of the DAP
-// collector: users join, receive a group assignment with its privacy
-// budget, perturb locally (the LDP trust model — raw values never leave
-// the device) and upload reports; the collector runs the full DAP
-// estimation pipeline on demand.
+// Package transport is the HTTP deployment of the DAP collector. It runs
+// on the streaming aggregation engine (internal/stream): users join,
+// receive a group assignment with its privacy budget, perturb locally (the
+// LDP trust model — raw values never leave the device) and upload reports,
+// which land in sharded per-group histograms; estimates come from epoch
+// windows, re-estimated on rotation so reads never rescan reports.
+//
+// One process hosts many tenants. The original single-collector wire API
+// (/v1/config, /v1/join, /v1/report, /v1/status, /v1/estimate) is
+// preserved verbatim and operates on the tenant named "default"; the same
+// routes exist per tenant under /v1/tenants/{tenant}/..., alongside tenant
+// CRUD on /v1/tenants, epoch rotation and a batched ingest endpoint for
+// high-throughput clients.
 package transport
 
 // GroupInfo describes one DAP group to clients.
@@ -12,12 +20,21 @@ type GroupInfo struct {
 	Reports int     `json:"reports"`
 }
 
-// ConfigResponse is returned by GET /v1/config.
+// ConfigResponse is returned by GET /v1/config. Fields beyond the original
+// four describe the serving configuration and are additive.
 type ConfigResponse struct {
 	Eps    float64     `json:"eps"`
 	Eps0   float64     `json:"eps0"`
 	Scheme string      `json:"scheme"`
 	Groups []GroupInfo `json:"groups"`
+
+	Kind       string `json:"kind,omitempty"`
+	K          int    `json:"k,omitempty"`
+	Buckets    int    `json:"buckets,omitempty"`
+	Shards     int    `json:"shards,omitempty"`
+	WindowMode string `json:"window_mode,omitempty"`
+	WindowSpan int    `json:"window_span,omitempty"`
+	EpochMs    int64  `json:"epoch_ms,omitempty"`
 }
 
 // JoinResponse is returned by POST /v1/join: the caller's group
@@ -29,7 +46,8 @@ type JoinResponse struct {
 
 // ReportRequest is the body of POST /v1/report. Values must already be
 // perturbed (or poisoned — the collector cannot tell) and fall within the
-// group mechanism's output domain.
+// group mechanism's output domain; frequency tenants expect integral
+// category indices in [0,K).
 type ReportRequest struct {
 	User   string    `json:"user"`
 	Group  int       `json:"group"`
@@ -41,13 +59,35 @@ type ReportResponse struct {
 	Accepted int `json:"accepted"`
 }
 
-// StatusResponse is returned by GET /v1/status.
+// IngestRequest is the body of POST /v1/ingest: many reports in one
+// round-trip. Entries are applied independently — a rejected entry does
+// not block the rest — and each entry's budget is charged atomically.
+type IngestRequest struct {
+	Reports []ReportRequest `json:"reports"`
+}
+
+// IngestResponse summarizes a batched ingest. Errors carries the first few
+// per-entry rejection reasons.
+type IngestResponse struct {
+	Accepted int      `json:"accepted"`
+	Rejected int      `json:"rejected"`
+	Errors   []string `json:"errors,omitempty"`
+}
+
+// StatusResponse is returned by GET /v1/status. Epoch fields are additive.
 type StatusResponse struct {
 	Users        int   `json:"users"`
 	GroupReports []int `json:"group_reports"`
+
+	Kind        string `json:"kind,omitempty"`
+	Reporters   int    `json:"reporters,omitempty"`
+	Epoch       uint64 `json:"epoch,omitempty"`
+	CachedEpoch uint64 `json:"cached_epoch,omitempty"`
 }
 
-// EstimateResponse is returned by GET /v1/estimate.
+// EstimateResponse is returned by GET /v1/estimate. The original mean
+// fields keep their meaning; Kind, Epoch, Live, Reports and the
+// kind-specific Freqs/XHat/PoisonCats fields are additive.
 type EstimateResponse struct {
 	Mean          float64   `json:"mean"`
 	Gamma         float64   `json:"gamma"`
@@ -55,6 +95,54 @@ type EstimateResponse struct {
 	GroupMeans    []float64 `json:"group_means"`
 	Weights       []float64 `json:"weights"`
 	VarMin        float64   `json:"var_min"`
+
+	Kind       string    `json:"kind,omitempty"`
+	Epoch      uint64    `json:"epoch,omitempty"`
+	Live       bool      `json:"live,omitempty"`
+	Reports    float64   `json:"reports,omitempty"`
+	Freqs      []float64 `json:"freqs,omitempty"`
+	PoisonCats []int     `json:"poison_cats,omitempty"`
+	XHat       []float64 `json:"xhat,omitempty"`
+}
+
+// TenantRequest is the body of POST /v1/tenants. Zero values select the
+// engine defaults (see stream.Config).
+type TenantRequest struct {
+	Name       string  `json:"name"`
+	Kind       string  `json:"kind,omitempty"`
+	Eps        float64 `json:"eps"`
+	Eps0       float64 `json:"eps0"`
+	Scheme     string  `json:"scheme,omitempty"`
+	K          int     `json:"k,omitempty"`
+	Buckets       int `json:"buckets,omitempty"`
+	ExpectedUsers int `json:"expected_users,omitempty"`
+	Shards        int `json:"shards,omitempty"`
+	WindowMode string  `json:"window_mode,omitempty"`
+	WindowSpan int     `json:"window_span,omitempty"`
+	EpochMs    int64   `json:"epoch_ms,omitempty"`
+	AutoOPrime bool    `json:"auto_oprime,omitempty"`
+	OPrime     float64 `json:"oprime,omitempty"`
+	GammaSup   float64 `json:"gamma_sup,omitempty"`
+	TrimFrac   float64 `json:"trim_frac,omitempty"`
+}
+
+// TenantStatusResponse is returned by tenant CRUD and GET /v1/tenants/{tenant}.
+type TenantStatusResponse struct {
+	Name         string    `json:"name"`
+	Kind         string    `json:"kind"`
+	Eps          float64   `json:"eps"`
+	Eps0         float64   `json:"eps0"`
+	Scheme       string    `json:"scheme"`
+	Users        int       `json:"users"`
+	Reporters    int       `json:"reporters"`
+	Epoch        uint64    `json:"epoch"`
+	GroupReports []float64 `json:"group_reports"`
+	CachedEpoch  uint64    `json:"cached_epoch"`
+}
+
+// TenantListResponse is returned by GET /v1/tenants.
+type TenantListResponse struct {
+	Tenants []TenantStatusResponse `json:"tenants"`
 }
 
 // ErrorResponse carries a machine-readable error.
