@@ -3,15 +3,35 @@
 GO ?= go
 DATE := $(shell date +%Y%m%d)
 
-.PHONY: all build vet test race bench bench-json bench-smoke load-smoke
+.PHONY: all build vet fmt-check test race bench bench-json bench-smoke load-smoke apicheck apigen
 
-all: vet build test
+all: vet fmt-check build test apicheck
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Fail when any file needs gofmt.
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed:"; echo "$$unformatted"; exit 1; \
+	fi
+
+# API-surface snapshot: the public package's go doc output is committed
+# as api/dap.txt; apicheck fails when the surface drifts from the golden
+# file, making every public API change explicit. Regenerate deliberately
+# with make apigen.
+apicheck:
+	@$(GO) doc -all . > /tmp/dap-api-current.txt; \
+	if ! diff -u api/dap.txt /tmp/dap-api-current.txt; then \
+		echo; echo "public API surface changed — review the diff above and run 'make apigen' to accept"; exit 1; \
+	fi
+
+apigen:
+	$(GO) doc -all . > api/dap.txt
 
 test:
 	$(GO) test ./...

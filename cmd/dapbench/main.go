@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/core"
 )
 
 // benchRecord is the BENCH_*.json schema.
@@ -56,6 +57,7 @@ func main() {
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		list    = flag.Bool("list", false, "list experiments and exit")
 		jsonOut = flag.String("bench-json", "", "write a machine-readable timing record to this path")
+		specF   = flag.String("spec", "", "task spec file for the 'spec' experiment (sweeps the spec's estimator over the γ grid)")
 	)
 	flag.Parse()
 	if *list {
@@ -68,9 +70,27 @@ func main() {
 	// relaxing the GC target trades a bounded amount of heap for wall-clock.
 	debug.SetGCPercent(400)
 	cfg := bench.Config{N: *n, Trials: *trials, Seed: *seed, EMFMaxIter: *maxIter, Workers: *workers}
+	if *specF != "" {
+		sp, err := core.LoadSpec(*specF)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dapbench:", err)
+			os.Exit(1)
+		}
+		cfg.Spec = &sp
+		if *exp == "all" {
+			*exp = "spec"
+		}
+	}
 	names := []string{*exp}
 	if *exp == "all" {
-		names = bench.Experiments()
+		// The spec experiment needs a -spec file; the paper experiments run
+		// without one.
+		names = names[:0]
+		for _, name := range bench.Experiments() {
+			if name != "spec" {
+				names = append(names, name)
+			}
+		}
 	}
 	rec := benchRecord{
 		Schema:      1,

@@ -2,17 +2,21 @@
 //
 // Usage:
 //
+//	dapcollect -addr :8080 -spec specs/serve.json
 //	dapcollect -addr :8080 -eps 1 -eps0 0.0625 -scheme cemf -epoch 30s
 //
-// The default tenant is created from the protocol flags; further tenants
-// are managed at runtime via POST /v1/tenants. Endpoints: the original
-// single-collector API (GET /v1/config, POST /v1/join, POST /v1/report,
-// GET /v1/status, GET /v1/estimate) plus POST /v1/ingest (batched
-// reports), POST /v1/rotate (seal the epoch), tenant CRUD under
-// /v1/tenants and the same routes per tenant under
-// /v1/tenants/{tenant}/... . Clients perturb locally; the server never
-// sees raw values, charges each user's ε atomically before any state
-// changes, and stores only sharded histograms — never raw reports.
+// The default tenant is created from a task spec: -spec file.json loads
+// one (the same JSON accepted by batch estimation, the stream engine and
+// POST /v1/tenants), and the protocol flags act as overrides for fields
+// set explicitly on the command line. Further tenants are managed at
+// runtime via POST /v1/tenants. Endpoints: the original single-collector
+// API (GET /v1/config, POST /v1/join, POST /v1/report, GET /v1/status,
+// GET /v1/estimate) plus POST /v1/ingest (batched reports), POST
+// /v1/rotate (seal the epoch), tenant CRUD under /v1/tenants and the same
+// routes per tenant under /v1/tenants/{tenant}/... . Clients perturb
+// locally; the server never sees raw values, charges each user's ε
+// atomically before any state changes, and stores only sharded
+// histograms — never raw reports.
 //
 // The process shuts down gracefully: SIGINT/SIGTERM stop accepting
 // connections, in-flight requests drain (bounded by -drain-timeout), and
@@ -32,51 +36,25 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/stream"
+	"repro/internal/specflag"
 	"repro/internal/transport"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		eps      = flag.Float64("eps", 1, "default tenant: total privacy budget ε")
-		eps0     = flag.Float64("eps0", 1.0/16, "default tenant: minimum group budget ε0")
-		schemeF  = flag.String("scheme", "cemf", "default tenant: estimation scheme (emf, emfstar, cemf)")
-		kindF    = flag.String("kind", "mean", "default tenant: protocol kind (mean, freq, dist)")
-		k        = flag.Int("k", 0, "default tenant: category count (kind freq)")
-		buckets  = flag.Int("buckets", 0, "default tenant: fixed per-group histogram resolution d′ (0 = derive from -expected-users)")
-		expUsers = flag.Int("expected-users", 0, "default tenant: expected user population for deriving d′ (0 = engine default)")
-		shards   = flag.Int("shards", 0, "default tenant: lock stripes per group histogram (0 = engine default)")
-		windowF  = flag.String("window", "tumbling", "default tenant: epoch window mode (tumbling, sliding)")
-		span     = flag.Int("span", 0, "default tenant: sliding window span in epochs")
-		epoch    = flag.Duration("epoch", 0, "default tenant: epoch length for automatic rotation (0 = manual)")
-		oPrime   = flag.Float64("oprime", 0, "default tenant: fixed pessimistic mean O′")
-		autoO    = flag.Bool("auto-oprime", false, "default tenant: derive O′ per Theorem 2")
-		gammaSup = flag.Float64("gamma-sup", 0, "default tenant: Byzantine-proportion bound γsup for Theorem 2 (0 = 1/2)")
-
+		addr         = flag.String("addr", ":8080", "listen address")
 		readTimeout  = flag.Duration("read-timeout", 30*time.Second, "HTTP read timeout")
 		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "HTTP write timeout")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain deadline")
 	)
+	sf := specflag.New(flag.CommandLine, core.NewSpec(core.MeanTask(),
+		core.WithScheme(core.SchemeCEMFStar)))
 	flag.Parse()
-	scheme, err := core.ParseScheme(*schemeF)
+	sp, err := sf.Resolve()
 	if err != nil {
 		log.Fatal("dapcollect: ", err)
 	}
-	kind, err := stream.ParseKind(*kindF)
-	if err != nil {
-		log.Fatal("dapcollect: ", err)
-	}
-	mode, err := stream.ParseWindowMode(*windowF)
-	if err != nil {
-		log.Fatal("dapcollect: ", err)
-	}
-	srv, err := transport.NewServerConfig(stream.Config{
-		Kind: kind, Eps: *eps, Eps0: *eps0, Scheme: scheme, K: *k,
-		Buckets: *buckets, ExpectedUsers: *expUsers, Shards: *shards,
-		Window: stream.WindowConfig{Mode: mode, Span: *span, Epoch: *epoch},
-		OPrime: *oPrime, AutoOPrime: *autoO, GammaSup: *gammaSup,
-	})
+	srv, err := transport.NewServerSpec(sp)
 	if err != nil {
 		log.Fatal("dapcollect: ", err)
 	}
@@ -91,8 +69,16 @@ func main() {
 	defer stop()
 	done := make(chan error, 1)
 	go func() { done <- httpSrv.ListenAndServe() }()
-	fmt.Printf("dapcollect: listening on %s (ε=%g, ε0=%g, scheme=%v, kind=%v, window=%v, epoch=%v)\n",
-		*addr, *eps, *eps0, scheme, kind, mode, *epoch)
+	epoch := time.Duration(0)
+	window := "tumbling"
+	if sp.Serve != nil {
+		epoch = time.Duration(sp.Serve.EpochMs) * time.Millisecond
+		if sp.Serve.Window != "" {
+			window = sp.Serve.Window
+		}
+	}
+	fmt.Printf("dapcollect: listening on %s (task=%s, ε=%g, ε0=%g, scheme=%s, window=%s, epoch=%v)\n",
+		*addr, sp.Task, sp.Eps, sp.Eps0, sp.Scheme, window, epoch)
 	select {
 	case err := <-done:
 		srv.Close()

@@ -39,8 +39,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/ldp/pm"
 	"repro/internal/rng"
+	"repro/internal/specflag"
 	"repro/internal/stats"
-	"repro/internal/stream"
 	"repro/internal/transport"
 )
 
@@ -60,20 +60,25 @@ func main() {
 		minRate = flag.Float64("min-rate", 0, "fail when ingest reports/sec falls below this")
 		assert  = flag.Bool("assert", false, "fail unless a sane per-epoch estimate is served")
 		jsonOut = flag.String("bench-json", "", "merge a load record into this BENCH_*.json")
-
-		// Self-serve collector knobs (only with -addr "").
-		eps     = flag.Float64("eps", 1, "self-serve: total budget ε")
-		eps0    = flag.Float64("eps0", 0.25, "self-serve: minimum group budget ε0")
-		schemeF = flag.String("scheme", "emfstar", "self-serve: estimation scheme")
-		epoch   = flag.Duration("epoch", 0, "self-serve: epoch length (0 = manual rotation)")
 	)
+	// Self-serve collector spec (only with -addr ""): -spec file.json plus
+	// the shared protocol/serving flags as overrides — the same resolution
+	// path cmd/dapcollect uses, so the two binaries cannot drift.
+	sf := specflag.New(flag.CommandLine, core.NewSpec(core.MeanTask(),
+		core.WithBudget(1, 0.25), core.WithScheme(core.SchemeEMFStar)))
 	flag.Parse()
 
 	base := *addr
+	if base != "" && sf.Path() != "" {
+		log.Fatal("daploadgen: -spec configures the self-served collector and needs -addr \"\"")
+	}
 	if base == "" {
+		sp, err := sf.Resolve()
+		if err != nil {
+			log.Fatal("daploadgen: ", err)
+		}
 		var closeSrv func()
-		var err error
-		base, closeSrv, err = selfServe(*eps, *eps0, *schemeF, *epoch, *users, *reports)
+		base, closeSrv, err = selfServe(sp, *users, *reports)
 		if err != nil {
 			log.Fatal("daploadgen: ", err)
 		}
@@ -138,7 +143,7 @@ func main() {
 		failed = true
 	}
 	if *assert {
-		if err := sane(live, cached, cachedErr, honestMean, *gamma, *rotate || *epoch > 0); err != nil {
+		if err := sane(live, cached, cachedErr, honestMean, *gamma, *rotate || cfg.EpochMs > 0); err != nil {
 			fmt.Printf("daploadgen: FAIL %v\n", err)
 			failed = true
 		} else {
@@ -147,14 +152,14 @@ func main() {
 	}
 	if *jsonOut != "" {
 		rec := map[string]any{
-			"users":           len(entries),
-			"reports":         accepted,
-			"conns":           *conns,
-			"batch":           *batch,
-			"gamma":           *gamma,
-			"wall_ms":         wall.Milliseconds(),
-			"reports_per_sec": math.Round(rate),
-			"latency_ms":      map[string]float64{"p50": p50, "p90": p90, "p99": p99},
+			"users":            len(entries),
+			"reports":          accepted,
+			"conns":            *conns,
+			"batch":            *batch,
+			"gamma":            *gamma,
+			"wall_ms":          wall.Milliseconds(),
+			"reports_per_sec":  math.Round(rate),
+			"latency_ms":       map[string]float64{"p50": p50, "p90": p90, "p99": p99},
 			"estimate_live_ms": liveMs,
 		}
 		if cachedErr == nil {
@@ -170,25 +175,24 @@ func main() {
 	}
 }
 
-// selfServe boots an in-process collector over a loopback listener.
-func selfServe(eps, eps0 float64, schemeF string, epoch time.Duration, users, reports int) (string, func(), error) {
-	scheme, err := core.ParseScheme(schemeF)
-	if err != nil {
-		return "", nil, err
+// selfServe boots an in-process collector over a loopback listener from
+// the resolved task spec.
+func selfServe(sp core.Spec, users, reports int) (string, func(), error) {
+	if sp.Serve == nil {
+		sp.Serve = &core.ServeSpec{}
 	}
-	expected := users
-	if expected == 0 {
-		// Mirror workload sizing: users round-robin over the h groups and
-		// group t's users report 2^t times, so -reports total reports come
-		// from about reports·h/(2^h−1) users.
-		h := int(math.Ceil(math.Log2(eps/eps0)-1e-12)) + 1
-		expected = reports * h / (1<<h - 1)
+	if sp.Serve.ExpectedUsers == 0 {
+		expected := users
+		if expected == 0 {
+			// Mirror workload sizing: users round-robin over the h groups and
+			// group t's users report 2^t times, so -reports total reports come
+			// from about reports·h/(2^h−1) users.
+			h := int(math.Ceil(math.Log2(sp.Eps/sp.Eps0)-1e-12)) + 1
+			expected = reports * h / (1<<h - 1)
+		}
+		sp.Serve.ExpectedUsers = expected
 	}
-	srv, err := transport.NewServerConfig(stream.Config{
-		Kind: stream.KindMean, Eps: eps, Eps0: eps0, Scheme: scheme,
-		ExpectedUsers: expected,
-		Window:        stream.WindowConfig{Mode: stream.Tumbling, Epoch: epoch},
-	})
+	srv, err := transport.NewServerSpec(sp)
 	if err != nil {
 		return "", nil, err
 	}

@@ -1,10 +1,18 @@
-// Command dapsim runs a single DAP round against a configurable attack
-// and prints the full collector diagnostics next to the Ostrich and
-// Trimming baselines.
+// Command dapsim runs a single protocol round against a configurable
+// attack and prints the full collector diagnostics next to the Ostrich
+// and Trimming comparator defenses.
 //
-// Usage:
+// The protocol is described by a task spec — loaded from -spec file.json
+// (the same JSON the collector, stream engine and batch API consume) with
+// the protocol flags as overrides, or assembled purely from flags:
 //
 //	dapsim -dataset Taxi -eps 1 -scheme cemf -gamma 0.25 -range "[C/2,C]"
+//	dapsim -spec specs/variance.json -gamma 0.1
+//	dapsim -spec specs/frequency.json -dataset COVID19 -poison-cats 10,11,12
+//
+// Every task kind runs: mean, distribution, variance and baseline over
+// the numerical datasets; frequency over a categorical dataset with
+// -poison-cats selecting the injected categories.
 package main
 
 import (
@@ -12,39 +20,57 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/attack"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/defense"
 	"repro/internal/rng"
+	"repro/internal/specflag"
+	"repro/internal/stats"
 )
 
 func main() {
 	var (
-		dsName   = flag.String("dataset", "Taxi", "dataset: Beta(2,5), Beta(5,2), Taxi, Retirement")
+		dsName   = flag.String("dataset", "Taxi", "dataset: Beta(2,5), Beta(5,2), Taxi, Retirement; COVID19 for task frequency")
 		n        = flag.Int("n", 100000, "number of users")
-		eps      = flag.Float64("eps", 1, "total privacy budget ε")
-		eps0     = flag.Float64("eps0", 1.0/16, "minimum group budget ε0")
-		schemeF  = flag.String("scheme", "cemf", "estimation scheme: emf, emfstar, cemf")
 		gamma    = flag.Float64("gamma", 0.25, "Byzantine proportion γ")
 		rangeF   = flag.String("range", "[C/2,C]", "poison range: [3C/4,C], [C/2,C], [O,C/2], [O,C]")
 		distF    = flag.String("dist", "uniform", "poison distribution: uniform, gaussian, beta16, beta61")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		evasionA = flag.Float64("evasion", -1, "if >= 0, run the evasion attack with this fraction instead of BBA")
 		imaG     = flag.Float64("ima", math.NaN(), "if set, run the input manipulation attack with this poison input g")
+		poisonC  = flag.String("poison-cats", "0", "comma-separated poisoned categories (task frequency)")
 	)
+	sf := specflag.New(flag.CommandLine, core.NewSpec(core.MeanTask(),
+		core.WithScheme(core.SchemeCEMFStar)))
 	flag.Parse()
 
-	scheme, err := parseScheme(*schemeF)
+	sp, err := sf.Resolve()
 	fatal(err)
-	dist, err := parseDist(*distF)
+	est, err := core.Build(sp)
 	fatal(err)
 
 	r := rng.New(*seed)
+	if sp.Task == core.TaskFrequency {
+		runFrequency(est, sp, *dsName, *n, *poisonC, *gamma, *seed)
+		return
+	}
+
 	ds, err := dataset.ByName(r, *dsName, *n)
 	fatal(err)
+	values := ds.Values
 	trueMean := ds.TrueMean()
+	if sp.Task == core.TaskDistribution {
+		// SW inputs live in [0,1]; map the dataset's [−1,1] values.
+		values = make([]float64, len(ds.Values))
+		for i, v := range ds.Values {
+			values[i] = (v + 1) / 2
+		}
+		trueMean = (trueMean + 1) / 2
+	}
 
 	var adv attack.Adversary
 	switch {
@@ -57,46 +83,114 @@ func main() {
 		if !ok {
 			fatal(fmt.Errorf("unknown range %q", *rangeF))
 		}
+		dist, err := parseDist(*distF)
+		fatal(err)
 		adv = attack.NewBBA(rg, dist)
 	}
 
-	d, err := core.NewDAP(core.Params{Eps: *eps, Eps0: *eps0, Scheme: scheme})
-	fatal(err)
-	est, err := d.Run(r, ds.Values, adv, *gamma)
+	runner, ok := est.(core.Runner)
+	if !ok {
+		fatal(fmt.Errorf("task %q has no simulation entry point", sp.Task))
+	}
+	res, err := runner.Run(r, values, adv, *gamma)
 	fatal(err)
 
-	reports, err := core.CollectPM(rng.New(*seed+1), ds.Values, *eps, adv, *gamma, 0)
+	// Comparator defenses on a plain single-group collection at the same
+	// budget, selected through the defense registry.
+	reports, err := core.CollectPM(rng.New(*seed+1), ds.Values, sp.Eps, adv, *gamma, sp.OPrime)
 	fatal(err)
-	ostrich := defense.Ostrich(reports)
-	trimmed := defense.Trimming(reports, 0.5, est.PoisonedRight)
+	comparators := map[string]float64{}
+	for _, name := range []string{"ostrich", "trimming"} {
+		d, err := defense.New(defense.Spec{Name: name})
+		fatal(err)
+		m, err := d.Estimate(rng.New(*seed+2), reports, res.PoisonedRight)
+		fatal(err)
+		comparators[name] = m
+	}
 
 	fmt.Printf("dataset        %s (N=%d)\n", ds.Name, ds.N())
 	fmt.Printf("attack         %s, γ=%g\n", adv.Name(), *gamma)
-	fmt.Printf("protocol       DAP/%s, ε=%g, ε0=%g, h=%d groups\n", scheme, *eps, *eps0, d.H())
+	fmt.Printf("task           %s over %s, scheme %s, ε=%g, ε0=%g, %d groups\n",
+		sp.Task, sp.Mechanism, sp.Scheme, sp.Eps, sp.Eps0, len(est.Groups()))
 	fmt.Printf("true mean      %+.6f\n", trueMean)
-	fmt.Printf("DAP estimate   %+.6f  (error %+.2e)\n", est.Mean, est.Mean-trueMean)
-	fmt.Printf("Ostrich        %+.6f  (error %+.2e)\n", ostrich, ostrich-trueMean)
-	fmt.Printf("Trimming       %+.6f  (error %+.2e)\n", trimmed, trimmed-trueMean)
-	fmt.Printf("probed side    %s\n", sideName(est.PoisonedRight))
-	fmt.Printf("probed γ̂       %.4f\n", est.Gamma)
-	fmt.Printf("min variance   %.3e\n", est.VarMin)
-	fmt.Println("group  ε_t      reports/user  M_t        w_t      n̂_t")
-	for t, g := range d.Groups() {
-		fmt.Printf("%5d  %-8.4g %-13d %+.5f  %.4f  %.0f\n",
-			t, g.Eps, g.Reports, est.GroupMeans[t], est.Weights[t], est.NHat[t])
+	fmt.Printf("estimate       %+.6f  (error %+.2e)\n", res.Mean, res.Mean-trueMean)
+	if sp.Task == core.TaskVariance {
+		trueVar := stats.Variance(values)
+		fmt.Printf("variance       %.6f  (true %.6f, error %+.2e)\n", res.Variance, trueVar, res.Variance-trueVar)
+		fmt.Printf("second moment  %.6f\n", res.SecondMoment)
+	}
+	if sp.Domain != nil {
+		fmt.Printf("in units       %+.6f  (domain [%g, %g])\n",
+			sp.FromUnit(res.Mean), sp.Domain.Lo, sp.Domain.Hi)
+	}
+	fmt.Printf("Ostrich        %+.6f  (error %+.2e)\n", comparators["ostrich"], comparators["ostrich"]-ds.TrueMean())
+	fmt.Printf("Trimming       %+.6f  (error %+.2e)\n", comparators["trimming"], comparators["trimming"]-ds.TrueMean())
+	fmt.Printf("probed side    %s\n", sideName(res.PoisonedRight))
+	fmt.Printf("probed γ̂       %.4f\n", res.Gamma)
+	if res.VarMin > 0 {
+		fmt.Printf("min variance   %.3e\n", res.VarMin)
+	}
+	if len(res.GroupMeans) == len(est.Groups()) && len(res.Weights) == len(res.GroupMeans) {
+		fmt.Println("group  ε_t      reports/user  M_t        w_t      n̂_t")
+		for t, g := range est.Groups() {
+			nhat := math.NaN()
+			if t < len(res.NHat) {
+				nhat = res.NHat[t]
+			}
+			fmt.Printf("%5d  %-8.4g %-13d %+.5f  %.4f  %.0f\n",
+				t, g.Eps, g.Reports, res.GroupMeans[t], res.Weights[t], nhat)
+		}
 	}
 }
 
-func parseScheme(s string) (core.Scheme, error) {
-	switch s {
-	case "emf":
-		return core.SchemeEMF, nil
-	case "emfstar", "emf*":
-		return core.SchemeEMFStar, nil
-	case "cemf", "cemf*", "cemfstar":
-		return core.SchemeCEMFStar, nil
+// runFrequency runs a categorical round.
+func runFrequency(est core.Estimator, sp core.Spec, dsName string, n int, poisonC string, gamma float64, seed uint64) {
+	r := rng.New(seed)
+	if !strings.EqualFold(dsName, "COVID19") {
+		fatal(fmt.Errorf("task frequency needs a categorical dataset (use -dataset COVID19)"))
 	}
-	return 0, fmt.Errorf("unknown scheme %q", s)
+	cov := dataset.COVID19()
+	if sp.K != cov.K() {
+		fatal(fmt.Errorf("spec has k=%d but %s has %d categories", sp.K, cov.Name, cov.K()))
+	}
+	cats := cov.Sample(r, n)
+	poison, err := parseCats(poisonC)
+	fatal(err)
+	runner, ok := est.(core.CatRunner)
+	if !ok {
+		fatal(fmt.Errorf("task %q has no categorical simulation entry point", sp.Task))
+	}
+	res, err := runner.RunCats(r, cats, poison, gamma)
+	fatal(err)
+	trueFreqs := cov.Freqs()
+	fmt.Printf("dataset        %s (N=%d, K=%d)\n", cov.Name, n, cov.K())
+	fmt.Printf("attack         direct injection into %v, γ=%g\n", poison, gamma)
+	fmt.Printf("task           %s over %s, scheme %s, ε=%g, ε0=%g\n",
+		sp.Task, sp.Mechanism, sp.Scheme, sp.Eps, sp.Eps0)
+	fmt.Printf("probed cats    %v\n", res.PoisonCats)
+	fmt.Printf("probed γ̂       %.4f\n", res.Gamma)
+	var mse float64
+	for j := range trueFreqs {
+		d := res.Freqs[j] - trueFreqs[j]
+		mse += d * d
+	}
+	fmt.Printf("frequency MSE  %.3e\n", mse/float64(len(trueFreqs)))
+}
+
+func parseCats(s string) ([]int, error) {
+	var cats []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		c, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("bad poison category %q", f)
+		}
+		cats = append(cats, c)
+	}
+	return cats, nil
 }
 
 func parseDist(s string) (attack.Dist, error) {

@@ -5,17 +5,136 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/defense"
+	"repro/internal/privacy"
 )
+
+// ---------------------------------------------------------------------------
+// The task-spec API: one declarative Spec, one Build call, one Estimator
+// surface and one Result type across batch estimation, stream tenants,
+// the wire API and the CLIs. See doc.go for the quick start and DESIGN.md
+// for the old-API → new-API migration table.
+// ---------------------------------------------------------------------------
+
+// Task-spec types.
+type (
+	// Spec is the JSON-serializable description of one aggregation task.
+	Spec = core.Spec
+	// TaskKind names what a task estimates.
+	TaskKind = core.TaskKind
+	// Option mutates a Spec under construction (see NewSpec).
+	Option = core.Option
+	// DomainSpec declares the raw-value units of the estimated quantity.
+	DomainSpec = core.DomainSpec
+	// ServeSpec carries a spec's serving-layer parameters (stream tenants).
+	ServeSpec = core.ServeSpec
+	// DefenseSpec selects a comparator defense by name inside a Spec.
+	DefenseSpec = defense.Spec
+	// Estimator is the unified estimation surface returned by Build.
+	Estimator = core.Estimator
+	// Result is the unified collector output of every task kind.
+	Result = core.Result
+	// Runner is the numeric simulation entry point (Collect + Estimate).
+	Runner = core.Runner
+	// CatRunner is the categorical simulation entry point.
+	CatRunner = core.CatRunner
+	// Collector simulates the user side of a task into a Collection.
+	Collector = core.Collector
+	// HistCollection is the histogram sufficient statistic consumed by
+	// Estimator.EstimateHist.
+	HistCollection = core.HistCollection
+)
+
+// Task kinds.
+const (
+	TaskMean         = core.TaskMean
+	TaskDistribution = core.TaskDistribution
+	TaskFrequency    = core.TaskFrequency
+	TaskVariance     = core.TaskVariance
+	TaskBaseline     = core.TaskBaseline
+)
+
+// Spec construction and building.
+var (
+	// NewSpec builds a Spec from a task selector and options:
+	//
+	//	sp := dap.NewSpec(dap.Mean(), dap.WithScheme(dap.SchemeCEMFStar),
+	//	    dap.WithBudget(1, 1.0/16))
+	//	est, err := dap.Build(sp)
+	NewSpec = core.NewSpec
+	// Build validates a Spec and returns its Estimator — the single
+	// construction path shared with stream tenants, the wire API and the
+	// CLIs.
+	Build = core.Build
+	// ParseSpec decodes and validates a JSON spec (unknown fields
+	// rejected).
+	ParseSpec = core.ParseSpec
+	// LoadSpec reads and parses a JSON spec file.
+	LoadSpec = core.LoadSpec
+	// ParseTask parses a task kind name.
+	ParseTask = core.ParseTask
+	// Tasks lists the task kinds.
+	Tasks = core.Tasks
+
+	// Task selectors for NewSpec. BaselineTask keeps the long name because
+	// Baseline already names the §IV protocol type below.
+	Mean         = core.MeanTask
+	Distribution = core.DistributionTask
+	Frequency    = core.FrequencyTask
+	Variance     = core.VarianceTask
+	BaselineTask = core.BaselineTask
+
+	// Spec options.
+	WithBudget         = core.WithBudget
+	WithScheme         = core.WithScheme
+	WithWeights        = core.WithWeights
+	WithDomain         = core.WithDomain
+	WithDefense        = core.WithDefense
+	WithOPrime         = core.WithOPrime
+	WithAutoOPrime     = core.WithAutoOPrime
+	WithSuppressFactor = core.WithSuppressFactor
+	WithEMFMaxIter     = core.WithEMFMaxIter
+	WithTrimFrac       = core.WithTrimFrac
+	WithServe          = core.WithServe
+)
+
+// Typed error taxonomy. Branch with errors.Is.
+var (
+	// ErrBadSpec marks a task spec that fails validation.
+	ErrBadSpec = core.ErrBadSpec
+	// ErrDomain marks a value outside the domain a spec or mechanism
+	// prescribes.
+	ErrDomain = core.ErrDomain
+	// ErrBudgetExhausted marks a user whose privacy budget cannot cover a
+	// requested spend (returned by the serving layer's accountant).
+	ErrBudgetExhausted = privacy.ErrBudgetExceeded
+)
+
+// NewDefense builds a comparator defense by name ("ostrich", "trimming",
+// "kmeans", "boxplot", "iforest") — the registry behind WithDefense.
+var NewDefense = defense.New
+
+// Defense is the single interface every comparator defense implements.
+type Defense = defense.Defense
+
+// ---------------------------------------------------------------------------
+// Protocol-level API. The constructors remain for direct protocol access
+// and for code written against earlier releases; new code should describe
+// tasks with a Spec and call Build.
+// ---------------------------------------------------------------------------
 
 // Core protocol types (see internal/core for full documentation).
 type (
 	// Params configures a DAP instance.
+	//
+	// Deprecated: describe the task with a Spec instead.
 	Params = core.Params
 	// DAP is the multi-group Differential Aggregation Protocol (§V).
 	DAP = core.DAP
 	// Baseline is the two-budget protocol of §IV.
 	Baseline = core.Baseline
-	// Estimate is the collector's output.
+	// Estimate is the mean-protocol collector output.
+	//
+	// Deprecated: Build's Estimator returns the unified Result.
 	Estimate = core.Estimate
 	// Collection holds per-group reports.
 	Collection = core.Collection
@@ -23,19 +142,35 @@ type (
 	Scheme = core.Scheme
 	// WeightMode selects the inter-group aggregation weights.
 	WeightMode = core.WeightMode
-	// SWParams and SWDAP are the Square Wave variant (§V-D).
+	// SWParams configures the Square Wave variant (§V-D).
+	//
+	// Deprecated: describe the task with a Spec instead.
 	SWParams = core.SWParams
 	// SWDAP is the Square Wave instantiation of the protocol.
 	SWDAP = core.SWDAP
-	// FreqParams and FreqDAP are the categorical variant (§V-D).
+	// SWEstimate is the SW collector output.
+	//
+	// Deprecated: Build's Estimator returns the unified Result.
+	SWEstimate = core.SWEstimate
+	// FreqParams configures the categorical variant (§V-D).
+	//
+	// Deprecated: describe the task with a Spec instead.
 	FreqParams = core.FreqParams
 	// FreqDAP is the categorical instantiation of the protocol.
 	FreqDAP = core.FreqDAP
+	// FreqEstimate is the categorical collector output.
+	//
+	// Deprecated: Build's Estimator returns the unified Result.
+	FreqEstimate = core.FreqEstimate
 	// Group describes one protocol group.
 	Group = core.Group
 	// VarianceEstimator generalizes DAP to variance estimation (§V-D).
+	//
+	// Deprecated: build a Spec with Variance() instead.
 	VarianceEstimator = core.VarianceEstimator
 	// VarianceEstimate is its output.
+	//
+	// Deprecated: Build's Estimator returns the unified Result.
 	VarianceEstimate = core.VarianceEstimate
 )
 
@@ -52,15 +187,29 @@ const (
 	WeightsGeneral = core.WeightsGeneral
 )
 
+// Scheme and weight-mode parsing.
+var (
+	ParseScheme     = core.ParseScheme
+	ParseWeightMode = core.ParseWeightMode
+)
+
 // Protocol constructors.
 var (
 	// NewDAP builds the numerical mean-estimation protocol over PM.
+	//
+	// Deprecated: use Build(NewSpec(Mean(), ...)).
 	NewDAP = core.NewDAP
 	// NewBaseline builds the §IV two-budget protocol.
+	//
+	// Deprecated: use Build(NewSpec(BaselineTask(α, β), ...)).
 	NewBaseline = core.NewBaseline
 	// NewSWDAP builds the Square Wave variant.
+	//
+	// Deprecated: use Build(NewSpec(Distribution(), ...)).
 	NewSWDAP = core.NewSWDAP
 	// NewFreqDAP builds the categorical k-RR variant.
+	//
+	// Deprecated: use Build(NewSpec(Frequency(k), ...)).
 	NewFreqDAP = core.NewFreqDAP
 	// PessimisticO computes Theorem 2's pessimistic mean initialization.
 	PessimisticO = core.PessimisticO
@@ -120,7 +269,9 @@ var (
 	ReduceToBBA = attack.ReduceToBBA
 )
 
-// Comparator defenses (see internal/defense).
+// Comparator defenses (see internal/defense). The function forms remain;
+// NewDefense (or a Spec with WithDefense) selects the same defenses by
+// name behind the Defense interface.
 var (
 	// Ostrich averages all reports, ignoring attackers.
 	Ostrich = defense.Ostrich

@@ -19,16 +19,39 @@
 //
 // # Quick start
 //
-//	d, _ := dap.NewDAP(dap.Params{Eps: 1, Eps0: 1.0 / 16, Scheme: dap.SchemeCEMFStar})
-//	est, _ := d.Run(rand.New(rand.NewPCG(1, 2)), values, // values in [-1, 1]
-//	    dap.NewBBA(dap.RangeHighHalf, dap.DistUniform), 0.25)
-//	fmt.Println(est.Mean, est.Gamma, est.PoisonedRight)
+// A task is described by one declarative, JSON-serializable Spec; Build
+// returns its Estimator:
 //
-// The same protocol generalizes to distribution estimation over the
-// Square Wave mechanism (NewSWDAP) and to categorical frequency
-// estimation over k-RR (NewFreqDAP). Comparator defenses (Ostrich,
-// Trimming, the k-means subset defense, boxplot and isolation-forest
-// filters) live alongside for evaluation.
+//	sp := dap.NewSpec(dap.Mean(),
+//	    dap.WithBudget(1, 1.0/16),
+//	    dap.WithScheme(dap.SchemeCEMFStar))
+//	est, _ := dap.Build(sp)
+//	res, _ := est.(dap.Runner).Run(rand.New(rand.NewPCG(1, 2)), values, // values in [-1, 1]
+//	    dap.NewBBA(dap.RangeHighHalf, dap.DistUniform), 0.25)
+//	fmt.Println(res.Mean, res.Gamma, res.PoisonedRight)
+//
+// Five task kinds share the surface — Mean over PM, Distribution over
+// SW, Frequency over k-RR, Variance (split populations) and the §IV
+// Baseline — plus the comparator defenses (ostrich, trimming, kmeans,
+// boxplot, iforest) selected by name with WithDefense. Every estimator
+// implements Estimate (raw per-group reports) and EstimateHist (the
+// histogram sufficient statistic the serving layer maintains); the
+// unified Result carries whichever fields the task produces. Malformed
+// specs fail with ErrBadSpec, out-of-domain values with ErrDomain, and
+// exhausted privacy budgets with ErrBudgetExhausted.
+//
+// The same Spec serializes to JSON and drives everything else: a specs/
+// directory of examples feeds the CLIs (-spec file.json, flags as
+// overrides), POST /v1/tenants accepts {"name": ..., "spec": {...}} and
+// returns the effective spec, and a spec's optional "serve" section
+// (buckets, shards, epoch windows) configures its stream tenant. One
+// end-to-end test pins the invariant: the same JSON spec estimates
+// identically (≤1e-12) through batch Estimate, a stream tenant and the
+// wire API.
+//
+// The pre-spec constructors (NewDAP, NewSWDAP, NewFreqDAP, NewBaseline)
+// remain as deprecated aliases for one release; see DESIGN.md for the
+// migration table.
 //
 // # Performance engine
 //

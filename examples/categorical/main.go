@@ -3,17 +3,21 @@
 // Fig. 9(c)(d)). Attackers inject reports into chosen age groups to
 // distort the published histogram; the categorical DAP locates the
 // poisoned categories and removes their injected mass.
+//
+// The task is one Spec — Frequency(K) — built through the same
+// dap.Build surface as every other kind; the estimator's CatRunner face
+// simulates the direct-injection threat.
 package main
 
 import (
 	"fmt"
-	"math/rand/v2"
 
 	dap "repro"
+	"repro/internal/rng"
 )
 
 func main() {
-	r := rand.New(rand.NewPCG(3, 5))
+	r := rng.New(3)
 
 	cov := dap.COVID19()
 	records := cov.Sample(r, 60000)
@@ -22,31 +26,21 @@ func main() {
 	// Attackers (25% of reporters) inflate age groups 10–12.
 	poisoned := []int{10, 11, 12}
 
-	f, err := dap.NewFreqDAP(dap.FreqParams{
-		Eps:    1,
-		Eps0:   1.0 / 16,
-		K:      cov.K(),
-		Scheme: dap.SchemeCEMFStar,
-	})
+	sp := dap.NewSpec(dap.Frequency(cov.K()),
+		dap.WithBudget(1, 1.0/16),
+		dap.WithScheme(dap.SchemeCEMFStar))
+	est, err := dap.Build(sp)
 	if err != nil {
 		panic(err)
 	}
-	col, err := f.CollectFreq(r, records, poisoned, 0.25)
-	if err != nil {
-		panic(err)
-	}
-	est, err := f.EstimateFreq(col)
-	if err != nil {
-		panic(err)
-	}
-	ostrich, err := f.OstrichFreq(col)
+	res, err := est.(dap.CatRunner).RunCats(r, records, poisoned, 0.25)
 	if err != nil {
 		panic(err)
 	}
 
-	fmt.Printf("probed poisoned categories: %v (true: %v)\n", est.PoisonCats, poisoned)
-	fmt.Printf("probed injection rate γ̂:    %.1f%% (true 25%%)\n\n", est.Gamma*100)
-	fmt.Println("age group   true    ostrich  DAP")
+	fmt.Printf("probed poisoned categories: %v (true: %v)\n", res.PoisonCats, poisoned)
+	fmt.Printf("probed injection rate γ̂:    %.1f%% (true 25%%)\n\n", res.Gamma*100)
+	fmt.Println("age group   true    DAP")
 	for j, label := range cov.Labels {
 		marker := ""
 		for _, p := range poisoned {
@@ -54,10 +48,9 @@ func main() {
 				marker = "  <- poisoned"
 			}
 		}
-		fmt.Printf("%-10s  %.4f  %.4f   %.4f%s\n", label, trueFreqs[j], ostrich[j], est.Freqs[j], marker)
+		fmt.Printf("%-10s  %.4f  %.4f%s\n", label, trueFreqs[j], res.Freqs[j], marker)
 	}
-	fmt.Printf("\nMSE ostrich: %.3e\nMSE DAP:     %.3e\n",
-		mse(ostrich, trueFreqs), mse(est.Freqs, trueFreqs))
+	fmt.Printf("\nMSE DAP: %.3e\n", mse(res.Freqs, trueFreqs))
 }
 
 func mse(a, b []float64) float64 {

@@ -1,23 +1,31 @@
 // Network: runs the HTTP collector on loopback and drives it with
 // simulated honest and Byzantine clients, demonstrating the deployment
 // path (local perturbation, budget enforcement, server-side estimation).
+//
+// The collector's default tenant is created from a task spec — the same
+// JSON a production deployment would pass to dapcollect -spec — and a
+// second tenant is created over the wire from another spec, showing that
+// batch estimation, the serving engine and the wire API all consume the
+// one Spec shape.
 package main
 
 import (
 	"context"
 	"fmt"
-	"math/rand/v2"
 	"net/http/httptest"
 
 	dap "repro"
 	"repro/internal/attack"
-	"repro/internal/core"
 	"repro/internal/ldp/pm"
+	"repro/internal/rng"
 	"repro/internal/transport"
 )
 
 func main() {
-	srv, err := transport.NewServer(core.Params{Eps: 1, Eps0: 0.25, Scheme: core.SchemeEMFStar})
+	sp := dap.NewSpec(dap.Mean(),
+		dap.WithBudget(1, 0.25),
+		dap.WithScheme(dap.SchemeEMFStar))
+	srv, err := transport.NewServerSpec(sp)
 	if err != nil {
 		panic(err)
 	}
@@ -30,9 +38,10 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("collector at %s: ε=%g, %d groups, scheme %s\n\n", ts.URL, cfg.Eps, len(cfg.Groups), cfg.Scheme)
+	fmt.Printf("collector at %s: task=%s, ε=%g, %d groups, scheme %s\n\n",
+		ts.URL, cfg.Spec.Task, cfg.Eps, len(cfg.Groups), cfg.Scheme)
 
-	r := rand.New(rand.NewPCG(21, 42))
+	r := rng.New(21)
 	const n = 4000
 	const gamma = 0.2
 	nByz := int(gamma * n)
@@ -86,4 +95,14 @@ func main() {
 	fmt.Printf("collector estimate:         %+.4f\n", est.Mean)
 	fmt.Printf("probed γ̂:                   %.3f (true %.2f)\n", est.Gamma, gamma)
 	fmt.Printf("group means %v\nweights     %v\n", est.GroupMeans, est.Weights)
+
+	// A second tenant — frequency estimation — created over the wire from
+	// its own spec; the CRUD response echoes the effective spec back.
+	created, err := client.CreateTenantSpec(ctx, "ages",
+		dap.NewSpec(dap.Frequency(15), dap.WithBudget(2, 1)))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\ncreated tenant %q: task=%s K=%d (spec round-trips over the wire)\n",
+		created.Name, created.Spec.Task, created.Spec.K)
 }

@@ -1,19 +1,23 @@
-// Quickstart: defend an LDP mean estimate against colluding attackers.
+// Quickstart: defend an LDP mean estimate against colluding attackers
+// with the task-spec API.
 //
 // 20,000 users hold values in [−1, 1]; 25% of them collude and flood the
-// upper half of the perturbation output domain. The example runs the
-// three DAP schemes and compares them with the undefended mean.
+// upper half of the perturbation output domain. One declarative Spec
+// describes the task; dap.Build returns its estimator. The same Spec —
+// serialized to JSON — drives the collector daemon, the stream engine and
+// the CLIs (see specs/).
 package main
 
 import (
+	"encoding/json"
 	"fmt"
-	"math/rand/v2"
 
 	dap "repro"
+	"repro/internal/rng"
 )
 
 func main() {
-	r := rand.New(rand.NewPCG(1, 2))
+	r := rng.New(1)
 
 	// Normal users: values concentrated around −0.4.
 	const n = 20000
@@ -38,27 +42,39 @@ func main() {
 
 	fmt.Printf("true mean of normal users: %+.4f\n\n", trueMean)
 
-	// Undefended baseline.
-	reports, err := dap.CollectPM(r, values, 1.0, adv, gamma, 0)
+	// Undefended baseline: the same task with the Ostrich comparator.
+	naiveSpec := dap.NewSpec(dap.Mean(), dap.WithDefense(dap.DefenseSpec{Name: "ostrich"}))
+	naiveEst, err := dap.Build(naiveSpec)
 	if err != nil {
 		panic(err)
 	}
-	naive := dap.Ostrich(reports)
-	fmt.Printf("%-12s %+.4f  (error %+.4f)\n", "Ostrich", naive, naive-trueMean)
+	naive, err := naiveEst.(dap.Runner).Run(r, values, adv, gamma)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%-12s %+.4f  (error %+.4f)\n", "Ostrich", naive.Mean, naive.Mean-trueMean)
 
-	// DAP with each estimation scheme.
+	// DAP with each estimation scheme: one Spec per scheme, one Build call.
 	for _, scheme := range []dap.Scheme{dap.SchemeEMF, dap.SchemeEMFStar, dap.SchemeCEMFStar} {
-		d, err := dap.NewDAP(dap.Params{Eps: 1, Eps0: 1.0 / 16, Scheme: scheme})
+		sp := dap.NewSpec(dap.Mean(),
+			dap.WithBudget(1, 1.0/16),
+			dap.WithScheme(scheme))
+		est, err := dap.Build(sp)
 		if err != nil {
 			panic(err)
 		}
-		est, err := d.Run(r, values, adv, gamma)
+		res, err := est.(dap.Runner).Run(r, values, adv, gamma)
 		if err != nil {
 			panic(err)
 		}
 		fmt.Printf("DAP/%-8v %+.4f  (error %+.4f, γ̂=%.3f, side=%s)\n",
-			scheme, est.Mean, est.Mean-trueMean, est.Gamma, side(est.PoisonedRight))
+			scheme, res.Mean, res.Mean-trueMean, res.Gamma, side(res.PoisonedRight))
 	}
+
+	// The spec is plain JSON — what you'd POST to /v1/tenants or pass to
+	// any CLI with -spec.
+	data, _ := json.Marshal(dap.NewSpec(dap.Mean(), dap.WithScheme(dap.SchemeCEMFStar)))
+	fmt.Printf("\nas JSON: %s\n", data)
 }
 
 func side(right bool) string {

@@ -3,28 +3,26 @@
 // reviewers (the paper cites Mechanical Turk review farms) colludes to
 // boost a product's average rating by flooding the top of the
 // perturbation output domain. DAP recovers the genuine average.
+//
+// The star scale is part of the task description: WithDomain(1, 5)
+// declares the raw units, and Spec.ToUnit/FromUnit translate between
+// stars and the protocol's [−1, 1] domain — no ad-hoc conversion code.
 package main
 
 import (
 	"fmt"
-	"math/rand/v2"
 
 	dap "repro"
+	"repro/internal/rng"
 )
-
-const (
-	minStars = 1.0
-	maxStars = 5.0
-)
-
-// toUnit maps a star rating into DAP's [−1, 1] input domain.
-func toUnit(stars float64) float64 { return 2*(stars-minStars)/(maxStars-minStars) - 1 }
-
-// toStars maps back.
-func toStars(unit float64) float64 { return minStars + (unit+1)/2*(maxStars-minStars) }
 
 func main() {
-	r := rand.New(rand.NewPCG(7, 7))
+	r := rng.New(7)
+
+	sp := dap.NewSpec(dap.Mean(),
+		dap.WithBudget(1, 1.0/16),
+		dap.WithScheme(dap.SchemeCEMFStar),
+		dap.WithDomain(1, 5)) // star ratings
 
 	// Genuine shoppers: a mediocre product, ratings centered on 2.8 stars.
 	const n = 50000
@@ -32,13 +30,13 @@ func main() {
 	var sum float64
 	for i := range values {
 		stars := 2.8 + r.NormFloat64()*0.9
-		if stars < minStars {
-			stars = minStars
+		if stars < 1 {
+			stars = 1
 		}
-		if stars > maxStars {
-			stars = maxStars
+		if stars > 5 {
+			stars = 5
 		}
-		values[i] = toUnit(stars)
+		values[i] = sp.ToUnit(stars)
 		sum += stars
 	}
 	trueStars := sum / n
@@ -50,38 +48,36 @@ func main() {
 
 	fmt.Printf("genuine average rating: %.2f stars\n\n", trueStars)
 
-	reports, err := dap.CollectPM(r, values, 1.0, adv, gamma, 0)
-	if err != nil {
-		panic(err)
+	// The comparator defenses run as specs too: same task, a defense name
+	// instead of the protocol.
+	for _, d := range []dap.DefenseSpec{
+		{Name: "ostrich"},
+		{Name: "trimming", Frac: 0.5, Side: "right"},
+	} {
+		est, err := dap.Build(dap.NewSpec(dap.Mean(), dap.WithDomain(1, 5), dap.WithDefense(d)))
+		if err != nil {
+			panic(err)
+		}
+		res, err := est.(dap.Runner).Run(r, values, adv, gamma)
+		if err != nil {
+			panic(err)
+		}
+		stars := sp.FromUnit(res.Mean)
+		fmt.Printf("platform shows (%-8s):    %.2f stars  <- off by %+.2f\n",
+			d.Name, stars, stars-trueStars)
 	}
-	naive := toStars(clamp(dap.Ostrich(reports)))
-	fmt.Printf("platform shows (no defense):   %.2f stars  <- boosted by %.2f\n",
-		naive, naive-trueStars)
 
-	trimmed := toStars(clamp(dap.Trimming(reports, 0.5, true)))
-	fmt.Printf("platform shows (trimming 50%%): %.2f stars  <- overkilled by %.2f\n",
-		trimmed, trimmed-trueStars)
-
-	d, err := dap.NewDAP(dap.Params{Eps: 1, Eps0: 1.0 / 16, Scheme: dap.SchemeCEMFStar})
+	est, err := dap.Build(sp)
 	if err != nil {
 		panic(err)
 	}
-	est, err := d.Run(r, values, adv, gamma)
+	res, err := est.(dap.Runner).Run(r, values, adv, gamma)
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("platform shows (DAP/CEMF*):    %.2f stars  <- off by %+.2f\n",
-		toStars(est.Mean), toStars(est.Mean)-trueStars)
+	stars := sp.FromUnit(res.Mean)
+	fmt.Printf("platform shows (DAP/CEMF*):   %.2f stars  <- off by %+.2f\n",
+		stars, stars-trueStars)
 	fmt.Printf("\nDAP also exposes the campaign: estimated bot share γ̂ = %.1f%% (true 20%%)\n",
-		est.Gamma*100)
-}
-
-func clamp(v float64) float64 {
-	if v < -1 {
-		return -1
-	}
-	if v > 1 {
-		return 1
-	}
-	return v
+		res.Gamma*100)
 }

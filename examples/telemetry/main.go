@@ -1,31 +1,48 @@
 // Telemetry: a fleet of smart devices reports daily energy consumption
 // under LDP (the Apple/Microsoft-style deployment the paper's intro
 // references). Some devices run compromised firmware and collude to
-// deflate the fleet average. The example also shows the group layout and
-// per-user privacy accounting that make DAP's multi-group design work.
+// deflate the fleet average.
+//
+// The task ships as a JSON spec (specs/telemetry.json) whose domain
+// section declares the kWh scale; the example falls back to the same
+// spec built in code when the file is not on the working directory's
+// path. It also shows the group layout and per-user privacy accounting
+// that make DAP's multi-group design work.
 package main
 
 import (
 	"fmt"
-	"math/rand/v2"
 
 	dap "repro"
+	"repro/internal/rng"
 )
 
 func main() {
-	r := rand.New(rand.NewPCG(11, 13))
+	r := rng.New(11)
+
+	sp, err := dap.LoadSpec("specs/telemetry.json")
+	if err != nil {
+		// Not running from the repository root — same task, built in code.
+		sp = dap.NewSpec(dap.Mean(),
+			dap.WithBudget(2, 1.0/8),
+			dap.WithScheme(dap.SchemeEMFStar),
+			dap.WithDomain(0, 30)) // kWh
+	}
+	est, err := dap.Build(sp)
+	if err != nil {
+		panic(err)
+	}
 
 	// Consumption in kWh, right-skewed, support [0, 30].
 	const n = 40000
-	const kwhMax = 30.0
 	values := make([]float64, n)
 	var sum float64
 	for i := range values {
 		kwh := r.ExpFloat64() * 6
-		if kwh > kwhMax {
-			kwh = kwhMax
+		if kwh > sp.Domain.Hi {
+			kwh = sp.Domain.Hi
 		}
-		values[i] = 2*kwh/kwhMax - 1
+		values[i] = sp.ToUnit(kwh)
 		sum += kwh
 	}
 	trueKWH := sum / n
@@ -35,34 +52,36 @@ func main() {
 	adv := &dap.BBA{Side: dap.SideLeft, Range: dap.RangeHighHalf, Dist: dap.DistUniform}
 	const gamma = 0.15
 
-	d, err := dap.NewDAP(dap.Params{Eps: 2, Eps0: 1.0 / 8, Scheme: dap.SchemeEMFStar})
-	if err != nil {
-		panic(err)
-	}
-
-	fmt.Println("group layout (every device spends exactly ε = 2):")
-	for _, g := range d.Groups() {
+	fmt.Printf("task: %s over %s, ε=%g, domain [%g, %g] kWh\n\n",
+		sp.Task, sp.Mechanism, sp.Eps, sp.Domain.Lo, sp.Domain.Hi)
+	fmt.Println("group layout (every device spends exactly ε):")
+	for _, g := range est.Groups() {
 		fmt.Printf("  group %d: ε_t = %-6.4g × %2d reports = %g total\n",
 			g.Index, g.Eps, g.Reports, g.Eps*float64(g.Reports))
 	}
 
-	est, err := d.Run(r, values, adv, gamma)
+	res, err := est.(dap.Runner).Run(r, values, adv, gamma)
 	if err != nil {
 		panic(err)
 	}
-	reports, err := dap.CollectPM(r, values, 2, adv, gamma, 0)
-	if err != nil {
-		panic(err)
-	}
-	naive := dap.Ostrich(reports)
 
-	toKWH := func(unit float64) float64 { return (unit + 1) / 2 * kwhMax }
+	// Undefended comparator through the same surface.
+	ostrich, err := dap.Build(dap.NewSpec(dap.Mean(), dap.WithBudget(sp.Eps, sp.Eps0),
+		dap.WithDefense(dap.DefenseSpec{Name: "ostrich"})))
+	if err != nil {
+		panic(err)
+	}
+	naive, err := ostrich.(dap.Runner).Run(r, values, adv, gamma)
+	if err != nil {
+		panic(err)
+	}
+
 	fmt.Printf("\ntrue fleet average:      %.2f kWh\n", trueKWH)
-	fmt.Printf("undefended estimate:     %.2f kWh (deflated)\n", toKWH(naive))
-	fmt.Printf("DAP estimate:            %.2f kWh\n", toKWH(est.Mean))
-	fmt.Printf("probed attack side:      %s (correct: left)\n", side(est.PoisonedRight))
-	fmt.Printf("probed compromised rate: %.1f%% (true 15%%)\n", est.Gamma*100)
-	fmt.Printf("worst-case variance:     %.2e\n", est.VarMin)
+	fmt.Printf("undefended estimate:     %.2f kWh (deflated)\n", sp.FromUnit(naive.Mean))
+	fmt.Printf("DAP estimate:            %.2f kWh\n", sp.FromUnit(res.Mean))
+	fmt.Printf("probed attack side:      %s (correct: left)\n", side(res.PoisonedRight))
+	fmt.Printf("probed compromised rate: %.1f%% (true 15%%)\n", res.Gamma*100)
+	fmt.Printf("worst-case variance:     %.2e\n", res.VarMin)
 }
 
 func side(right bool) string {

@@ -15,6 +15,8 @@ import (
 	"io"
 	"sort"
 	"strings"
+
+	"repro/internal/core"
 )
 
 // Config scales an experiment run.
@@ -33,6 +35,9 @@ type Config struct {
 	// value: cell seeds are fixed at scheduling time and results are
 	// collected in table order.
 	Workers int
+	// Spec is the user-supplied task spec evaluated by the "spec"
+	// experiment (cmd/dapbench -spec); other experiments ignore it.
+	Spec *core.Spec
 }
 
 func (c Config) withDefaults() Config {
@@ -115,6 +120,7 @@ var registry = map[string]Runner{
 	"fig9":     Fig9,
 	"fig10":    Fig10,
 	"ablation": Ablation,
+	"spec":     SpecSweep,
 }
 
 // Experiments lists the registered experiment ids in sorted order.

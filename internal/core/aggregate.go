@@ -1,6 +1,9 @@
 package core
 
-import "errors"
+import (
+	"errors"
+	"strings"
+)
 
 // WeightMode selects how inter-group aggregation weights are computed.
 type WeightMode int
@@ -16,6 +19,26 @@ const (
 	// unequal group sizes. Both coincide when n̂_t are equal.
 	WeightsGeneral
 )
+
+// String implements fmt.Stringer.
+func (m WeightMode) String() string {
+	if m == WeightsGeneral {
+		return "general"
+	}
+	return "paper"
+}
+
+// ParseWeightMode parses a weight-mode name as accepted in task specs
+// ("paper"/"algorithm5", "general"/"minvar"; empty selects paper).
+func ParseWeightMode(s string) (WeightMode, error) {
+	switch strings.ToLower(s) {
+	case "", "paper", "algorithm5":
+		return WeightsPaper, nil
+	case "general", "minvar":
+		return WeightsGeneral, nil
+	}
+	return 0, errors.New("core: unknown weight mode " + s)
+}
 
 // OptimalWeights computes aggregation weights for group variance proxies
 // B_t = n̂_t·Var_worst(ε_t) and estimated normal-user counts n̂_t. The

@@ -117,7 +117,35 @@ func (b *Baseline) Estimate(col *BaselineCollection) (*Estimate, error) {
 	if err != nil {
 		return nil, err
 	}
-	counts := m.Counts(col.Alpha)
+	return b.estimateFromCounts(m, m.Counts(col.Alpha), float64(len(col.Beta)), stats.Sum(col.Beta))
+}
+
+// EstimateHist runs the baseline collector from the histogram sufficient
+// statistic: Counts[0] is the ε_α report histogram (EMF probing reads only
+// bucket counts), Counts[1]/Sums[1] carry the ε_β report count and exact
+// sum that Eq. 12 needs.
+func (b *Baseline) EstimateHist(hc *HistCollection) (*Estimate, error) {
+	if hc == nil || len(hc.Counts) != 2 || hc.Sums == nil || len(hc.Sums) != 2 {
+		return nil, errors.New("core: baseline estimation expects alpha and beta histograms with sums")
+	}
+	dprime := len(hc.Counts[0])
+	if dprime < 1 {
+		return nil, errors.New("core: baseline alpha histogram is empty")
+	}
+	m, err := emf.BuildNumericCached(b.mechAlpha, emf.InputBuckets(dprime, b.mechAlpha.C()), dprime)
+	if err != nil {
+		return nil, err
+	}
+	nBeta := stats.Sum(hc.Counts[1])
+	if nBeta <= 0 {
+		return nil, errors.New("core: baseline beta histogram holds no reports")
+	}
+	return b.estimateFromCounts(m, hc.Counts[0], nBeta, hc.Sums[1])
+}
+
+// estimateFromCounts is the shared collector core: probe on the ε_α
+// histogram, remove the rescaled poison mass from the ε_β mean.
+func (b *Baseline) estimateFromCounts(m *emf.Matrix, counts []float64, nBeta, sumBeta float64) (*Estimate, error) {
 	cfg := emf.Config{Tol: emf.PaperTol(b.EpsAlpha), MaxIter: b.EMFMaxIter}
 	probe, err := emf.ProbeSide(m, counts, b.OPrime, cfg)
 	if err != nil {
@@ -153,12 +181,11 @@ func (b *Baseline) Estimate(col *BaselineCollection) (*Estimate, error) {
 	scale := b.mechBeta.C() / b.mechAlpha.C()
 	poisonMeanBeta := stats.Clamp(poisonMeanAlpha*scale, -b.mechBeta.C(), b.mechBeta.C())
 
-	nBeta := float64(len(col.Beta))
 	mHat := gamma * nBeta
 	if mHat > 0.95*nBeta {
 		mHat = 0.95 * nBeta
 	}
-	mean := (stats.Sum(col.Beta) - mHat*poisonMeanBeta) / (nBeta - mHat)
+	mean := (sumBeta - mHat*poisonMeanBeta) / (nBeta - mHat)
 	return &Estimate{
 		Mean:          stats.Clamp(mean, -1, 1),
 		PoisonedRight: side == emf.Right,

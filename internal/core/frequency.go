@@ -218,13 +218,21 @@ func (d *FreqDAP) EstimateFreq(col *FreqCollection) (*FreqEstimate, error) {
 	return est, nil
 }
 
-// RunFreq is CollectFreq followed by EstimateFreq.
-func (d *FreqDAP) RunFreq(r *rand.Rand, cats []int, poisonCats []int, gamma float64) (*FreqEstimate, error) {
+// Run is CollectFreq followed by EstimateFreq — the simulation entry
+// point, named identically across all protocol variants.
+func (d *FreqDAP) Run(r *rand.Rand, cats []int, poisonCats []int, gamma float64) (*FreqEstimate, error) {
 	col, err := d.CollectFreq(r, cats, poisonCats, gamma)
 	if err != nil {
 		return nil, err
 	}
 	return d.EstimateFreq(col)
+}
+
+// RunFreq is the historical name of Run.
+//
+// Deprecated: use Run.
+func (d *FreqDAP) RunFreq(r *rand.Rand, cats []int, poisonCats []int, gamma float64) (*FreqEstimate, error) {
+	return d.Run(r, cats, poisonCats, gamma)
 }
 
 // OstrichFreq estimates frequencies ignoring Byzantine users: per-group

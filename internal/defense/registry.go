@@ -1,0 +1,130 @@
+package defense
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"strings"
+)
+
+// ErrUnknown is returned by New for defense names outside Names().
+var ErrUnknown = errors.New("defense: unknown defense")
+
+// Defense is the single interface every comparator defense implements:
+// given the raw perturbed reports of a single-group PM collection it
+// produces a mean estimate. poisonedRight tells side-sensitive defenses
+// (trimming) which tail the attack occupies; the others ignore it.
+// Randomized defenses (kmeans, iforest) draw from r; deterministic ones
+// ignore it.
+type Defense interface {
+	// Name returns the canonical registry name.
+	Name() string
+	// Estimate runs the defense over one collection's reports.
+	Estimate(r *rand.Rand, reports []float64, poisonedRight bool) (float64, error)
+}
+
+// Spec parameterizes a defense selected by name — the JSON shape embedded
+// in the task spec (core.Spec) under "defense". Zero values select each
+// defense's documented default.
+type Spec struct {
+	// Name selects the defense: ostrich, trimming, kmeans, boxplot,
+	// iforest.
+	Name string `json:"name"`
+	// Frac is trimming's removed fraction (default 0.5, the paper's
+	// setting).
+	Frac float64 `json:"frac,omitempty"`
+	// Whisker is boxplot's IQR multiplier k (default 1.5, the classical
+	// rule).
+	Whisker float64 `json:"whisker,omitempty"`
+	// Subsets and Rate configure the k-means subset defense (defaults 500
+	// and 0.1).
+	Subsets int     `json:"subsets,omitempty"`
+	Rate    float64 `json:"rate,omitempty"`
+	// Trees, SampleSize and Contamination configure the isolation-forest
+	// filter (defaults per iforest.Options; contamination default 0.25).
+	Trees         int     `json:"trees,omitempty"`
+	SampleSize    int     `json:"sample_size,omitempty"`
+	Contamination float64 `json:"contamination,omitempty"`
+	// Side is the assumed poisoned side for side-sensitive defenses:
+	// "right" (the default) or "left".
+	Side string `json:"side,omitempty"`
+}
+
+// Names lists the registered defense names in sorted order.
+func Names() []string {
+	names := []string{"ostrich", "trimming", "kmeans", "boxplot", "iforest"}
+	sort.Strings(names)
+	return names
+}
+
+// New builds the named defense from sp. Unknown names return an error
+// wrapping ErrUnknown, so spec validation can reject them uniformly.
+func New(sp Spec) (Defense, error) {
+	switch strings.ToLower(sp.Name) {
+	case "ostrich":
+		return ostrichDefense{}, nil
+	case "trimming", "trim":
+		frac := sp.Frac
+		if frac == 0 {
+			frac = 0.5
+		}
+		if frac < 0 || frac >= 1 {
+			return nil, fmt.Errorf("defense: trimming fraction %g outside [0,1)", frac)
+		}
+		return trimmingDefense{frac: frac}, nil
+	case "kmeans", "k-means":
+		return &kmeansDefense{KMeansDefense{Subsets: sp.Subsets, Rate: defaultF(sp.Rate, 0.1)}}, nil
+	case "boxplot":
+		return boxplotDefense{k: defaultF(sp.Whisker, 1.5)}, nil
+	case "iforest", "isolation-forest":
+		return &iforestDefense{IForestDefense{
+			Trees:         sp.Trees,
+			SampleSize:    sp.SampleSize,
+			Contamination: defaultF(sp.Contamination, 0.25),
+		}}, nil
+	}
+	return nil, fmt.Errorf("%w %q (known: %s)", ErrUnknown, sp.Name, strings.Join(Names(), ", "))
+}
+
+func defaultF(v, def float64) float64 {
+	if v == 0 {
+		return def
+	}
+	return v
+}
+
+type ostrichDefense struct{}
+
+func (ostrichDefense) Name() string { return "ostrich" }
+func (ostrichDefense) Estimate(_ *rand.Rand, reports []float64, _ bool) (float64, error) {
+	return Ostrich(reports), nil
+}
+
+type trimmingDefense struct{ frac float64 }
+
+func (trimmingDefense) Name() string { return "trimming" }
+func (d trimmingDefense) Estimate(_ *rand.Rand, reports []float64, poisonedRight bool) (float64, error) {
+	return Trimming(reports, d.frac, poisonedRight), nil
+}
+
+type boxplotDefense struct{ k float64 }
+
+func (boxplotDefense) Name() string { return "boxplot" }
+func (d boxplotDefense) Estimate(_ *rand.Rand, reports []float64, _ bool) (float64, error) {
+	return Boxplot(reports, d.k), nil
+}
+
+type kmeansDefense struct{ KMeansDefense }
+
+func (*kmeansDefense) Name() string { return "kmeans" }
+func (d *kmeansDefense) Estimate(r *rand.Rand, reports []float64, _ bool) (float64, error) {
+	return d.KMeansDefense.Estimate(r, reports)
+}
+
+type iforestDefense struct{ IForestDefense }
+
+func (*iforestDefense) Name() string { return "iforest" }
+func (d *iforestDefense) Estimate(r *rand.Rand, reports []float64, _ bool) (float64, error) {
+	return d.IForestDefense.Estimate(r, reports)
+}

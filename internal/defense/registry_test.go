@@ -1,0 +1,68 @@
+package defense
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// Every registered name constructs and estimates; the wrappers agree with
+// the underlying functions.
+func TestRegistryNames(t *testing.T) {
+	r := rng.New(1)
+	reports := make([]float64, 500)
+	for i := range reports {
+		reports[i] = rng.Uniform(r, -1, 1)
+	}
+	for _, name := range Names() {
+		d, err := New(Spec{Name: name})
+		if err != nil {
+			t.Fatalf("New(%s): %v", name, err)
+		}
+		if d.Name() != name {
+			t.Fatalf("Name() = %q, want %q", d.Name(), name)
+		}
+		m, err := d.Estimate(rng.New(2), reports, true)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if math.IsNaN(m) || m < -1 || m > 1 {
+			t.Fatalf("%s estimated %v", name, m)
+		}
+	}
+}
+
+func TestRegistryUnknown(t *testing.T) {
+	if _, err := New(Spec{Name: "magic"}); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("unknown defense: %v", err)
+	}
+	if _, err := New(Spec{Name: "trimming", Frac: 2}); err == nil {
+		t.Fatal("bad trimming fraction accepted")
+	}
+}
+
+// The wrappers must match the direct function calls exactly.
+func TestRegistryMatchesFunctions(t *testing.T) {
+	r := rng.New(3)
+	reports := make([]float64, 400)
+	for i := range reports {
+		reports[i] = rng.Uniform(r, -1, 1)
+	}
+	ostrich, _ := New(Spec{Name: "ostrich"})
+	if m, _ := ostrich.Estimate(nil, reports, false); m != Ostrich(reports) {
+		t.Fatal("ostrich wrapper diverges")
+	}
+	trim, _ := New(Spec{Name: "trimming", Frac: 0.3})
+	if m, _ := trim.Estimate(nil, reports, true); m != Trimming(reports, 0.3, true) {
+		t.Fatal("trimming wrapper diverges (right)")
+	}
+	if m, _ := trim.Estimate(nil, reports, false); m != Trimming(reports, 0.3, false) {
+		t.Fatal("trimming wrapper diverges (left)")
+	}
+	box, _ := New(Spec{Name: "boxplot"})
+	if m, _ := box.Estimate(nil, reports, true); m != Boxplot(reports, 1.5) {
+		t.Fatal("boxplot wrapper diverges")
+	}
+}

@@ -1,0 +1,167 @@
+// Package specflag binds the task-spec API (core.Spec) to command-line
+// flags, one implementation shared by every CLI: a -spec file.json flag
+// loads a JSON task spec, and the protocol flags — registered here with
+// one canonical name set — act as overrides for fields set explicitly on
+// the command line. Before this package, cmd/dapcollect and
+// cmd/daploadgen each re-encoded the tenant parameters in their own flag
+// structs; both now resolve through the same Spec.
+package specflag
+
+import (
+	"flag"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Flags binds a task spec to a flag set. Construct with New before
+// flag.Parse; call Resolve after.
+type Flags struct {
+	fs   *flag.FlagSet
+	path string
+
+	task, scheme, weights     string
+	eps, eps0                 float64
+	k                         int
+	oPrime, gammaSup          float64
+	autoOPrime                bool
+	suppress, trimFrac        float64
+	maxIter                   int
+	buckets, expUsers, shards int
+	window                    string
+	span                      int
+	epoch                     time.Duration
+}
+
+// New registers -spec and the task-spec override flags on fs with
+// defaults taken from def (normalized). Serving-layer flags (buckets,
+// expected-users, shards, window, span, epoch) default to def's Serve
+// section when present.
+func New(fs *flag.FlagSet, def core.Spec) *Flags {
+	def = def.Normalize()
+	f := &Flags{fs: fs}
+	fs.StringVar(&f.path, "spec", "", "JSON task spec file; explicit flags below override its fields")
+	fs.StringVar(&f.task, "task", string(def.Task), "task kind: mean, distribution, frequency, variance, baseline")
+	fs.StringVar(&f.task, "kind", string(def.Task), "alias of -task")
+	fs.Float64Var(&f.eps, "eps", def.Eps, "total privacy budget ε")
+	fs.Float64Var(&f.eps0, "eps0", def.Eps0, "minimum group budget ε0")
+	fs.StringVar(&f.scheme, "scheme", def.Scheme, "estimation scheme: emf, emfstar, cemfstar")
+	fs.StringVar(&f.weights, "weights", def.Weights, "aggregation weights: paper, general")
+	fs.IntVar(&f.k, "k", def.K, "category count (task frequency)")
+	fs.Float64Var(&f.oPrime, "oprime", def.OPrime, "fixed pessimistic mean O′")
+	fs.BoolVar(&f.autoOPrime, "auto-oprime", def.AutoOPrime, "derive O′ per Theorem 2")
+	fs.Float64Var(&f.gammaSup, "gamma-sup", def.GammaSup, "Byzantine-proportion bound γsup for Theorem 2 (0 = 1/2)")
+	fs.Float64Var(&f.suppress, "suppress", def.SuppressFactor, "CEMF* concentration threshold factor (0 = 0.5)")
+	fs.IntVar(&f.maxIter, "emf-maxiter", def.EMFMaxIter, "EM iteration cap (0 = engine default)")
+	fs.Float64Var(&f.trimFrac, "trim-frac", def.TrimFrac, "SW pessimistic-O′ trim fraction (task distribution)")
+
+	serve := core.ServeSpec{}
+	if def.Serve != nil {
+		serve = *def.Serve
+	}
+	fs.IntVar(&f.buckets, "buckets", serve.Buckets, "fixed per-group histogram resolution d′ (0 = derive from -expected-users)")
+	fs.IntVar(&f.expUsers, "expected-users", serve.ExpectedUsers, "expected user population for deriving d′ (0 = engine default)")
+	fs.IntVar(&f.shards, "shards", serve.Shards, "lock stripes per group histogram (0 = engine default)")
+	fs.StringVar(&f.window, "window", serve.Window, "epoch window mode (tumbling, sliding)")
+	fs.IntVar(&f.span, "span", serve.Span, "sliding window span in epochs")
+	fs.DurationVar(&f.epoch, "epoch", time.Duration(serve.EpochMs)*time.Millisecond,
+		"epoch length for automatic rotation (0 = manual)")
+	return f
+}
+
+// Path returns the -spec file path ("" when none was given).
+func (f *Flags) Path() string { return f.path }
+
+// Resolve returns the effective spec: the flag values when no -spec file
+// was given, otherwise the file's spec with every explicitly-set flag
+// applied on top. The result is validated.
+func (f *Flags) Resolve() (core.Spec, error) {
+	if f.path == "" {
+		sp := f.flagSpec()
+		if err := sp.Validate(); err != nil {
+			return core.Spec{}, err
+		}
+		return sp.Normalize(), nil
+	}
+	sp, err := core.LoadSpec(f.path)
+	if err != nil {
+		return core.Spec{}, err
+	}
+	f.fs.Visit(func(fl *flag.Flag) { f.override(&sp, fl.Name) })
+	if err := sp.Validate(); err != nil {
+		return core.Spec{}, err
+	}
+	return sp.Normalize(), nil
+}
+
+// flagSpec assembles a spec purely from the bound flag values.
+func (f *Flags) flagSpec() core.Spec {
+	task, err := core.ParseTask(f.task)
+	if err != nil {
+		task = core.TaskKind(f.task) // leave it for Validate to reject
+	}
+	sp := core.Spec{
+		Task: task, Eps: f.eps, Eps0: f.eps0, Scheme: f.scheme, Weights: f.weights,
+		K: f.k, OPrime: f.oPrime, AutoOPrime: f.autoOPrime, GammaSup: f.gammaSup,
+		SuppressFactor: f.suppress, EMFMaxIter: f.maxIter, TrimFrac: f.trimFrac,
+	}
+	if f.buckets != 0 || f.expUsers != 0 || f.shards != 0 || f.window != "" || f.span != 0 || f.epoch != 0 {
+		sp.Serve = &core.ServeSpec{
+			Buckets: f.buckets, ExpectedUsers: f.expUsers, Shards: f.shards,
+			Window: f.window, Span: f.span, EpochMs: f.epoch.Milliseconds(),
+		}
+	}
+	return sp
+}
+
+// override applies one explicitly-set flag onto sp.
+func (f *Flags) override(sp *core.Spec, name string) {
+	serve := func() *core.ServeSpec {
+		if sp.Serve == nil {
+			sp.Serve = &core.ServeSpec{}
+		}
+		return sp.Serve
+	}
+	switch name {
+	case "task", "kind":
+		if task, err := core.ParseTask(f.task); err == nil {
+			sp.Task = task
+		} else {
+			sp.Task = core.TaskKind(f.task)
+		}
+	case "eps":
+		sp.Eps = f.eps
+	case "eps0":
+		sp.Eps0 = f.eps0
+	case "scheme":
+		sp.Scheme = f.scheme
+	case "weights":
+		sp.Weights = f.weights
+	case "k":
+		sp.K = f.k
+	case "oprime":
+		sp.OPrime = f.oPrime
+	case "auto-oprime":
+		sp.AutoOPrime = f.autoOPrime
+	case "gamma-sup":
+		sp.GammaSup = f.gammaSup
+	case "suppress":
+		sp.SuppressFactor = f.suppress
+	case "emf-maxiter":
+		sp.EMFMaxIter = f.maxIter
+	case "trim-frac":
+		sp.TrimFrac = f.trimFrac
+	case "buckets":
+		serve().Buckets = f.buckets
+	case "expected-users":
+		serve().ExpectedUsers = f.expUsers
+	case "shards":
+		serve().Shards = f.shards
+	case "window":
+		serve().Window = f.window
+	case "span":
+		serve().Span = f.span
+	case "epoch":
+		serve().EpochMs = f.epoch.Milliseconds()
+	}
+}

@@ -1,0 +1,77 @@
+package specflag
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func newSet(t *testing.T, args []string) (*Flags, *flag.FlagSet) {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := New(fs, core.NewSpec(core.MeanTask()))
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return f, fs
+}
+
+func TestResolveFromFlags(t *testing.T) {
+	f, _ := newSet(t, []string{"-task", "frequency", "-k", "7", "-eps", "2", "-eps0", "1", "-scheme", "emfstar"})
+	sp, err := f.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Task != core.TaskFrequency || sp.K != 7 || sp.Eps != 2 || sp.Eps0 != 1 {
+		t.Fatalf("resolved %+v", sp)
+	}
+	if sp.Scheme != core.SchemeEMFStar.String() {
+		t.Fatalf("scheme %q", sp.Scheme)
+	}
+}
+
+func TestResolveFileWithOverrides(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, []byte(`{"task":"mean","eps":1,"eps0":0.25,"scheme":"emf"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Explicit -eps overrides the file; the file's scheme survives.
+	f, _ := newSet(t, []string{"-spec", path, "-eps", "2", "-eps0", "0.5"})
+	sp, err := f.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Eps != 2 || sp.Eps0 != 0.5 {
+		t.Fatalf("override lost: %+v", sp)
+	}
+	if sp.Scheme != core.SchemeEMF.String() {
+		t.Fatalf("file scheme lost: %q", sp.Scheme)
+	}
+	// Serving flags land in the Serve section.
+	f2, _ := newSet(t, []string{"-spec", path, "-shards", "4", "-epoch", "150ms"})
+	sp2, err := f2.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp2.Serve == nil || sp2.Serve.Shards != 4 || sp2.Serve.EpochMs != 150 {
+		t.Fatalf("serve overrides lost: %+v", sp2.Serve)
+	}
+}
+
+func TestResolveRejectsBadSpecs(t *testing.T) {
+	f, _ := newSet(t, []string{"-task", "frequency"}) // K missing
+	if _, err := f.Resolve(); err == nil {
+		t.Fatal("invalid flag spec accepted")
+	}
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"task":"mean","eps":1,"typo":3}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f2, _ := newSet(t, []string{"-spec", path})
+	if _, err := f2.Resolve(); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}

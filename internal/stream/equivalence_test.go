@@ -94,7 +94,8 @@ func TestEngineEquivalenceBitForBit(t *testing.T) {
 	}
 
 	tn, err := stream.NewTenant("eq", stream.Config{
-		Kind: stream.KindMean, Eps: p.Eps, Eps0: p.Eps0, Scheme: p.Scheme,
+		Spec: core.Spec{Task: core.TaskMean, Eps: p.Eps, Eps0: p.Eps0,
+			Scheme: p.Scheme.String()},
 		ExpectedUsers: n, Shards: 1,
 	})
 	if err != nil {
@@ -105,7 +106,7 @@ func TestEngineEquivalenceBitForBit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e := snap.Mean
+	e := snap.Result
 	if snap.Reports != float64(len(col.Groups[0])+len(col.Groups[1])+len(col.Groups[2])) {
 		t.Fatalf("window lost reports: %v", snap.Reports)
 	}
@@ -149,7 +150,8 @@ func TestEngineEquivalenceConcurrent(t *testing.T) {
 		t.Fatal(err)
 	}
 	tn, err := stream.NewTenant("eqc", stream.Config{
-		Kind: stream.KindMean, Eps: p.Eps, Eps0: p.Eps0, Scheme: p.Scheme,
+		Spec: core.Spec{Task: core.TaskMean, Eps: p.Eps, Eps0: p.Eps0,
+			Scheme: p.Scheme.String()},
 		ExpectedUsers: n, Shards: 8,
 	})
 	if err != nil {
@@ -160,7 +162,7 @@ func TestEngineEquivalenceConcurrent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e := snap.Mean
+	e := snap.Result
 	if e.Gamma != batch.Gamma {
 		t.Fatalf("gamma: engine %v batch %v (counts must be identical)", e.Gamma, batch.Gamma)
 	}
@@ -196,7 +198,8 @@ func TestEquivalenceAcrossEpochs(t *testing.T) {
 		t.Fatal(err)
 	}
 	tn, err := stream.NewTenant("ep", stream.Config{
-		Kind: stream.KindMean, Eps: p.Eps, Eps0: p.Eps0, Scheme: p.Scheme,
+		Spec: core.Spec{Task: core.TaskMean, Eps: p.Eps, Eps0: p.Eps0,
+			Scheme: p.Scheme.String()},
 		ExpectedUsers: n, Shards: 1,
 		Window: stream.WindowConfig{Mode: stream.Sliding, Span: 16},
 	})
@@ -224,10 +227,10 @@ func TestEquivalenceAcrossEpochs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if snap.Mean.Gamma != batch.Gamma {
-		t.Fatalf("epoch-split gamma %v != batch %v (counts must merge exactly)", snap.Mean.Gamma, batch.Gamma)
+	if snap.Result.Gamma != batch.Gamma {
+		t.Fatalf("epoch-split gamma %v != batch %v (counts must merge exactly)", snap.Result.Gamma, batch.Gamma)
 	}
-	if diff := math.Abs(snap.Mean.Mean - batch.Mean); diff > 1e-12 {
+	if diff := math.Abs(snap.Result.Mean - batch.Mean); diff > 1e-12 {
 		t.Fatalf("epoch-split mean differs by %g", diff)
 	}
 }

@@ -16,8 +16,9 @@ import (
 // report is in exactly one epoch of the (all-covering) sliding window.
 func TestConcurrentIngestRotateEstimate(t *testing.T) {
 	tn, err := stream.NewTenant("race", stream.Config{
-		Kind: stream.KindMean, Eps: 1, Eps0: 0.25, Scheme: core.SchemeEMF,
-		Buckets: 16, Shards: 4, EMFMaxIter: 40,
+		Spec: core.Spec{Task: core.TaskMean, Eps: 1, Eps0: 0.25,
+			Scheme: core.SchemeEMF.String(), EMFMaxIter: 40},
+		Buckets: 16, Shards: 4,
 		Window: stream.WindowConfig{Mode: stream.Sliding, Span: 1 << 20},
 	})
 	if err != nil {
@@ -105,8 +106,9 @@ func TestConcurrentTenantsIsolated(t *testing.T) {
 	defer reg.Close()
 	mk := func(name string) *stream.Tenant {
 		tn, err := reg.Create(name, stream.Config{
-			Kind: stream.KindMean, Eps: 1, Eps0: 0.5, Scheme: core.SchemeEMF,
-			Buckets: 16, Shards: 4, EMFMaxIter: 40,
+			Spec: core.Spec{Task: core.TaskMean, Eps: 1, Eps0: 0.5,
+				Scheme: core.SchemeEMF.String(), EMFMaxIter: 40},
+			Buckets: 16, Shards: 4,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -154,7 +156,7 @@ func TestConcurrentTenantsIsolated(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if eb.Mean.Mean-ea.Mean.Mean < 0.2 {
-		t.Fatalf("isolation violated: a=%v b=%v", ea.Mean.Mean, eb.Mean.Mean)
+	if eb.Result.Mean-ea.Result.Mean < 0.2 {
+		t.Fatalf("isolation violated: a=%v b=%v", ea.Result.Mean, eb.Result.Mean)
 	}
 }

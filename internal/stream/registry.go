@@ -5,6 +5,8 @@ import (
 	"regexp"
 	"sort"
 	"sync"
+
+	"repro/internal/core"
 )
 
 // tenantName constrains names to something URL-path and log friendly.
@@ -44,6 +46,16 @@ func (r *Registry) Create(name string, cfg Config) (*Tenant, error) {
 	r.tenants[name] = t
 	r.mu.Unlock()
 	return t, nil
+}
+
+// CreateSpec builds, registers and starts a tenant directly from a task
+// spec, honouring its Serve section.
+func (r *Registry) CreateSpec(name string, sp core.Spec) (*Tenant, error) {
+	cfg, err := ConfigFromSpec(sp)
+	if err != nil {
+		return nil, err
+	}
+	return r.Create(name, cfg)
 }
 
 // Get returns the named tenant.

@@ -24,9 +24,14 @@
 //     estimates that fold in the unsealed epoch are available on demand.
 //
 //   - A tenant registry (registry.go). One process hosts many concurrent
-//     aggregations — mean estimation over PM, frequency estimation over
-//     k-RR, distribution estimation over SW — each with its own protocol
+//     aggregations — each defined by a declarative task spec (core.Spec)
+//     and estimated through the single core.Build surface — with its own
 //     parameters, privacy accountant, histograms and epoch clock.
+//
+// A tenant is constructed from a core.Spec: the task section selects the
+// protocol via core.Build (the same call path batch estimation uses), and
+// the spec's Serve section carries the engine parameters (shards, bucket
+// resolution, epoch windows).
 package stream
 
 import (
@@ -38,44 +43,25 @@ import (
 	"repro/internal/core"
 )
 
-// Kind selects which DAP instantiation a tenant runs.
-type Kind int
+// Kind is the historical tenant-kind enum, now unified with the task-spec
+// API's kinds.
+//
+// Deprecated: use core.TaskKind.
+type Kind = core.TaskKind
 
-// Tenant kinds.
+// Historical kind names.
+//
+// Deprecated: use the core.Task* constants.
 const (
-	// KindMean is mean estimation over the Piecewise Mechanism (§V).
-	KindMean Kind = iota
-	// KindFreq is categorical frequency estimation over k-RR (§V-D).
-	KindFreq
-	// KindDist is distribution (and mean) estimation over Square Wave (§V-D).
-	KindDist
+	KindMean = core.TaskMean
+	KindFreq = core.TaskFrequency
+	KindDist = core.TaskDistribution
 )
 
-// String implements fmt.Stringer.
-func (k Kind) String() string {
-	switch k {
-	case KindMean:
-		return "mean"
-	case KindFreq:
-		return "freq"
-	case KindDist:
-		return "dist"
-	}
-	return "unknown"
-}
-
 // ParseKind parses a tenant kind name.
-func ParseKind(s string) (Kind, error) {
-	switch strings.ToLower(s) {
-	case "", "mean", "pm":
-		return KindMean, nil
-	case "freq", "frequency", "krr":
-		return KindFreq, nil
-	case "dist", "distribution", "sw":
-		return KindDist, nil
-	}
-	return 0, fmt.Errorf("stream: unknown tenant kind %q", s)
-}
+//
+// Deprecated: use core.ParseTask.
+func ParseKind(s string) (Kind, error) { return core.ParseTask(s) }
 
 // WindowMode selects the epoch window shape.
 type WindowMode int
@@ -106,7 +92,7 @@ func ParseWindowMode(s string) (WindowMode, error) {
 	case "sliding":
 		return Sliding, nil
 	}
-	return 0, fmt.Errorf("stream: unknown window mode %q", s)
+	return 0, fmt.Errorf("%w: unknown window mode %q", core.ErrBadSpec, s)
 }
 
 // WindowConfig shapes a tenant's epoch windows.
@@ -124,16 +110,15 @@ type WindowConfig struct {
 	Epoch time.Duration
 }
 
-// Config parameterizes one tenant.
+// Config parameterizes one tenant: the task spec (what is estimated, with
+// which mechanism, scheme and budgets — the exact description core.Build
+// consumes) plus the engine parameters of this tenant's histograms and
+// windows. ConfigFromSpec fills the engine fields from the spec's Serve
+// section, so one JSON spec fully describes a tenant.
 type Config struct {
-	// Kind selects the protocol instantiation.
-	Kind Kind
-	// Eps and Eps0 are the total and minimal group budgets.
-	Eps, Eps0 float64
-	// Scheme selects EMF, EMF* or CEMF* estimation.
-	Scheme core.Scheme
-	// K is the category count (KindFreq only).
-	K int
+	// Spec is the task description. Its Serve section, when present, seeds
+	// any engine field left zero below.
+	Spec core.Spec
 	// Buckets fixes one output histogram resolution d′ for every group
 	// (numeric kinds), rounded down to even and floored at 8 like
 	// emf.BucketCounts. Zero derives per-group resolutions from
@@ -150,29 +135,84 @@ type Config struct {
 	Shards int
 	// Window shapes the epoch windows.
 	Window WindowConfig
-	// OPrime, AutoOPrime and GammaSup configure the pessimistic mean
-	// initialization (KindMean).
-	OPrime     float64
-	AutoOPrime bool
-	GammaSup   float64
-	// SuppressFactor is CEMF*'s concentration threshold factor.
-	SuppressFactor float64
-	// EMFMaxIter caps EM iterations per fit.
-	EMFMaxIter int
-	// WeightMode selects the inter-group aggregation weights.
-	WeightMode core.WeightMode
-	// TrimFrac is the SW pessimistic-O′ trim fraction (KindDist).
-	TrimFrac float64
+}
+
+// ConfigFromSpec builds a tenant configuration from a task spec,
+// honouring its Serve section. This is the one spec→tenant conversion
+// used by the wire API and every CLI.
+func ConfigFromSpec(sp core.Spec) (Config, error) {
+	cfg := Config{Spec: sp}
+	if s := sp.Serve; s != nil {
+		mode, err := ParseWindowMode(s.Window)
+		if err != nil {
+			return Config{}, err
+		}
+		cfg.Buckets = s.Buckets
+		cfg.ExpectedUsers = s.ExpectedUsers
+		cfg.Shards = s.Shards
+		cfg.Window = WindowConfig{
+			Mode:  mode,
+			Span:  s.Span,
+			Epoch: time.Duration(s.EpochMs) * time.Millisecond,
+		}
+	}
+	return cfg, nil
+}
+
+// SpecWithServe returns the task spec including a Serve section
+// reflecting the effective engine configuration — the JSON the wire API
+// returns for a tenant, sufficient to recreate it.
+func (cfg Config) SpecWithServe() core.Spec {
+	sp := cfg.Spec
+	sp.Serve = &core.ServeSpec{
+		Buckets:       cfg.Buckets,
+		ExpectedUsers: cfg.ExpectedUsers,
+		Shards:        cfg.Shards,
+		Window:        cfg.Window.Mode.String(),
+		Span:          cfg.Window.Span,
+		EpochMs:       cfg.Window.Epoch.Milliseconds(),
+	}
+	return sp
 }
 
 // normalize validates cfg and fills defaults, returning the effective
-// configuration.
+// configuration. Engine fields left zero adopt the spec's Serve section.
 func (cfg Config) normalize() (Config, error) {
-	if cfg.Kind < KindMean || cfg.Kind > KindDist {
-		return cfg, fmt.Errorf("stream: invalid tenant kind %d", int(cfg.Kind))
+	if s := cfg.Spec.Serve; s != nil {
+		if cfg.Buckets == 0 {
+			cfg.Buckets = s.Buckets
+		}
+		if cfg.ExpectedUsers == 0 {
+			cfg.ExpectedUsers = s.ExpectedUsers
+		}
+		if cfg.Shards == 0 {
+			cfg.Shards = s.Shards
+		}
+		if cfg.Window == (WindowConfig{}) {
+			mode, err := ParseWindowMode(s.Window)
+			if err != nil {
+				return cfg, err
+			}
+			cfg.Window = WindowConfig{
+				Mode:  mode,
+				Span:  s.Span,
+				Epoch: time.Duration(s.EpochMs) * time.Millisecond,
+			}
+		}
 	}
-	if cfg.Kind == KindFreq && cfg.K < 2 {
-		return cfg, errors.New("stream: freq tenant needs K >= 2")
+	cfg.Spec = cfg.Spec.Normalize()
+	if err := cfg.Spec.Validate(); err != nil {
+		return cfg, err
+	}
+	switch cfg.Spec.Task {
+	case core.TaskMean, core.TaskFrequency, core.TaskDistribution:
+	default:
+		return cfg, fmt.Errorf("%w: task %q cannot run as a stream tenant",
+			core.ErrBadSpec, cfg.Spec.Task)
+	}
+	if cfg.Spec.Defense != nil {
+		return cfg, fmt.Errorf("%w: defense comparators need raw reports and cannot run as stream tenants",
+			core.ErrBadSpec)
 	}
 	if cfg.ExpectedUsers == 0 {
 		cfg.ExpectedUsers = 4096

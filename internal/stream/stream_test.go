@@ -16,7 +16,8 @@ import (
 
 func meanConfig() stream.Config {
 	return stream.Config{
-		Kind: stream.KindMean, Eps: 1, Eps0: 0.25, Scheme: core.SchemeEMFStar,
+		Spec: core.NewSpec(core.MeanTask(), core.WithBudget(1, 0.25),
+			core.WithScheme(core.SchemeEMFStar)),
 	}
 }
 
@@ -111,10 +112,11 @@ func TestConfigDefaultsAndValidation(t *testing.T) {
 		t.Fatal("tumbling span not forced to 1")
 	}
 	for _, bad := range []stream.Config{
-		{Kind: stream.KindFreq, Eps: 1, Eps0: 0.5},           // K missing
-		{Kind: stream.KindMean, Eps: -1, Eps0: 0.5},          // bad budgets
-		{Kind: stream.KindMean, Eps: 1, Eps0: 0.5, Shards: -1},
-		{Kind: 42, Eps: 1, Eps0: 0.5},
+		{Spec: core.Spec{Task: core.TaskFrequency, Eps: 1, Eps0: 0.5}}, // K missing
+		{Spec: core.Spec{Task: core.TaskMean, Eps: -1, Eps0: 0.5}},     // bad budgets
+		{Spec: core.Spec{Task: core.TaskMean, Eps: 1, Eps0: 0.5}, Shards: -1},
+		{Spec: core.Spec{Task: "nope", Eps: 1, Eps0: 0.5}},            // unknown task
+		{Spec: core.Spec{Task: core.TaskVariance, Eps: 1, Eps0: 0.5}}, // not streamable
 	} {
 		if _, err := stream.NewTenant("x", bad); err == nil {
 			t.Fatalf("invalid config accepted: %+v", bad)
@@ -222,7 +224,7 @@ func TestIngestGroupBindingAndBudget(t *testing.T) {
 
 func TestFreqIngestValidation(t *testing.T) {
 	tn, err := stream.NewTenant("f", stream.Config{
-		Kind: stream.KindFreq, Eps: 1, Eps0: 0.5, K: 4,
+		Spec: core.Spec{Task: core.TaskFrequency, Eps: 1, Eps0: 0.5, K: 4},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -248,7 +250,7 @@ func TestRotateTumblingAndSliding(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if snap.Epoch != 1 || snap.Live || snap.Mean == nil {
+	if snap.Epoch != 1 || snap.Live || snap.Result == nil {
 		t.Fatalf("snapshot %+v", snap)
 	}
 	firstReports := snap.Reports
@@ -334,14 +336,14 @@ func TestEstimateLiveAndCached(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !live.Live || live.Mean == nil || live.Epoch != 0 {
+	if !live.Live || live.Result == nil || live.Epoch != 0 {
 		t.Fatalf("live snapshot %+v", live)
 	}
-	if math.Abs(live.Mean.Mean-(-0.2)) > 0.35 {
-		t.Fatalf("live mean %v implausible", live.Mean.Mean)
+	if math.Abs(live.Result.Mean-(-0.2)) > 0.35 {
+		t.Fatalf("live mean %v implausible", live.Result.Mean)
 	}
 	var wSum float64
-	for _, w := range live.Mean.Weights {
+	for _, w := range live.Result.Weights {
 		wSum += w
 	}
 	if math.Abs(wSum-1) > 1e-9 {
@@ -366,7 +368,7 @@ func TestEpochClock(t *testing.T) {
 	if snap == nil {
 		t.Fatal("epoch clock produced no cached estimate")
 	}
-	if snap.Epoch < 1 || snap.Mean == nil {
+	if snap.Epoch < 1 || snap.Result == nil {
 		t.Fatalf("clocked snapshot %+v", snap)
 	}
 	tn.Stop()
@@ -388,10 +390,10 @@ func TestRegistry(t *testing.T) {
 	if _, err := reg.Create("bad name!", meanConfig()); err == nil {
 		t.Fatal("invalid name accepted")
 	}
-	if _, err := reg.Create("x", stream.Config{Kind: stream.KindMean, Eps: -1, Eps0: 1}); err == nil {
+	if _, err := reg.Create("x", stream.Config{Spec: core.Spec{Task: core.TaskMean, Eps: -1, Eps0: 1}}); err == nil {
 		t.Fatal("invalid config accepted")
 	}
-	b, err := reg.Create("beta", stream.Config{Kind: stream.KindFreq, Eps: 1, Eps0: 0.5, K: 3})
+	b, err := reg.Create("beta", stream.Config{Spec: core.Spec{Task: core.TaskFrequency, Eps: 1, Eps0: 0.5, K: 3}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -432,8 +434,8 @@ func TestCrossTenantIsolation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ea.Mean.Mean >= 0 || eb.Mean.Mean <= 0 {
-		t.Fatalf("tenant estimates bled into each other: a=%v b=%v", ea.Mean.Mean, eb.Mean.Mean)
+	if ea.Result.Mean >= 0 || eb.Result.Mean <= 0 {
+		t.Fatalf("tenant estimates bled into each other: a=%v b=%v", ea.Result.Mean, eb.Result.Mean)
 	}
 	// Deleting one tenant leaves the other fully functional.
 	reg.Delete("a")
@@ -447,7 +449,8 @@ func TestCrossTenantIsolation(t *testing.T) {
 func TestFreqTenantEndToEnd(t *testing.T) {
 	r := rng.New(6)
 	tn, err := stream.NewTenant("f", stream.Config{
-		Kind: stream.KindFreq, Eps: 2, Eps0: 1, K: 4, Scheme: core.SchemeEMFStar,
+		Spec: core.NewSpec(core.FrequencyTask(4), core.WithBudget(2, 1),
+			core.WithScheme(core.SchemeEMFStar)),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -476,10 +479,10 @@ func TestFreqTenantEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if snap.Freq == nil || len(snap.Freq.Freqs) != 4 {
+	if snap.Result == nil || len(snap.Result.Freqs) != 4 {
 		t.Fatalf("freq snapshot %+v", snap)
 	}
-	if snap.Freq.Freqs[0] < 0.5 {
-		t.Fatalf("dominant category estimated at %v", snap.Freq.Freqs[0])
+	if snap.Result.Freqs[0] < 0.5 {
+		t.Fatalf("dominant category estimated at %v", snap.Result.Freqs[0])
 	}
 }

@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/maphash"
@@ -18,13 +19,12 @@ import (
 // group than the one they are bound to.
 var ErrWrongGroup = errors.New("stream: user belongs to another group")
 
-// Snapshot is one materialized estimate of a tenant's window. Exactly one
-// of Mean, Freq, Dist is non-nil, matching the tenant's kind.
+// Snapshot is one materialized estimate of a tenant's window.
 type Snapshot struct {
 	// Tenant is the owning tenant's name.
 	Tenant string
-	// Kind is the tenant's protocol instantiation.
-	Kind Kind
+	// Task is the tenant's task kind.
+	Task core.TaskKind
 	// Epoch is the number of epochs sealed when the snapshot was taken.
 	Epoch uint64
 	// Live reports whether the unsealed live epoch was folded in.
@@ -33,12 +33,9 @@ type Snapshot struct {
 	At time.Time
 	// Reports is the total report count across the window's groups.
 	Reports float64
-	// Mean is the PM mean-estimation result (KindMean).
-	Mean *core.Estimate
-	// Freq is the k-RR frequency-estimation result (KindFreq).
-	Freq *core.FreqEstimate
-	// Dist is the SW distribution-estimation result (KindDist).
-	Dist *core.SWEstimate
+	// Result is the unified estimate (mean, histogram, frequencies, γ̂ and
+	// per-group diagnostics — whichever the task produces).
+	Result *core.Result
 }
 
 // epochHist is one sealed epoch: per-group histograms, exact sums and
@@ -49,18 +46,16 @@ type epochHist struct {
 	ns     []float64
 }
 
-// Tenant is one hosted aggregation: a protocol instance, a privacy
+// Tenant is one hosted aggregation: a task-spec estimator, a privacy
 // accountant, per-group sharded live histograms, a ring of sealed epochs
 // and the cached window estimate.
 type Tenant struct {
 	name   string
 	cfg    Config
+	est    core.Streamable
 	groups []core.Group
-	mean   *core.DAP
-	freq   *core.FreqDAP
-	dist   *core.SWDAP
 	acct   *privacy.Accountant
-	disc   []ldp.Discretizer // per group; unused for KindFreq
+	disc   []ldp.Discretizer // per group; unused for frequency tasks
 	bkt    []int             // per-group histogram resolution d′
 	seed   maphash.Seed      // user → stripe
 
@@ -84,7 +79,10 @@ type Tenant struct {
 	done    chan struct{}
 }
 
-// NewTenant builds a tenant from cfg (defaults filled, see Config).
+// NewTenant builds a tenant from cfg (defaults filled, see Config). The
+// task spec goes through core.Build — the same construction path as batch
+// estimation — so any spec that estimates in batch estimates here, and
+// any spec Build rejects is rejected here with the same ErrBadSpec.
 func NewTenant(name string, cfg Config) (*Tenant, error) {
 	if name == "" {
 		return nil, errors.New("stream: tenant name must be non-empty")
@@ -93,43 +91,17 @@ func NewTenant(name string, cfg Config) (*Tenant, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &Tenant{name: name, cfg: cfg, seed: maphash.MakeSeed()}
-	switch cfg.Kind {
-	case KindMean:
-		d, err := core.NewDAP(core.Params{
-			Eps: cfg.Eps, Eps0: cfg.Eps0, Scheme: cfg.Scheme,
-			OPrime: cfg.OPrime, AutoOPrime: cfg.AutoOPrime, GammaSup: cfg.GammaSup,
-			SuppressFactor: cfg.SuppressFactor, EMFMaxIter: cfg.EMFMaxIter,
-			WeightMode: cfg.WeightMode,
-		})
-		if err != nil {
-			return nil, err
-		}
-		t.mean = d
-		t.groups = d.Groups()
-	case KindFreq:
-		d, err := core.NewFreqDAP(core.FreqParams{
-			Eps: cfg.Eps, Eps0: cfg.Eps0, K: cfg.K, Scheme: cfg.Scheme,
-			SuppressFactor: cfg.SuppressFactor, EMFMaxIter: cfg.EMFMaxIter,
-			WeightMode: cfg.WeightMode,
-		})
-		if err != nil {
-			return nil, err
-		}
-		t.freq = d
-		t.groups = d.Groups()
-	case KindDist:
-		d, err := core.NewSWDAP(core.SWParams{
-			Eps: cfg.Eps, Eps0: cfg.Eps0, Scheme: cfg.Scheme,
-			TrimFrac: cfg.TrimFrac, SuppressFactor: cfg.SuppressFactor,
-			EMFMaxIter: cfg.EMFMaxIter, WeightMode: cfg.WeightMode,
-		})
-		if err != nil {
-			return nil, err
-		}
-		t.dist = d
-		t.groups = d.Groups()
+	est, err := core.Build(cfg.Spec)
+	if err != nil {
+		return nil, err
 	}
+	streamable, ok := est.(core.Streamable)
+	if !ok {
+		return nil, fmt.Errorf("%w: task %q cannot run as a stream tenant",
+			core.ErrBadSpec, cfg.Spec.Task)
+	}
+	t := &Tenant{name: name, cfg: cfg, est: streamable, seed: maphash.MakeSeed()}
+	t.groups = streamable.Groups()
 	h := len(t.groups)
 	// Per-group histogram resolution: the paper's d′ rule applied to the
 	// report volume ExpectedUsers would yield — users split into h equal
@@ -139,8 +111,8 @@ func NewTenant(name string, cfg Config) (*Tenant, error) {
 	t.bkt = make([]int, h)
 	for i := range t.groups {
 		switch {
-		case cfg.Kind == KindFreq:
-			t.bkt[i] = cfg.K
+		case cfg.Spec.Task == core.TaskFrequency:
+			t.bkt[i] = cfg.Spec.K
 		case cfg.Buckets > 0:
 			t.bkt[i] = cfg.Buckets
 		default:
@@ -148,18 +120,28 @@ func NewTenant(name string, cfg Config) (*Tenant, error) {
 			t.bkt[i] = emf.OutputBuckets(users * t.groups[i].Reports)
 		}
 	}
-	if cfg.Kind != KindFreq {
+	if cfg.Spec.Task != core.TaskFrequency {
 		t.disc = make([]ldp.Discretizer, h)
 		for i := range t.groups {
-			t.disc[i] = ldp.NewDiscretizer(t.outputDomain(i), t.bkt[i])
+			t.disc[i] = ldp.NewDiscretizer(t.est.OutputDomain(i), t.bkt[i])
 		}
 	}
-	t.acct, err = privacy.NewAccountant(cfg.Eps)
+	t.acct, err = privacy.NewAccountant(cfg.Spec.Eps)
 	if err != nil {
 		return nil, err
 	}
 	t.live = t.freshLive()
 	return t, nil
+}
+
+// NewTenantSpec builds a tenant directly from a task spec, honouring its
+// Serve section — the one-call spec→tenant path.
+func NewTenantSpec(name string, sp core.Spec) (*Tenant, error) {
+	cfg, err := ConfigFromSpec(sp)
+	if err != nil {
+		return nil, err
+	}
+	return NewTenant(name, cfg)
 }
 
 // freshLive allocates one empty shard set per group.
@@ -177,11 +159,18 @@ func (t *Tenant) Buckets() []int { return append([]int(nil), t.bkt...) }
 // Name returns the tenant name.
 func (t *Tenant) Name() string { return t.name }
 
-// Kind returns the tenant's protocol instantiation.
-func (t *Tenant) Kind() Kind { return t.cfg.Kind }
+// Kind returns the tenant's task kind.
+func (t *Tenant) Kind() core.TaskKind { return t.cfg.Spec.Task }
 
 // Config returns the effective (normalized) configuration.
 func (t *Tenant) Config() Config { return t.cfg }
+
+// Spec returns the tenant's task spec with a Serve section reflecting the
+// effective engine configuration — enough to recreate the tenant.
+func (t *Tenant) Spec() core.Spec { return t.cfg.SpecWithServe() }
+
+// Estimator exposes the tenant's task estimator.
+func (t *Tenant) Estimator() core.Estimator { return t.est }
 
 // Groups returns the group layout.
 func (t *Tenant) Groups() []core.Group { return append([]core.Group(nil), t.groups...) }
@@ -247,18 +236,19 @@ func (t *Tenant) Ingest(user string, group int, values []float64) error {
 	return nil
 }
 
-// indices validates values for the tenant's kind and returns their bucket
-// indices. NaN, ±Inf, out-of-domain values and (for freq tenants)
+// indices validates values for the tenant's task and returns their bucket
+// indices. NaN, ±Inf, out-of-domain values and (for frequency tenants)
 // non-integral or out-of-range categories are rejected here, at the wire
-// boundary, before any state changes.
+// boundary, before any state changes; rejections wrap core.ErrDomain.
 func (t *Tenant) indices(group int, values []float64) ([]int, error) {
 	idx := make([]int, len(values))
-	if t.cfg.Kind == KindFreq {
-		k := float64(t.cfg.K)
+	if t.cfg.Spec.Task == core.TaskFrequency {
+		k := float64(t.cfg.Spec.K)
 		for j, v := range values {
 			c := int(v)
 			if v != float64(c) || v < 0 || v >= k {
-				return nil, fmt.Errorf("stream: value %g is not a category in [0,%d)", v, t.cfg.K)
+				return nil, fmt.Errorf("%w: %g is not a category in [0,%d)",
+					core.ErrDomain, v, t.cfg.Spec.K)
 			}
 			idx[j] = c
 		}
@@ -268,20 +258,13 @@ func (t *Tenant) indices(group int, values []float64) ([]int, error) {
 	for j, v := range values {
 		i, ok := d.Index(v)
 		if !ok {
-			dom := t.outputDomain(group)
-			return nil, fmt.Errorf("stream: value %g outside output domain [%g,%g]", v, dom.Lo, dom.Hi)
+			dom := t.est.OutputDomain(group)
+			return nil, fmt.Errorf("%w: %g outside output domain [%g,%g]",
+				core.ErrDomain, v, dom.Lo, dom.Hi)
 		}
 		idx[j] = i
 	}
 	return idx, nil
-}
-
-// outputDomain returns group's mechanism output domain (numeric kinds).
-func (t *Tenant) outputDomain(group int) ldp.Domain {
-	if t.cfg.Kind == KindDist {
-		return t.dist.Mechanism(group).OutputDomain()
-	}
-	return t.mean.Mechanism(group).OutputDomain()
 }
 
 // Rotate seals the live epoch, re-estimates the window and caches the
@@ -358,8 +341,9 @@ func (t *Tenant) Estimate(includeLive bool) (*Snapshot, error) {
 func (t *Tenant) Cached() *Snapshot { return t.cached.Load() }
 
 // estimateWindow merges the sealed window (plus the optional live epoch)
-// into one histogram collection and runs the tenant's estimator. No locks
-// are held: sealed epochs are immutable and the live epoch was copied.
+// into one histogram collection and runs the tenant's estimator through
+// the unified EstimateHist surface. No locks are held: sealed epochs are
+// immutable and the live epoch was copied.
 func (t *Tenant) estimateWindow(window []epochHist, liveHist *epochHist, seq uint64, live bool) (*Snapshot, error) {
 	h := len(t.groups)
 	counts := make([][]float64, h)
@@ -383,34 +367,27 @@ func (t *Tenant) estimateWindow(window []epochHist, liveHist *epochHist, seq uin
 	if liveHist != nil {
 		merge(liveHist)
 	}
-	snap := &Snapshot{
+	res, err := t.est.EstimateHist(context.Background(),
+		&core.HistCollection{Counts: counts, Sums: sums})
+	if err != nil {
+		return nil, err
+	}
+	return &Snapshot{
 		Tenant:  t.name,
-		Kind:    t.cfg.Kind,
+		Task:    t.cfg.Spec.Task,
 		Epoch:   seq,
 		Live:    live,
 		At:      time.Now(),
 		Reports: total,
-	}
-	var err error
-	switch t.cfg.Kind {
-	case KindMean:
-		snap.Mean, err = t.mean.EstimateHist(&core.HistCollection{Counts: counts, Sums: sums})
-	case KindFreq:
-		snap.Freq, err = t.freq.EstimateFreq(&core.FreqCollection{Counts: counts})
-	case KindDist:
-		snap.Dist, err = t.dist.EstimateHist(&core.HistCollection{Counts: counts})
-	}
-	if err != nil {
-		return nil, err
-	}
-	return snap, nil
+		Result:  res,
+	}, nil
 }
 
 // Status summarizes a tenant for monitoring.
 type Status struct {
-	// Name and Kind identify the tenant.
+	// Name and Task identify the tenant.
 	Name string
-	Kind Kind
+	Task core.TaskKind
 	// Eps and Eps0 are the configured budgets.
 	Eps, Eps0 float64
 	// Scheme names the estimation scheme.
@@ -432,10 +409,10 @@ type Status struct {
 func (t *Tenant) Status() Status {
 	st := Status{
 		Name:   t.name,
-		Kind:   t.cfg.Kind,
-		Eps:    t.cfg.Eps,
-		Eps0:   t.cfg.Eps0,
-		Scheme: t.schemeName(),
+		Task:   t.cfg.Spec.Task,
+		Eps:    t.cfg.Spec.Eps,
+		Eps0:   t.cfg.Spec.Eps0,
+		Scheme: t.cfg.Spec.Scheme,
 		Users:  t.Joined(),
 	}
 	st.Reporters = t.acct.Users()
@@ -454,8 +431,6 @@ func (t *Tenant) Status() Status {
 	}
 	return st
 }
-
-func (t *Tenant) schemeName() string { return t.cfg.Scheme.String() }
 
 // Start launches the epoch clock when the configuration carries one
 // (Window.Epoch > 0): the tenant rotates itself every epoch, keeping the

@@ -8,6 +8,7 @@ import (
 	"math/rand/v2"
 	"net/http"
 
+	"repro/internal/core"
 	"repro/internal/ldp/pm"
 )
 
@@ -136,6 +137,12 @@ func (c *Client) CreateTenant(ctx context.Context, req TenantRequest) (*TenantSt
 		return nil, err
 	}
 	return &out, nil
+}
+
+// CreateTenantSpec registers a new tenant from a task spec — the same
+// JSON that drives batch estimation and the CLIs.
+func (c *Client) CreateTenantSpec(ctx context.Context, name string, sp core.Spec) (*TenantStatusResponse, error) {
+	return c.CreateTenant(ctx, TenantRequest{Name: name, Spec: &sp})
 }
 
 // Tenants lists all hosted tenants.

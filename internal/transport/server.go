@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"time"
 
 	"repro/internal/core"
 	"repro/internal/privacy"
@@ -32,17 +31,30 @@ type Server struct {
 // NewServer builds a collector whose default tenant runs mean estimation
 // with the given protocol parameters — the original single-collector
 // construction, preserved for compatibility.
+//
+// Deprecated: use NewServerSpec with a task spec.
 func NewServer(p core.Params) (*Server, error) {
-	return NewServerConfig(stream.Config{
-		Kind: stream.KindMean, Eps: p.Eps, Eps0: p.Eps0, Scheme: p.Scheme,
-		OPrime: p.OPrime, AutoOPrime: p.AutoOPrime, GammaSup: p.GammaSup,
+	return NewServerSpec(core.Spec{
+		Task: core.TaskMean, Eps: p.Eps, Eps0: p.Eps0, Scheme: p.Scheme.String(),
+		Weights: p.WeightMode.String(),
+		OPrime:  p.OPrime, AutoOPrime: p.AutoOPrime, GammaSup: p.GammaSup,
 		SuppressFactor: p.SuppressFactor, EMFMaxIter: p.EMFMaxIter,
-		WeightMode: p.WeightMode,
 	})
 }
 
+// NewServerSpec builds a collector whose default tenant runs the given
+// task spec (honouring its Serve section) — the one-call spec→service
+// path used by cmd/dapcollect and cmd/daploadgen.
+func NewServerSpec(sp core.Spec) (*Server, error) {
+	cfg, err := stream.ConfigFromSpec(sp)
+	if err != nil {
+		return nil, err
+	}
+	return NewServerConfig(cfg)
+}
+
 // NewServerConfig builds a collector whose default tenant runs the given
-// engine configuration (any kind, epoch clock, shard and bucket layout).
+// engine configuration (any task, epoch clock, shard and bucket layout).
 func NewServerConfig(cfg stream.Config) (*Server, error) {
 	reg := stream.NewRegistry()
 	def, err := reg.Create(DefaultTenant, cfg)
@@ -127,13 +139,15 @@ func ingestStatus(err error) int {
 
 func configResponse(t *stream.Tenant) ConfigResponse {
 	cfg := t.Config()
+	sp := t.Spec()
 	out := ConfigResponse{
-		Eps: cfg.Eps, Eps0: cfg.Eps0, Scheme: cfg.Scheme.String(),
-		Kind: t.Kind().String(), K: cfg.K, Shards: cfg.Shards,
+		Eps: sp.Eps, Eps0: sp.Eps0, Scheme: sp.Scheme,
+		Kind: t.Kind().String(), K: sp.K, Shards: cfg.Shards,
 		WindowMode: cfg.Window.Mode.String(), WindowSpan: cfg.Window.Span,
 		EpochMs: cfg.Window.Epoch.Milliseconds(),
+		Spec:    &sp,
 	}
-	if t.Kind() != stream.KindFreq {
+	if t.Kind() != core.TaskFrequency {
 		out.Buckets = cfg.Buckets
 	}
 	for _, g := range t.Groups() {
@@ -193,7 +207,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request, t *stream.
 	out := StatusResponse{
 		Users:        st.Users,
 		GroupReports: make([]int, len(st.GroupReports)),
-		Kind:         st.Kind.String(),
+		Kind:         st.Task.String(),
 		Reporters:    st.Reporters,
 		Epoch:        st.Epoch,
 		CachedEpoch:  st.CachedEpoch,
@@ -237,24 +251,16 @@ func (s *Server) handleRotate(w http.ResponseWriter, _ *http.Request, t *stream.
 
 func estimateResponse(snap *stream.Snapshot) EstimateResponse {
 	out := EstimateResponse{
-		Kind:    snap.Kind.String(),
+		Kind:    snap.Task.String(),
 		Epoch:   snap.Epoch,
 		Live:    snap.Live,
 		Reports: snap.Reports,
 	}
-	switch {
-	case snap.Mean != nil:
-		e := snap.Mean
+	if e := snap.Result; e != nil {
 		out.Mean, out.Gamma, out.PoisonedRight = e.Mean, e.Gamma, e.PoisonedRight
 		out.GroupMeans, out.Weights, out.VarMin = e.GroupMeans, e.Weights, e.VarMin
-	case snap.Freq != nil:
-		e := snap.Freq
-		out.Gamma, out.Freqs, out.PoisonCats, out.Weights = e.Gamma, e.Freqs, e.PoisonCats, e.Weights
-	case snap.Dist != nil:
-		e := snap.Dist
-		out.Mean, out.Gamma, out.PoisonedRight = e.Mean, e.Gamma, e.PoisonedRight
-		out.GroupMeans, out.Weights, out.VarMin = e.GroupMeans, e.Weights, e.VarMin
-		out.XHat = e.XHat
+		out.Freqs, out.PoisonCats, out.XHat = e.Freqs, e.PoisonCats, e.XHat
+		out.Variance, out.SecondMoment = e.Variance, e.SecondMoment
 	}
 	return out
 }
@@ -262,9 +268,10 @@ func estimateResponse(snap *stream.Snapshot) EstimateResponse {
 func tenantStatusResponse(t *stream.Tenant) TenantStatusResponse {
 	st := t.Status()
 	return TenantStatusResponse{
-		Name: st.Name, Kind: st.Kind.String(), Eps: st.Eps, Eps0: st.Eps0,
+		Name: st.Name, Kind: st.Task.String(), Eps: st.Eps, Eps0: st.Eps0,
 		Scheme: st.Scheme, Users: st.Users, Reporters: st.Reporters,
 		Epoch: st.Epoch, GroupReports: st.GroupReports, CachedEpoch: st.CachedEpoch,
+		Spec: t.Spec(),
 	}
 }
 
@@ -282,41 +289,43 @@ func (s *Server) handleTenantCreate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
 		return
 	}
-	cfg, err := tenantConfig(req)
+	sp, err := tenantSpec(req)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	t, err := s.reg.Create(req.Name, cfg)
+	t, err := s.reg.CreateSpec(req.Name, sp)
 	if err != nil {
-		writeErr(w, http.StatusConflict, "%v", err)
+		status := http.StatusConflict
+		if errors.Is(err, core.ErrBadSpec) {
+			status = http.StatusBadRequest
+		}
+		writeErr(w, status, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, tenantStatusResponse(t))
 }
 
-func tenantConfig(req TenantRequest) (stream.Config, error) {
-	kind, err := stream.ParseKind(req.Kind)
-	if err != nil {
-		return stream.Config{}, err
+// tenantSpec resolves the task spec of a creation request: the embedded
+// spec when present, otherwise the deprecated flat fields folded into an
+// equivalent spec — one parsing path for both wire shapes, feeding
+// Registry.CreateSpec like every other spec consumer.
+func tenantSpec(req TenantRequest) (core.Spec, error) {
+	if req.Spec != nil {
+		return *req.Spec, nil
 	}
-	scheme, err := core.ParseScheme(req.Scheme)
+	task, err := core.ParseTask(req.Kind)
 	if err != nil {
-		return stream.Config{}, err
+		return core.Spec{}, err
 	}
-	mode, err := stream.ParseWindowMode(req.WindowMode)
-	if err != nil {
-		return stream.Config{}, err
-	}
-	return stream.Config{
-		Kind: kind, Eps: req.Eps, Eps0: req.Eps0, Scheme: scheme, K: req.K,
-		Buckets: req.Buckets, ExpectedUsers: req.ExpectedUsers, Shards: req.Shards,
-		Window: stream.WindowConfig{
-			Mode: mode, Span: req.WindowSpan,
-			Epoch: time.Duration(req.EpochMs) * time.Millisecond,
-		},
+	return core.Spec{
+		Task: task, Eps: req.Eps, Eps0: req.Eps0, Scheme: req.Scheme, K: req.K,
 		OPrime: req.OPrime, AutoOPrime: req.AutoOPrime, GammaSup: req.GammaSup,
 		TrimFrac: req.TrimFrac,
+		Serve: &core.ServeSpec{
+			Buckets: req.Buckets, ExpectedUsers: req.ExpectedUsers, Shards: req.Shards,
+			Window: req.WindowMode, Span: req.WindowSpan, EpochMs: req.EpochMs,
+		},
 	}, nil
 }
 

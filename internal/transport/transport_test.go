@@ -246,7 +246,7 @@ func TestTenantCRUDAndRoutes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if created.Kind != "freq" {
+	if created.Kind != "frequency" || created.Spec.K != 3 {
 		t.Fatalf("created = %+v", created)
 	}
 	if _, err := c.CreateTenant(ctx, TenantRequest{Name: "clicks", Kind: "freq", Eps: 2, Eps0: 1, K: 3}); err == nil {
@@ -260,7 +260,7 @@ func TestTenantCRUDAndRoutes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cfg.Kind != "freq" || cfg.K != 3 || len(cfg.Groups) != 2 {
+	if cfg.Kind != "frequency" || cfg.K != 3 || len(cfg.Groups) != 2 {
 		t.Fatalf("config = %+v", cfg)
 	}
 	// Categories flow through join/report; the default tenant is untouched.
@@ -284,7 +284,7 @@ func TestTenantCRUDAndRoutes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if est.Kind != "freq" || len(est.Freqs) != 3 {
+	if est.Kind != "frequency" || len(est.Freqs) != 3 {
 		t.Fatalf("estimate = %+v", est)
 	}
 	if st, err := c.Status(ctx); err != nil || st.Users != 0 {

@@ -5,13 +5,17 @@
 // which land in sharded per-group histograms; estimates come from epoch
 // windows, re-estimated on rotation so reads never rescan reports.
 //
-// One process hosts many tenants. The original single-collector wire API
-// (/v1/config, /v1/join, /v1/report, /v1/status, /v1/estimate) is
-// preserved verbatim and operates on the tenant named "default"; the same
-// routes exist per tenant under /v1/tenants/{tenant}/..., alongside tenant
-// CRUD on /v1/tenants, epoch rotation and a batched ingest endpoint for
-// high-throughput clients.
+// One process hosts many tenants, each defined by a task spec (core.Spec)
+// — the same JSON that drives batch estimation and the CLIs. The original
+// single-collector wire API (/v1/config, /v1/join, /v1/report,
+// /v1/status, /v1/estimate) is preserved verbatim and operates on the
+// tenant named "default"; the same routes exist per tenant under
+// /v1/tenants/{tenant}/..., alongside tenant CRUD on /v1/tenants (which
+// accepts and returns task specs), epoch rotation and a batched ingest
+// endpoint for high-throughput clients.
 package transport
+
+import "repro/internal/core"
 
 // GroupInfo describes one DAP group to clients.
 type GroupInfo struct {
@@ -21,7 +25,9 @@ type GroupInfo struct {
 }
 
 // ConfigResponse is returned by GET /v1/config. Fields beyond the original
-// four describe the serving configuration and are additive.
+// four describe the serving configuration and are additive; Spec carries
+// the tenant's full task spec (the same JSON accepted by tenant creation,
+// dap.Build and the CLIs).
 type ConfigResponse struct {
 	Eps    float64     `json:"eps"`
 	Eps0   float64     `json:"eps0"`
@@ -35,6 +41,8 @@ type ConfigResponse struct {
 	WindowMode string `json:"window_mode,omitempty"`
 	WindowSpan int    `json:"window_span,omitempty"`
 	EpochMs    int64  `json:"epoch_ms,omitempty"`
+
+	Spec *core.Spec `json:"spec,omitempty"`
 }
 
 // JoinResponse is returned by POST /v1/join: the caller's group
@@ -85,9 +93,10 @@ type StatusResponse struct {
 	CachedEpoch uint64 `json:"cached_epoch,omitempty"`
 }
 
-// EstimateResponse is returned by GET /v1/estimate. The original mean
-// fields keep their meaning; Kind, Epoch, Live, Reports and the
-// kind-specific Freqs/XHat/PoisonCats fields are additive.
+// EstimateResponse is returned by GET /v1/estimate — a flat rendering of
+// the unified core.Result. The original mean fields keep their meaning;
+// Kind, Epoch, Live, Reports and the task-specific
+// Freqs/XHat/PoisonCats/Variance fields are additive.
 type EstimateResponse struct {
 	Mean          float64   `json:"mean"`
 	Gamma         float64   `json:"gamma"`
@@ -96,37 +105,47 @@ type EstimateResponse struct {
 	Weights       []float64 `json:"weights"`
 	VarMin        float64   `json:"var_min"`
 
-	Kind       string    `json:"kind,omitempty"`
-	Epoch      uint64    `json:"epoch,omitempty"`
-	Live       bool      `json:"live,omitempty"`
-	Reports    float64   `json:"reports,omitempty"`
-	Freqs      []float64 `json:"freqs,omitempty"`
-	PoisonCats []int     `json:"poison_cats,omitempty"`
-	XHat       []float64 `json:"xhat,omitempty"`
+	Kind         string    `json:"kind,omitempty"`
+	Epoch        uint64    `json:"epoch,omitempty"`
+	Live         bool      `json:"live,omitempty"`
+	Reports      float64   `json:"reports,omitempty"`
+	Freqs        []float64 `json:"freqs,omitempty"`
+	PoisonCats   []int     `json:"poison_cats,omitempty"`
+	XHat         []float64 `json:"xhat,omitempty"`
+	Variance     float64   `json:"variance,omitempty"`
+	SecondMoment float64   `json:"second_moment,omitempty"`
 }
 
-// TenantRequest is the body of POST /v1/tenants. Zero values select the
-// engine defaults (see stream.Config).
+// TenantRequest is the body of POST /v1/tenants: a name plus the task
+// spec. The flat fields are the pre-spec wire shape, still honoured when
+// Spec is absent; new clients send Spec — the same JSON consumed by
+// dap.Build, the stream engine and the CLIs.
 type TenantRequest struct {
-	Name       string  `json:"name"`
-	Kind       string  `json:"kind,omitempty"`
-	Eps        float64 `json:"eps"`
-	Eps0       float64 `json:"eps0"`
-	Scheme     string  `json:"scheme,omitempty"`
-	K          int     `json:"k,omitempty"`
-	Buckets       int `json:"buckets,omitempty"`
-	ExpectedUsers int `json:"expected_users,omitempty"`
-	Shards        int `json:"shards,omitempty"`
-	WindowMode string  `json:"window_mode,omitempty"`
-	WindowSpan int     `json:"window_span,omitempty"`
-	EpochMs    int64   `json:"epoch_ms,omitempty"`
-	AutoOPrime bool    `json:"auto_oprime,omitempty"`
-	OPrime     float64 `json:"oprime,omitempty"`
-	GammaSup   float64 `json:"gamma_sup,omitempty"`
-	TrimFrac   float64 `json:"trim_frac,omitempty"`
+	Name string `json:"name"`
+	// Spec is the task spec (with optional Serve section).
+	Spec *core.Spec `json:"spec,omitempty"`
+
+	// Deprecated: pre-spec flat fields, used only when Spec is nil.
+	Kind          string  `json:"kind,omitempty"`
+	Eps           float64 `json:"eps,omitempty"`
+	Eps0          float64 `json:"eps0,omitempty"`
+	Scheme        string  `json:"scheme,omitempty"`
+	K             int     `json:"k,omitempty"`
+	Buckets       int     `json:"buckets,omitempty"`
+	ExpectedUsers int     `json:"expected_users,omitempty"`
+	Shards        int     `json:"shards,omitempty"`
+	WindowMode    string  `json:"window_mode,omitempty"`
+	WindowSpan    int     `json:"window_span,omitempty"`
+	EpochMs       int64   `json:"epoch_ms,omitempty"`
+	AutoOPrime    bool    `json:"auto_oprime,omitempty"`
+	OPrime        float64 `json:"oprime,omitempty"`
+	GammaSup      float64 `json:"gamma_sup,omitempty"`
+	TrimFrac      float64 `json:"trim_frac,omitempty"`
 }
 
-// TenantStatusResponse is returned by tenant CRUD and GET /v1/tenants/{tenant}.
+// TenantStatusResponse is returned by tenant CRUD and
+// GET /v1/tenants/{tenant}. Spec carries the tenant's effective task spec,
+// round-trippable into a new TenantRequest.
 type TenantStatusResponse struct {
 	Name         string    `json:"name"`
 	Kind         string    `json:"kind"`
@@ -138,6 +157,7 @@ type TenantStatusResponse struct {
 	Epoch        uint64    `json:"epoch"`
 	GroupReports []float64 `json:"group_reports"`
 	CachedEpoch  uint64    `json:"cached_epoch"`
+	Spec         core.Spec `json:"spec"`
 }
 
 // TenantListResponse is returned by GET /v1/tenants.
