@@ -3,7 +3,7 @@
 GO ?= go
 DATE := $(shell date +%Y%m%d)
 
-.PHONY: all build vet fmt-check test race bench bench-json bench-smoke load-smoke apicheck apigen
+.PHONY: all build vet fmt-check test race bench bench-json bench-diff bench-smoke load-smoke load-json apicheck apigen
 
 all: vet fmt-check build test apicheck
 
@@ -52,6 +52,18 @@ bench-smoke:
 # wall-clock trajectory in a dated BENCH_<date>.json (see EXPERIMENTS.md).
 bench-json:
 	$(GO) run ./cmd/dapbench -exp all -bench-json BENCH_$(DATE).json > /dev/null
+
+# Compare two BENCH_*.json records and fail on a >15% total wall-clock
+# regression. Defaults to the two newest records (the latest committed
+# baseline vs the record a fresh `make bench-json` just wrote) so the
+# gate always tracks the current baseline, not the oldest; override with
+# make bench-diff OLD=BENCH_a.json NEW=BENCH_b.json.
+bench-diff:
+	@old="$(OLD)"; new="$(NEW)"; \
+	if [ -z "$$new" ]; then new=$$(ls BENCH_*.json | sort | tail -1); fi; \
+	if [ -z "$$old" ]; then old=$$(ls BENCH_*.json | sort | tail -2 | head -1); fi; \
+	echo "benchdiff $$old $$new"; \
+	$(GO) run ./cmd/benchdiff "$$old" "$$new"
 
 # Load-generator smoke: boot an in-process collector over real loopback
 # HTTP, drive 10k reports through batched ingest with a rotating epoch

@@ -1,0 +1,121 @@
+// Command benchdiff compares two BENCH_*.json timing records (written by
+// dapbench -bench-json and daploadgen -bench-json) and fails when the
+// newer record regresses total wall-clock beyond a threshold.
+//
+// Usage:
+//
+//	benchdiff OLD.json NEW.json
+//	benchdiff -max-regress 0.15 BENCH_20260729.json BENCH_20260801.json
+//
+// The per-experiment table and the load-section deltas are informational;
+// the exit status gates only on total_wall_ms, the number the repository's
+// performance trajectory tracks (individual experiments are too noisy at
+// laptop scale to gate on). Exit status 1 means the new total exceeds
+// old·(1+max-regress).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// record mirrors the subset of the BENCH_*.json schema the diff needs.
+type record struct {
+	Date        string           `json:"date"`
+	N           int              `json:"n"`
+	Trials      int              `json:"trials"`
+	Seed        uint64           `json:"seed"`
+	Experiments map[string]int64 `json:"experiment_wall_ms"`
+	TotalMs     int64            `json:"total_wall_ms"`
+	Load        *loadRecord      `json:"load"`
+}
+
+type loadRecord struct {
+	ReportsPerSec  float64 `json:"reports_per_sec"`
+	EstimateLiveMs float64 `json:"estimate_live_ms"`
+}
+
+func load(path string) (*record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r record
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+func main() {
+	maxRegress := flag.Float64("max-regress", 0.15, "maximum tolerated fractional total wall-clock regression")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-max-regress 0.15] OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldRec, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newRec, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	if oldRec.N != newRec.N || oldRec.Trials != newRec.Trials || oldRec.Seed != newRec.Seed {
+		fmt.Fprintf(os.Stderr, "benchdiff: warning: configs differ (old N=%d trials=%d seed=%d; new N=%d trials=%d seed=%d) — timings are not directly comparable\n",
+			oldRec.N, oldRec.Trials, oldRec.Seed, newRec.N, newRec.Trials, newRec.Seed)
+	}
+
+	names := map[string]bool{}
+	for name := range oldRec.Experiments {
+		names[name] = true
+	}
+	for name := range newRec.Experiments {
+		names[name] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for name := range names {
+		sorted = append(sorted, name)
+	}
+	sort.Strings(sorted)
+	fmt.Printf("%-10s %10s %10s %8s\n", "experiment", "old ms", "new ms", "ratio")
+	for _, name := range sorted {
+		o, hasO := oldRec.Experiments[name]
+		n, hasN := newRec.Experiments[name]
+		switch {
+		case !hasO:
+			fmt.Printf("%-10s %10s %10d %8s\n", name, "-", n, "new")
+		case !hasN:
+			fmt.Printf("%-10s %10d %10s %8s\n", name, o, "-", "gone")
+		default:
+			fmt.Printf("%-10s %10d %10d %8s\n", name, o, n, ratio(o, n))
+		}
+	}
+	fmt.Printf("%-10s %10d %10d %8s\n", "TOTAL", oldRec.TotalMs, newRec.TotalMs, ratio(oldRec.TotalMs, newRec.TotalMs))
+	if oldRec.Load != nil && newRec.Load != nil {
+		fmt.Printf("load: %.0f → %.0f reports/sec; live estimate %.2f → %.2f ms\n",
+			oldRec.Load.ReportsPerSec, newRec.Load.ReportsPerSec,
+			oldRec.Load.EstimateLiveMs, newRec.Load.EstimateLiveMs)
+	}
+
+	limit := float64(oldRec.TotalMs) * (1 + *maxRegress)
+	if float64(newRec.TotalMs) > limit {
+		fmt.Fprintf(os.Stderr, "benchdiff: FAIL total %dms exceeds %dms·(1+%.2f) = %.0fms\n",
+			newRec.TotalMs, oldRec.TotalMs, *maxRegress, limit)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: OK total %dms within %.0f%% of %dms\n", newRec.TotalMs, *maxRegress*100, oldRec.TotalMs)
+}
+
+func ratio(o, n int64) string {
+	if o <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2fx", float64(n)/float64(o))
+}

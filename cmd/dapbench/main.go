@@ -24,6 +24,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -58,6 +59,8 @@ func main() {
 		list    = flag.Bool("list", false, "list experiments and exit")
 		jsonOut = flag.String("bench-json", "", "write a machine-readable timing record to this path")
 		specF   = flag.String("spec", "", "task spec file for the 'spec' experiment (sweeps the spec's estimator over the γ grid)")
+		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
+		memProf = flag.String("memprofile", "", "write a pprof heap profile at exit to this path")
 	)
 	flag.Parse()
 	if *list {
@@ -66,6 +69,48 @@ func main() {
 		}
 		return
 	}
+	// Profiles are flushed through stopProfiles rather than defers: every
+	// failure path exits via fatal, and os.Exit would otherwise discard
+	// the profile exactly when a failing run is being investigated.
+	var profileStops []func()
+	stopProfiles := func() {
+		for i := len(profileStops) - 1; i >= 0; i-- {
+			profileStops[i]()
+		}
+		profileStops = nil
+	}
+	fatal := func(args ...any) {
+		fmt.Fprintln(os.Stderr, append([]any{"dapbench:"}, args...)...)
+		stopProfiles()
+		os.Exit(1)
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		profileStops = append(profileStops, func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		})
+	}
+	if *memProf != "" {
+		profileStops = append(profileStops, func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dapbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "dapbench:", err)
+			}
+		})
+	}
 	// The harness allocates short-lived per-trial buffers at a high rate;
 	// relaxing the GC target trades a bounded amount of heap for wall-clock.
 	debug.SetGCPercent(400)
@@ -73,8 +118,7 @@ func main() {
 	if *specF != "" {
 		sp, err := core.LoadSpec(*specF)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "dapbench:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		cfg.Spec = &sp
 		if *exp == "all" {
@@ -109,8 +153,7 @@ func main() {
 		expStart := time.Now()
 		tables, err := bench.Run(name, cfg)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "dapbench:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		rec.Experiments[name] = time.Since(expStart).Milliseconds()
 		for _, t := range tables {
@@ -125,15 +168,14 @@ func main() {
 	if *jsonOut != "" {
 		data, err := json.MarshalIndent(rec, "", "  ")
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "dapbench: encode timing record:", err)
-			os.Exit(1)
+			fatal("encode timing record:", err)
 		}
 		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "dapbench: write timing record:", err)
-			os.Exit(1)
+			fatal("write timing record:", err)
 		}
 		fmt.Fprintf(os.Stderr, "dapbench: timing record written to %s\n", *jsonOut)
 	}
 	fmt.Fprintf(os.Stderr, "dapbench: %s done in %s (N=%d, trials=%d, seed=%d)\n",
 		*exp, time.Since(start).Round(time.Millisecond), *n, *trials, *seed)
+	stopProfiles()
 }

@@ -31,6 +31,8 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"sync"
 	"time"
@@ -60,27 +62,73 @@ func main() {
 		minRate = flag.Float64("min-rate", 0, "fail when ingest reports/sec falls below this")
 		assert  = flag.Bool("assert", false, "fail unless a sane per-epoch estimate is served")
 		jsonOut = flag.String("bench-json", "", "merge a load record into this BENCH_*.json")
+		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
+		memProf = flag.String("memprofile", "", "write a pprof heap profile at exit to this path")
 	)
 	// Self-serve collector spec (only with -addr ""): -spec file.json plus
 	// the shared protocol/serving flags as overrides — the same resolution
-	// path cmd/dapcollect uses, so the two binaries cannot drift.
+	// path cmd/dapcollect uses, so the two binaries cannot drift. The
+	// default spec serves with epoch warm starts on (serve.warm), the
+	// recommended production setting; a -spec file chooses its own.
 	sf := specflag.New(flag.CommandLine, core.NewSpec(core.MeanTask(),
-		core.WithBudget(1, 0.25), core.WithScheme(core.SchemeEMFStar)))
+		core.WithBudget(1, 0.25), core.WithScheme(core.SchemeEMFStar),
+		core.WithServe(core.ServeSpec{Warm: true})))
 	flag.Parse()
+	// Profiles are flushed through stopProfiles rather than defers: the
+	// failure paths below exit the process, and os.Exit would otherwise
+	// discard the profile exactly when a failing run is being profiled.
+	var profileStops []func()
+	stopProfiles := func() {
+		for i := len(profileStops) - 1; i >= 0; i-- {
+			profileStops[i]()
+		}
+		profileStops = nil
+	}
+	fatal := func(args ...any) {
+		stopProfiles()
+		log.Fatal(append([]any{"daploadgen: "}, args...)...)
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		profileStops = append(profileStops, func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		})
+	}
+	if *memProf != "" {
+		profileStops = append(profileStops, func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				log.Print("daploadgen: ", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Print("daploadgen: ", err)
+			}
+		})
+	}
 
 	base := *addr
 	if base != "" && sf.Path() != "" {
-		log.Fatal("daploadgen: -spec configures the self-served collector and needs -addr \"\"")
+		fatal("-spec configures the self-served collector and needs -addr \"\"")
 	}
 	if base == "" {
 		sp, err := sf.Resolve()
 		if err != nil {
-			log.Fatal("daploadgen: ", err)
+			fatal(err)
 		}
 		var closeSrv func()
 		base, closeSrv, err = selfServe(sp, *users, *reports)
 		if err != nil {
-			log.Fatal("daploadgen: ", err)
+			fatal(err)
 		}
 		defer closeSrv()
 		fmt.Printf("daploadgen: self-serving collector at %s\n", base)
@@ -93,10 +141,10 @@ func main() {
 	ctx := context.Background()
 	cfg, err := c.Config(ctx)
 	if err != nil {
-		log.Fatal("daploadgen: ", err)
+		fatal(err)
 	}
 	if cfg.Kind != "" && cfg.Kind != "mean" {
-		log.Fatalf("daploadgen: tenant kind %q not supported (mean only)", cfg.Kind)
+		fatal(fmt.Sprintf("tenant kind %q not supported (mean only)", cfg.Kind))
 	}
 
 	entries, honestMean := workload(cfg, *users, *reports, *gamma, *lo, *hi, *seed)
@@ -109,7 +157,7 @@ func main() {
 
 	accepted, latencies, wall, err := drive(ctx, c, entries, *conns, *batch)
 	if err != nil {
-		log.Fatal("daploadgen: ", err)
+		fatal(err)
 	}
 	rate := float64(accepted) / wall.Seconds()
 	p50 := stats.Quantile(latencies, 0.5)
@@ -120,13 +168,13 @@ func main() {
 
 	if *rotate {
 		if _, err := c.Rotate(ctx); err != nil {
-			log.Fatal("daploadgen: rotate: ", err)
+			fatal("rotate: ", err)
 		}
 	}
 	liveStart := time.Now()
 	live, err := c.Estimate(ctx, "1")
 	if err != nil {
-		log.Fatal("daploadgen: live estimate: ", err)
+		fatal("live estimate: ", err)
 	}
 	liveMs := float64(time.Since(liveStart).Microseconds()) / 1000
 	cachedStart := time.Now()
@@ -166,10 +214,11 @@ func main() {
 			rec["estimate_cached_ms"] = cachedMs
 		}
 		if err := mergeBenchJSON(*jsonOut, rec); err != nil {
-			log.Fatal("daploadgen: ", err)
+			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "daploadgen: load record merged into %s\n", *jsonOut)
 	}
+	stopProfiles()
 	if failed {
 		os.Exit(1)
 	}

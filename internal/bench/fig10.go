@@ -38,17 +38,21 @@ func Fig10(cfg Config) ([]*Table, error) {
 			Title:  fmt.Sprintf("Fig. 10: MSE vs evasive fraction a — %s, ε=1/2, γ=0.25", name),
 			Header: header,
 		}
+		daps, err := dapsForSchemes(eps, cfg.EMFMaxIter)
+		if err != nil {
+			return nil, err
+		}
 		futs := make([][]*future[float64], len(schemes))
-		for si, sc := range schemes {
-			d, err := core.NewDAP(dapParams(sc, eps, cfg.EMFMaxIter))
-			if err != nil {
-				return nil, err
-			}
+		for si := range schemes {
 			futs[si] = make([]*future[float64], len(as))
-			for ai, a := range as {
-				adv := &attack.Evasion{A: a}
-				futs[si][ai] = p.mse(cfg.Seed+uint64(0xA000+di*1000+si*16+ai), cfg.Trials, trueMean,
-					dapTrial(d, ds.Values, adv, 0.25))
+		}
+		// The scheme rows of each a column share one collection per trial.
+		for ai, a := range as {
+			adv := &attack.Evasion{A: a}
+			cell := p.mseSchemes(cfg.Seed+uint64(0xA000+di*1000+ai), cfg.Trials, trueMean,
+				dapSchemesTrial(daps, ds.Values, adv, 0.25), len(schemes))
+			for si := range cell {
+				futs[si][ai] = cell[si]
 			}
 		}
 		for si, sc := range schemes {

@@ -6,7 +6,6 @@ import (
 	"repro/internal/attack"
 	"repro/internal/core"
 	"repro/internal/dataset"
-	"repro/internal/sim"
 )
 
 // fig6Eps is the paper's ε axis for the mean-estimation MSE figures.
@@ -44,45 +43,40 @@ func Fig6(cfg Config) ([]*Table, error) {
 	return tables, nil
 }
 
-// mseTable builds one MSE-vs-ε panel with the five Fig. 6 schemes.
+// mseTable builds one MSE-vs-ε panel with the five Fig. 6 schemes. The
+// three DAP scheme rows of each ε column share one collection per trial
+// (they estimate identical data, warm-chained — see dapSchemesTrial);
+// Ostrich and Trimming keep their own single-budget collections.
 func mseTable(cfg Config, title string, values []float64, trueMean float64, adv attack.Adversary, gamma float64, epsList []float64, stream uint64) (*Table, error) {
 	t := &Table{Title: title, Header: append([]string{"Scheme"}, mapStrings(epsList, epsLabel)...)}
-	type scheme struct {
-		name  string
-		trial func(eps float64) sim.Trial
-	}
-	schemes := []scheme{}
-	for _, sc := range core.Schemes() {
-		sc := sc
-		schemes = append(schemes, scheme{
-			name: "DAP_" + sc.String(),
-			trial: func(eps float64) sim.Trial {
-				d, err := core.NewDAP(dapParams(sc, eps, cfg.EMFMaxIter))
-				if err != nil {
-					panic(err)
-				}
-				return dapTrial(d, values, adv, gamma)
-			},
-		})
-	}
-	schemes = append(schemes,
-		scheme{name: "Ostrich", trial: func(eps float64) sim.Trial {
-			return ostrichTrial(values, eps, adv, gamma)
-		}},
-		scheme{name: "Trimming", trial: func(eps float64) sim.Trial {
-			return trimmingTrial(values, eps, adv, gamma, true)
-		}},
-	)
 	p := cfg.newPool()
-	futs := make([][]*future[float64], len(schemes))
-	for si, sc := range schemes {
+	nSchemes := len(core.Schemes())
+	futs := make([][]*future[float64], nSchemes+2)
+	for si := range futs {
 		futs[si] = make([]*future[float64], len(epsList))
-		for ei, eps := range epsList {
-			futs[si][ei] = p.mse(cfg.Seed+stream+uint64(si*10+ei), cfg.Trials, trueMean, sc.trial(eps))
-		}
 	}
-	for si, sc := range schemes {
-		row, err := collectCells([]string{sc.name}, futs[si], e2s)
+	for ei, eps := range epsList {
+		daps, err := dapsForSchemes(eps, cfg.EMFMaxIter)
+		if err != nil {
+			return nil, err
+		}
+		cell := p.mseSchemes(cfg.Seed+stream+uint64(ei), cfg.Trials, trueMean,
+			dapSchemesTrial(daps, values, adv, gamma), nSchemes)
+		for si := range cell {
+			futs[si][ei] = cell[si]
+		}
+		futs[nSchemes][ei] = p.mse(cfg.Seed+stream+uint64(nSchemes*10+ei), cfg.Trials, trueMean,
+			ostrichTrial(values, eps, adv, gamma))
+		futs[nSchemes+1][ei] = p.mse(cfg.Seed+stream+uint64((nSchemes+1)*10+ei), cfg.Trials, trueMean,
+			trimmingTrial(values, eps, adv, gamma, true))
+	}
+	names := []string{}
+	for _, sc := range core.Schemes() {
+		names = append(names, "DAP_"+sc.String())
+	}
+	names = append(names, "Ostrich", "Trimming")
+	for si, name := range names {
+		row, err := collectCells([]string{name}, futs[si], e2s)
 		if err != nil {
 			return nil, err
 		}

@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/attack"
 	"repro/internal/core"
-	"repro/internal/sim"
 )
 
 // Fig7 reproduces Fig. 7: robustness of the MSE on Taxi at ε = 1.
@@ -68,48 +67,39 @@ func Fig7(cfg Config) ([]*Table, error) {
 }
 
 // fillSchemeRows fills one row per scheme, one column per workload cell.
-// advFor is called once per cell (in column order, once per row) so it
-// can vary the adversary per column.
+// advFor is called once per column so it can vary the adversary. The DAP
+// scheme rows of each column share one collection per trial
+// (dapSchemesTrial); Ostrich and Trimming keep their own.
 func fillSchemeRows(cfg Config, t *Table, values []float64, trueMean, eps float64, stream uint64, gammas []float64, advFor func(float64) attack.Adversary) error {
-	type schemeRow struct {
-		name  string
-		trial func(adv attack.Adversary, gamma float64) sim.Trial
+	daps, err := dapsForSchemes(eps, cfg.EMFMaxIter)
+	if err != nil {
+		return err
 	}
-	rows := []schemeRow{}
-	for _, sc := range core.Schemes() {
-		sc := sc
-		rows = append(rows, schemeRow{
-			name: "DAP_" + sc.String(),
-			trial: func(adv attack.Adversary, gamma float64) sim.Trial {
-				d, err := core.NewDAP(dapParams(sc, eps, cfg.EMFMaxIter))
-				if err != nil {
-					panic(err)
-				}
-				return dapTrial(d, values, adv, gamma)
-			},
-		})
-	}
-	rows = append(rows,
-		schemeRow{name: "Ostrich", trial: func(adv attack.Adversary, gamma float64) sim.Trial {
-			return ostrichTrial(values, eps, adv, gamma)
-		}},
-		schemeRow{name: "Trimming", trial: func(adv attack.Adversary, gamma float64) sim.Trial {
-			return trimmingTrial(values, eps, adv, gamma, true)
-		}},
-	)
 	p := cfg.newPool()
-	futs := make([][]*future[float64], len(rows))
-	for si, sr := range rows {
+	nSchemes := len(daps)
+	futs := make([][]*future[float64], nSchemes+2)
+	for si := range futs {
 		futs[si] = make([]*future[float64], len(gammas))
-		for gi, gamma := range gammas {
-			// advFor stays in scheduling order (column-major per row) so
-			// stateful adversary factories see the sequential call pattern.
-			adv := advFor(gamma)
-			futs[si][gi] = p.mse(cfg.Seed+stream+uint64(si*16+gi), cfg.Trials, trueMean, sr.trial(adv, gamma))
-		}
 	}
-	for si, sr := range rows {
-		row, err := collectCells([]string{sr.name}, futs[si], e2s)
+	for gi, gamma := range gammas {
+		adv := advFor(gamma)
+		cell := p.mseSchemes(cfg.Seed+stream+uint64(gi), cfg.Trials, trueMean,
+			dapSchemesTrial(daps, values, adv, gamma), nSchemes)
+		for si := range cell {
+			futs[si][gi] = cell[si]
+		}
+		futs[nSchemes][gi] = p.mse(cfg.Seed+stream+uint64(nSchemes*16+gi), cfg.Trials, trueMean,
+			ostrichTrial(values, eps, adv, gamma))
+		futs[nSchemes+1][gi] = p.mse(cfg.Seed+stream+uint64((nSchemes+1)*16+gi), cfg.Trials, trueMean,
+			trimmingTrial(values, eps, adv, gamma, true))
+	}
+	names := []string{}
+	for _, sc := range core.Schemes() {
+		names = append(names, "DAP_"+sc.String())
+	}
+	names = append(names, "Ostrich", "Trimming")
+	for si, name := range names {
+		row, err := collectCells([]string{name}, futs[si], e2s)
 		if err != nil {
 			return err
 		}

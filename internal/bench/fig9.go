@@ -10,6 +10,7 @@ import (
 	"repro/internal/defense"
 	"repro/internal/emf"
 	"repro/internal/ldp/pm"
+	"repro/internal/sim"
 	"repro/internal/stats"
 )
 
@@ -48,15 +49,19 @@ func Fig9(cfg Config) ([]*Table, error) {
 	}
 	schemes := core.Schemes()
 	futsA := make([][]*future[float64], len(schemes))
-	for si, sc := range schemes {
+	for si := range schemes {
 		futsA[si] = make([]*future[float64], len(epsList))
-		for ei, eps := range epsList {
-			d, err := core.NewDAP(dapParams(sc, eps, cfg.EMFMaxIter))
-			if err != nil {
-				return nil, err
-			}
-			futsA[si][ei] = p.mse(cfg.Seed+uint64(0x9A00+si*16+ei), cfg.Trials, trueMean,
-				dapTrial(d, taxi.Values, adv, 0.25))
+	}
+	// The DAP scheme rows of each ε column share one collection per trial.
+	for ei, eps := range epsList {
+		daps, err := dapsForSchemes(eps, cfg.EMFMaxIter)
+		if err != nil {
+			return nil, err
+		}
+		cell := p.mseSchemes(cfg.Seed+uint64(0x9A00+ei), cfg.Trials, trueMean,
+			dapSchemesTrial(daps, taxi.Values, adv, 0.25), len(schemes))
+		for si := range cell {
+			futsA[si][ei] = cell[si]
 		}
 	}
 	betas := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
@@ -104,7 +109,7 @@ func Fig9(cfg Config) ([]*Table, error) {
 				if err != nil {
 					return 0, err
 				}
-				def := &defense.EMFKMeans{Matrix: matrix, Config: emf.Config{Tol: emf.PaperTol(imaEps), MaxIter: cfg.EMFMaxIter}}
+				def := &defense.EMFKMeans{Matrix: matrix, Config: emf.Config{Tol: emf.PaperTol(imaEps), MaxIter: cfg.EMFMaxIter, Accelerate: true}}
 				est, err := def.Estimate(r, reports)
 				if err != nil {
 					return 0, err
@@ -142,22 +147,45 @@ func Fig9(cfg Config) ([]*Table, error) {
 	futsOst := make([][]*future[float64], len(poisonSets))
 	for pi, poisonCats := range poisonSets {
 		futsCD[pi] = make([][]*future[float64], len(schemes))
-		for si, sc := range schemes {
+		for si := range schemes {
 			futsCD[pi][si] = make([]*future[float64], len(epsList))
-			for ei, eps := range epsList {
+		}
+		// The scheme rows of each ε column share one categorical collection
+		// per trial, warm-chained like the numeric panels.
+		for ei, eps := range epsList {
+			fs := make([]*core.FreqDAP, len(schemes))
+			for si, sc := range schemes {
 				f, err := core.NewFreqDAP(core.FreqParams{Eps: eps, Eps0: 1.0 / 16, K: cov.K(), Scheme: sc, EMFMaxIter: cfg.EMFMaxIter})
 				if err != nil {
 					return nil, err
 				}
-				pc := poisonCats
-				futsCD[pi][si][ei] = p.mseVec(cfg.Seed+uint64(0x9E00+pi*1000+si*16+ei), cfg.Trials, trueFreqs,
-					func(r *rand.Rand) ([]float64, error) {
-						est, err := f.RunFreq(r, cats, pc, 0.25)
+				fs[si] = f
+			}
+			pc := poisonCats
+			cell := splitFuture(p, len(schemes), func() ([]float64, error) {
+				return sim.MSEVecPer(cfg.Seed+uint64(0x9E00+pi*1000+ei), cfg.Trials, trueFreqs,
+					func(r *rand.Rand) ([][]float64, error) {
+						col, err := fs[0].CollectFreq(r, cats, pc, 0.25)
 						if err != nil {
 							return nil, err
 						}
-						return est.Freqs, nil
+						out := make([][]float64, len(fs))
+						var warm *core.WarmState
+						for i, f := range fs {
+							est, err := f.EstimateFreqWarm(col, warm)
+							if err != nil {
+								return nil, err
+							}
+							if warm == nil {
+								warm = est.Warm
+							}
+							out[i] = est.Freqs
+						}
+						return out, nil
 					})
+			})
+			for si := range cell {
+				futsCD[pi][si][ei] = cell[si]
 			}
 		}
 		futsOst[pi] = make([]*future[float64], len(epsList))

@@ -106,10 +106,83 @@ func probeGamma(r *rand.Rand, values []float64, eps float64, adv attack.Adversar
 	if err != nil {
 		return 0, err
 	}
-	cfg := emf.Config{Tol: emf.PaperTol(eps), MaxIter: maxIter}
+	cfg := emf.Config{Tol: emf.PaperTol(eps), MaxIter: maxIter, Accelerate: true}
 	probe, err := emf.ProbeSide(m, m.Counts(reports), 0, cfg)
 	if err != nil {
 		return 0, err
 	}
 	return probe.Chosen().Gamma(), nil
+}
+
+// splitFuture schedules one n-vector cell and fans it into n scalar
+// futures, so rows that share underlying work (scheme rows estimating the
+// same collections) still collect cell-by-cell in table order.
+func splitFuture(p *pool, n int, fn func() ([]float64, error)) []*future[float64] {
+	base := submit(p, fn)
+	out := make([]*future[float64], n)
+	for i := range out {
+		f := &future[float64]{done: make(chan struct{})}
+		out[i] = f
+		go func(i int) {
+			defer close(f.done)
+			vals, err := base.get()
+			if err != nil {
+				f.err = err
+				return
+			}
+			f.val = vals[i]
+		}(i)
+	}
+	return out
+}
+
+// dapsForSchemes builds one DAP per estimation scheme at the same budget;
+// their group layouts and mechanisms are identical, so one collection
+// serves all of them.
+func dapsForSchemes(eps float64, maxIter int) ([]*core.DAP, error) {
+	schemes := core.Schemes()
+	daps := make([]*core.DAP, len(schemes))
+	for i, sc := range schemes {
+		d, err := core.NewDAP(dapParams(sc, eps, maxIter))
+		if err != nil {
+			return nil, err
+		}
+		daps[i] = d
+	}
+	return daps, nil
+}
+
+// dapSchemesTrial returns a trial that collects ONE set of reports and
+// estimates it with every scheme, chaining the warm state from the first
+// estimate into the rest (the deconvolution is identical across schemes —
+// only the post-processing differs — so the later estimates converge in a
+// handful of EM steps). Sharing the collection both removes the dominant
+// perturbation cost of per-scheme collections and turns the scheme rows
+// into a paired comparison on identical data.
+func dapSchemesTrial(daps []*core.DAP, values []float64, adv attack.Adversary, gamma float64) sim.VecTrial {
+	return func(r *rand.Rand) ([]float64, error) {
+		col, err := daps[0].Collect(r, values, adv, gamma)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]float64, len(daps))
+		var warm *core.WarmState
+		for i, d := range daps {
+			est, err := d.EstimateWarm(col, warm)
+			if err != nil {
+				return nil, err
+			}
+			if warm == nil {
+				warm = est.Warm
+			}
+			out[i] = est.Mean
+		}
+		return out, nil
+	}
+}
+
+// mseSchemes schedules a shared-collection scheme cell: one future per
+// scheme, all backed by one sim.MSEPer evaluation.
+func (p *pool) mseSchemes(seed uint64, trials int, truth float64, fn sim.VecTrial, n int) []*future[float64] {
+	return splitFuture(p, n, func() ([]float64, error) { return sim.MSEPer(seed, trials, truth, fn) })
 }

@@ -1,12 +1,14 @@
 package bench
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand/v2"
 
 	"repro/internal/attack"
 	"repro/internal/core"
+	"repro/internal/rng"
 	"repro/internal/stats"
 )
 
@@ -49,7 +51,7 @@ func SpecSweep(cfg Config) ([]*Table, error) {
 	if sp.Task == core.TaskVariance {
 		truth = stats.Variance(values)
 	}
-	runner, ok := est.(core.Runner)
+	collector, ok := est.(core.Collector)
 	if !ok {
 		return nil, fmt.Errorf("bench: task %q has no simulation entry point", sp.Task)
 	}
@@ -69,39 +71,90 @@ func SpecSweep(cfg Config) ([]*Table, error) {
 	p := cfg.newPool()
 	table := &Table{
 		Title:  fmt.Sprintf("spec sweep: task=%s scheme=%s ε=%g (MSE vs γ, %s)", sp.Task, sp.Scheme, sp.Eps, ds.Name),
-		Header: []string{"gamma", "spec"},
+		Header: []string{"gamma", "spec", "emf_iters", "converged"},
 	}
 	if withOstrich {
 		table.Header = append(table.Header, "ostrich")
 	}
-	type cell struct{ futs []*future[float64] }
-	cells := make([]cell, len(gammas))
-	for i, g := range gammas {
-		gamma := g
-		cells[i].futs = append(cells[i].futs,
-			p.mse(cfg.Seed+uint64(i)*1000, cfg.Trials, truth, func(r *rand.Rand) (float64, error) {
-				res, err := runner.Run(r, values, adv, gamma)
+	// The spec column runs each trial as one sequential sweep of the γ
+	// grid, warm-starting every cell's solver from its grid neighbour's
+	// fits (core.WithWarm): the collections differ only in the Byzantine
+	// mix, so the previous cell's deconvolution is a near-converged seed.
+	// Trials are independent futures with fixed streams, so tables stay
+	// byte-identical for any -workers. The emf_iters and converged columns
+	// log the solver telemetry (mean EM-map evaluations per estimate;
+	// fraction of trials whose fits all met the Tol rule) so dapbench -csv
+	// records under-converged cells instead of silently tabulating the
+	// MaxIter iterate.
+	type sweepOut struct{ sqErr, iters, conv []float64 }
+	sweeps := make([]*future[sweepOut], cfg.Trials)
+	for j := 0; j < cfg.Trials; j++ {
+		j := j
+		sweeps[j] = submit(p, func() (sweepOut, error) {
+			r := rng.Split(cfg.Seed+0x57EE9, uint64(j))
+			out := sweepOut{
+				sqErr: make([]float64, len(gammas)),
+				iters: make([]float64, len(gammas)),
+				conv:  make([]float64, len(gammas)),
+			}
+			var warm *core.WarmState
+			for i, gamma := range gammas {
+				col, err := collector.Collect(r, values, adv, gamma)
+				if err != nil {
+					return out, err
+				}
+				res, err := est.Estimate(core.WithWarm(context.Background(), warm), col)
+				if err != nil {
+					return out, err
+				}
+				warm = res.Warm
+				d := read(res) - truth
+				out.sqErr[i] = d * d
+				out.iters[i] = float64(res.EMFIters)
+				if res.Converged {
+					out.conv[i] = 1
+				}
+			}
+			return out, nil
+		})
+	}
+	ostrich := make([]*future[float64], len(gammas))
+	if withOstrich {
+		for i, g := range gammas {
+			gamma := g
+			ostrich[i] = p.mse(cfg.Seed+uint64(i)*1000+500, cfg.Trials, truth, func(r *rand.Rand) (float64, error) {
+				reports, err := core.CollectPM(r, values, sp.Eps, adv, gamma, sp.OPrime)
 				if err != nil {
 					return 0, err
 				}
-				return read(res), nil
-			}))
-		if withOstrich {
-			cells[i].futs = append(cells[i].futs,
-				p.mse(cfg.Seed+uint64(i)*1000+500, cfg.Trials, truth, func(r *rand.Rand) (float64, error) {
-					reports, err := core.CollectPM(r, values, sp.Eps, adv, gamma, sp.OPrime)
-					if err != nil {
-						return 0, err
-					}
-					return stats.Mean(reports), nil
-				}))
+				return stats.Mean(reports), nil
+			})
 		}
 	}
-	for i, g := range gammas {
-		row := []string{fmt.Sprintf("%.2f", g)}
-		row, err := collectCells(row, cells[i].futs, e2s)
+	outs := make([]sweepOut, cfg.Trials)
+	for j, f := range sweeps {
+		out, err := f.get()
 		if err != nil {
 			return nil, err
+		}
+		outs[j] = out
+	}
+	for i, g := range gammas {
+		var mse, iters, conv float64
+		for j := range outs {
+			mse += outs[j].sqErr[i]
+			iters += outs[j].iters[i]
+			conv += outs[j].conv[i]
+		}
+		n := float64(len(outs))
+		row := []string{fmt.Sprintf("%.2f", g), e2s(mse / n),
+			fmt.Sprintf("%.0f", iters/n), fmt.Sprintf("%.2f", conv/n)}
+		if withOstrich {
+			v, err := ostrich[i].get()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e2s(v))
 		}
 		table.Rows = append(table.Rows, row)
 	}

@@ -146,11 +146,13 @@ func (b *Baseline) EstimateHist(hc *HistCollection) (*Estimate, error) {
 // estimateFromCounts is the shared collector core: probe on the ε_α
 // histogram, remove the rescaled poison mass from the ε_β mean.
 func (b *Baseline) estimateFromCounts(m *emf.Matrix, counts []float64, nBeta, sumBeta float64) (*Estimate, error) {
-	cfg := emf.Config{Tol: emf.PaperTol(b.EpsAlpha), MaxIter: b.EMFMaxIter}
+	cfg := emf.Config{Tol: emf.PaperTol(b.EpsAlpha), MaxIter: b.EMFMaxIter, Accelerate: true}
 	probe, err := emf.ProbeSide(m, counts, b.OPrime, cfg)
 	if err != nil {
 		return nil, err
 	}
+	var diag emfDiag
+	diag.observe(probe.Left, probe.Right)
 	side := probe.Side
 	var poison []int
 	if side == emf.Right {
@@ -161,6 +163,9 @@ func (b *Baseline) estimateFromCounts(m *emf.Matrix, counts []float64, nBeta, su
 	res := probe.Chosen()
 	switch b.Scheme {
 	case SchemeEMFStar:
+		// The probe's chosen fit solved the same poison layout; seed the
+		// constrained re-run from it.
+		cfg.Init = res
 		res, err = emf.RunConstrained(m, counts, poison, res.Gamma(), cfg)
 	case SchemeCEMFStar:
 		factor := b.SuppressFactor
@@ -171,6 +176,9 @@ func (b *Baseline) estimateFromCounts(m *emf.Matrix, counts []float64, nBeta, su
 	}
 	if err != nil {
 		return nil, err
+	}
+	if res != probe.Chosen() {
+		diag.observe(res)
 	}
 	gamma := res.Gamma()
 	// M_α lives on the ε_α output domain [−C_α, C_α]; the unified-attack
@@ -186,7 +194,7 @@ func (b *Baseline) estimateFromCounts(m *emf.Matrix, counts []float64, nBeta, su
 		mHat = 0.95 * nBeta
 	}
 	mean := (sumBeta - mHat*poisonMeanBeta) / (nBeta - mHat)
-	return &Estimate{
+	est := &Estimate{
 		Mean:          stats.Clamp(mean, -1, 1),
 		PoisonedRight: side == emf.Right,
 		Gamma:         gamma,
@@ -194,7 +202,9 @@ func (b *Baseline) estimateFromCounts(m *emf.Matrix, counts []float64, nBeta, su
 		GroupGammas:   []float64{gamma},
 		Weights:       []float64{1},
 		NHat:          []float64{nBeta - mHat},
-	}, nil
+	}
+	diag.apply(est)
+	return est, nil
 }
 
 // Run is Collect followed by Estimate.

@@ -50,6 +50,21 @@ type Result struct {
 	NHat        []float64   `json:"nhat,omitempty"`
 	// VarMin is Theorem 6's minimal worst-case variance bound.
 	VarMin float64 `json:"var_min,omitempty"`
+	// Solver telemetry: EMFIters is the total EM-map evaluations across
+	// every solver run of the estimate (probes included), EMFRestarts the
+	// SQUAREM extrapolations rejected by the monotonicity safeguard, and
+	// WarmHits the runs seeded from a previous fit.
+	EMFIters    int `json:"emf_iters,omitempty"`
+	EMFRestarts int `json:"emf_restarts,omitempty"`
+	WarmHits    int `json:"warm_hits,omitempty"`
+	// Converged reports whether every EM fit met its tolerance before
+	// MaxIter; false means at least one group silently returned the
+	// MaxIter iterate and the estimate may be under-converged.
+	Converged bool `json:"converged"`
+	// Warm carries the estimate's EM fits for seeding a subsequent
+	// estimate over the same layout (attach it to the next call's context
+	// with WithWarm). Never serialized.
+	Warm *WarmState `json:"-"`
 }
 
 // Estimator is the single estimation surface every task kind implements:
@@ -196,7 +211,7 @@ func (e *meanEstimator) Estimate(ctx context.Context, col *Collection) (*Result,
 	if err := ctxErr(ctx); err != nil {
 		return nil, err
 	}
-	est, err := e.d.Estimate(col)
+	est, err := e.d.EstimateWarm(col, WarmFromContext(ctx))
 	if err != nil {
 		return nil, err
 	}
@@ -207,7 +222,7 @@ func (e *meanEstimator) EstimateHist(ctx context.Context, hc *HistCollection) (*
 	if err := ctxErr(ctx); err != nil {
 		return nil, err
 	}
-	est, err := e.d.EstimateHist(hc)
+	est, err := e.d.EstimateHistWarm(hc, WarmFromContext(ctx))
 	if err != nil {
 		return nil, err
 	}
@@ -238,6 +253,11 @@ func resultOfEstimate(task TaskKind, est *Estimate) *Result {
 		Weights:       est.Weights,
 		NHat:          est.NHat,
 		VarMin:        est.VarMin,
+		EMFIters:      est.EMFIters,
+		EMFRestarts:   est.EMFRestarts,
+		WarmHits:      est.WarmHits,
+		Converged:     est.Converged,
+		Warm:          est.Warm,
 	}
 }
 
@@ -256,7 +276,7 @@ func (e *distEstimator) Estimate(ctx context.Context, col *Collection) (*Result,
 	if err := ctxErr(ctx); err != nil {
 		return nil, err
 	}
-	est, err := e.d.Estimate(col)
+	est, err := e.d.EstimateWarm(col, WarmFromContext(ctx))
 	if err != nil {
 		return nil, err
 	}
@@ -267,7 +287,7 @@ func (e *distEstimator) EstimateHist(ctx context.Context, hc *HistCollection) (*
 	if err := ctxErr(ctx); err != nil {
 		return nil, err
 	}
-	est, err := e.d.EstimateHist(hc)
+	est, err := e.d.EstimateHistWarm(hc, WarmFromContext(ctx))
 	if err != nil {
 		return nil, err
 	}
@@ -327,7 +347,7 @@ func (e *freqEstimator) Estimate(ctx context.Context, col *Collection) (*Result,
 			counts[t][c]++
 		}
 	}
-	est, err := e.d.EstimateFreq(&FreqCollection{Counts: counts, ByzCount: col.ByzCount})
+	est, err := e.d.EstimateFreqWarm(&FreqCollection{Counts: counts, ByzCount: col.ByzCount}, WarmFromContext(ctx))
 	if err != nil {
 		return nil, err
 	}
@@ -341,7 +361,7 @@ func (e *freqEstimator) EstimateHist(ctx context.Context, hc *HistCollection) (*
 	if hc == nil {
 		return nil, errors.New("core: histogram collection does not match group layout")
 	}
-	est, err := e.d.EstimateFreq(&FreqCollection{Counts: hc.Counts})
+	est, err := e.d.EstimateFreqWarm(&FreqCollection{Counts: hc.Counts}, WarmFromContext(ctx))
 	if err != nil {
 		return nil, err
 	}
@@ -358,12 +378,17 @@ func (e *freqEstimator) RunCats(r *rand.Rand, cats []int, poisonCats []int, gamm
 
 func resultOfFreq(est *FreqEstimate) *Result {
 	return &Result{
-		Task:       TaskFrequency,
-		Freqs:      est.Freqs,
-		Gamma:      est.Gamma,
-		PoisonCats: est.PoisonCats,
-		GroupFreqs: est.GroupFreqs,
-		Weights:    est.Weights,
+		Task:        TaskFrequency,
+		Freqs:       est.Freqs,
+		Gamma:       est.Gamma,
+		PoisonCats:  est.PoisonCats,
+		GroupFreqs:  est.GroupFreqs,
+		Weights:     est.Weights,
+		EMFIters:    est.EMFIters,
+		EMFRestarts: est.EMFRestarts,
+		WarmHits:    est.WarmHits,
+		Converged:   est.Converged,
+		Warm:        est.Warm,
 	}
 }
 
@@ -424,11 +449,12 @@ func (e *varianceEstimator) Estimate(ctx context.Context, col *Collection) (*Res
 	if col == nil || len(col.Groups) != 2*h {
 		return nil, fmt.Errorf("core: variance estimation expects %d groups (mean half then moment half)", 2*h)
 	}
-	m1, err := e.mean.Estimate(&Collection{Groups: col.Groups[:h]})
+	warm := WarmFromContext(ctx)
+	m1, err := e.mean.EstimateWarm(&Collection{Groups: col.Groups[:h]}, warm.subState(0))
 	if err != nil {
 		return nil, err
 	}
-	m2, err := e.moment.Estimate(&Collection{Groups: col.Groups[h:]})
+	m2, err := e.moment.EstimateWarm(&Collection{Groups: col.Groups[h:]}, warm.subState(1))
 	if err != nil {
 		return nil, err
 	}
@@ -443,11 +469,12 @@ func (e *varianceEstimator) EstimateHist(ctx context.Context, hc *HistCollection
 	if hc == nil || len(hc.Counts) != 2*h || hc.Sums == nil || len(hc.Sums) != 2*h {
 		return nil, fmt.Errorf("core: variance estimation expects %d group histograms with sums", 2*h)
 	}
-	m1, err := e.mean.EstimateHist(&HistCollection{Counts: hc.Counts[:h], Sums: hc.Sums[:h]})
+	warm := WarmFromContext(ctx)
+	m1, err := e.mean.EstimateHistWarm(&HistCollection{Counts: hc.Counts[:h], Sums: hc.Sums[:h]}, warm.subState(0))
 	if err != nil {
 		return nil, err
 	}
-	m2, err := e.moment.EstimateHist(&HistCollection{Counts: hc.Counts[h:], Sums: hc.Sums[h:]})
+	m2, err := e.moment.EstimateHistWarm(&HistCollection{Counts: hc.Counts[h:], Sums: hc.Sums[h:]}, warm.subState(1))
 	if err != nil {
 		return nil, err
 	}
@@ -463,7 +490,8 @@ func (e *varianceEstimator) Run(r *rand.Rand, values []float64, adv attack.Adver
 }
 
 // varianceResult combines the two half estimates: Var = E[v²] − E[v]²
-// with E[v²] = (E[2v²−1]+1)/2. Group diagnostics concatenate the halves.
+// with E[v²] = (E[2v²−1]+1)/2. Group diagnostics concatenate the halves;
+// solver telemetry sums and the warm states compose.
 func varianceResult(m1, m2 *Estimate) *Result {
 	res := resultOfEstimate(TaskVariance, m1)
 	m2sq := stats.Clamp((m2.Mean+1)/2, 0, 1)
@@ -473,6 +501,11 @@ func varianceResult(m1, m2 *Estimate) *Result {
 	res.GroupGammas = append(append([]float64(nil), m1.GroupGammas...), m2.GroupGammas...)
 	res.Weights = append(append([]float64(nil), m1.Weights...), m2.Weights...)
 	res.NHat = append(append([]float64(nil), m1.NHat...), m2.NHat...)
+	res.EMFIters = m1.EMFIters + m2.EMFIters
+	res.EMFRestarts = m1.EMFRestarts + m2.EMFRestarts
+	res.WarmHits = m1.WarmHits + m2.WarmHits
+	res.Converged = m1.Converged && m2.Converged
+	res.Warm = &WarmState{sub: []*WarmState{m1.Warm, m2.Warm}}
 	return res
 }
 
@@ -595,6 +628,10 @@ func (e *defenseEstimator) Estimate(ctx context.Context, col *Collection) (*Resu
 		PoisonedRight: e.right,
 		GroupMeans:    []float64{mean},
 		Weights:       []float64{1},
+		// No iterative solver ran (EMFKMeans runs its own internally and
+		// reports through its return value), so nothing was left
+		// under-converged.
+		Converged: true,
 	}, nil
 }
 

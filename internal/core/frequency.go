@@ -135,10 +135,26 @@ type FreqEstimate struct {
 	GroupFreqs [][]float64
 	// Weights are the aggregation weights.
 	Weights []float64
+	// Solver telemetry: total EM-map evaluations, rejected SQUAREM
+	// extrapolations and warm-started runs (category probing excluded from
+	// WarmHits — the recursive probe always starts cold).
+	EMFIters, EMFRestarts, WarmHits int
+	// Converged reports whether every solver run met its tolerance.
+	Converged bool
+	// Warm carries the per-group fits for seeding the next estimate.
+	Warm *WarmState
 }
 
 // EstimateFreq runs the collector side.
 func (d *FreqDAP) EstimateFreq(col *FreqCollection) (*FreqEstimate, error) {
+	return d.EstimateFreqWarm(col, nil)
+}
+
+// EstimateFreqWarm is EstimateFreq with the per-group solver runs seeded
+// from a previous estimate's fits (tolerance-equivalent; see WarmState).
+// The recursive category probe always runs cold: its poison sets shrink
+// as the recursion descends, so no previous fit matches them reliably.
+func (d *FreqDAP) EstimateFreqWarm(col *FreqCollection, warm *WarmState) (*FreqEstimate, error) {
 	h := d.H()
 	if col == nil || len(col.Counts) != h {
 		return nil, errors.New("core: collection does not match group layout")
@@ -162,21 +178,33 @@ func (d *FreqDAP) EstimateFreq(col *FreqCollection) (*FreqEstimate, error) {
 		PoisonCats: probeSet,
 		GroupFreqs: make([][]float64, h),
 	}
+	var diag emfDiag
+	diag.observe(probeRes)
 	b := make([]float64, h)
 	nHat := make([]float64, h)
+	bases := make([]*emf.Result, h)
+	finals := make([]*emf.Result, h)
+	diags := make([]emfDiag, h)
 	// The per-group EM fits are independent; run them concurrently (each
 	// writes only its own index, so the output is order-independent).
-	if err := forEachGroup(h, func(t int) error {
+	if err := forEachGroup(h, func(t int) (err error) {
 		m := matrices[t]
 		cfg := d.cfg(t)
-		base, err := emf.Run(m, col.Counts[t], probeSet, cfg)
-		if err != nil {
-			return err
+		wBase, wFinal := warm.base(t), warm.final(t)
+		if t == h-1 {
+			// The category probe just fitted this group with the chosen
+			// poison set — the freshest possible seed.
+			wBase = probeRes
+			if wFinal == nil {
+				wFinal = probeRes
+			}
 		}
-		res := base
-		gammaT := base.Gamma()
+		var res, base *emf.Result
+		var gammaT float64
 		switch d.p.Scheme {
 		case SchemeEMFStar:
+			// The unconstrained base fit is unused under EMF*; skip it.
+			cfg.Init = wFinal
 			if res, err = emf.RunConstrained(m, col.Counts[t], probeSet, gammaGlobal, cfg); err != nil {
 				return err
 			}
@@ -186,10 +214,26 @@ func (d *FreqDAP) EstimateFreq(col *FreqCollection) (*FreqEstimate, error) {
 			if factor <= 0 {
 				factor = 0.5
 			}
-			if res, err = emf.RunConcentrated(m, col.Counts[t], base, gammaGlobal, factor, cfg); err != nil {
+			cfg.Init = wBase
+			if base, err = emf.Run(m, col.Counts[t], probeSet, cfg); err != nil {
+				return err
+			}
+			if res, err = emf.RunConcentrated(m, col.Counts[t], base, gammaGlobal, factor, d.cfg(t)); err != nil {
 				return err
 			}
 			gammaT = res.Gamma()
+		default:
+			cfg.Init = wBase
+			if base, err = emf.Run(m, col.Counts[t], probeSet, cfg); err != nil {
+				return err
+			}
+			res = base
+			gammaT = base.Gamma()
+		}
+		bases[t], finals[t] = base, res
+		diags[t].observe(res)
+		if base != nil && base != res {
+			diags[t].observe(base)
 		}
 		est.GroupFreqs[t] = stats.Normalize(res.X)
 		nt := stats.Sum(col.Counts[t])
@@ -203,6 +247,12 @@ func (d *FreqDAP) EstimateFreq(col *FreqCollection) (*FreqEstimate, error) {
 	}); err != nil {
 		return nil, err
 	}
+	for t := range diags {
+		diag.merge(diags[t])
+	}
+	est.EMFIters, est.EMFRestarts, est.WarmHits = diag.iters, diag.restarts, diag.warmHits
+	est.Converged = !diag.diverged
+	est.Warm = &WarmState{bases: bases, finals: finals}
 	w, err := OptimalWeights(b, nHat, d.p.WeightMode)
 	if err != nil {
 		return nil, err
@@ -269,5 +319,5 @@ func (d *FreqDAP) OstrichFreq(col *FreqCollection) ([]float64, error) {
 }
 
 func (d *FreqDAP) cfg(t int) emf.Config {
-	return emf.Config{Tol: emf.PaperTol(d.groups[t].Eps), MaxIter: d.p.EMFMaxIter}
+	return emf.Config{Tol: emf.PaperTol(d.groups[t].Eps), MaxIter: d.p.EMFMaxIter, Accelerate: true}
 }

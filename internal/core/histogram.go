@@ -55,6 +55,13 @@ func (hc *HistCollection) sum(t int) float64 {
 // (bucket centers stand in for the sorted raw reports), the only place the
 // two paths can differ — by at most one bucket width.
 func (d *DAP) EstimateHist(hc *HistCollection) (*Estimate, error) {
+	return d.EstimateHistWarm(hc, nil)
+}
+
+// EstimateHistWarm is EstimateHist with the solver runs seeded from a
+// previous estimate's fits — the streaming engine's epoch re-estimation
+// path (tolerance-equivalent to the cold run; see WarmState).
+func (d *DAP) EstimateHistWarm(hc *HistCollection, warm *WarmState) (*Estimate, error) {
 	h := d.H()
 	if err := hc.validate(h); err != nil {
 		return nil, err
@@ -84,7 +91,7 @@ func (d *DAP) EstimateHist(hc *HistCollection) (*Estimate, error) {
 		}
 		sums[t] = hc.sum(t)
 	}
-	return d.estimateFromCounts(matrices, hc.Counts, sums, ns, nil)
+	return d.estimateFromCounts(matrices, hc.Counts, sums, ns, nil, warm)
 }
 
 // outCenters returns the output-bucket midpoints of a transform matrix —
@@ -160,6 +167,12 @@ func trimHistTop(counts []float64, frac float64) []float64 {
 // the batch path fed by the same sufficient statistic. Sums are not used —
 // SW means come from the reconstructed input histogram.
 func (d *SWDAP) EstimateHist(hc *HistCollection) (*SWEstimate, error) {
+	return d.EstimateHistWarm(hc, nil)
+}
+
+// EstimateHistWarm is EstimateHist with the solver runs seeded from a
+// previous estimate's fits (tolerance-equivalent; see WarmState).
+func (d *SWDAP) EstimateHistWarm(hc *HistCollection, warm *WarmState) (*SWEstimate, error) {
 	h := d.H()
 	if err := hc.validate(h); err != nil {
 		return nil, err
@@ -182,24 +195,26 @@ func (d *SWDAP) EstimateHist(hc *HistCollection) (*SWEstimate, error) {
 			return nil, fmt.Errorf("core: group %d holds no reports", t)
 		}
 	}
-	oPrime, err := d.pessimisticOHist(matrices[h-1], hc.Counts[h-1])
+	oPrime, oFit, err := d.pessimisticOHist(matrices[h-1], hc.Counts[h-1], warm.oSeed())
 	if err != nil {
 		return nil, err
 	}
-	return d.estimateFromCounts(matrices, hc.Counts, ns, oPrime)
+	return d.estimateFromCounts(matrices, hc.Counts, ns, oPrime, oFit, warm)
 }
 
 // pessimisticOHist estimates O′ for SW from a histogram by removing the
-// top TrimFrac of the mass and running plain EMS on the rest.
-func (d *SWDAP) pessimisticOHist(m *emf.Matrix, counts []float64) (float64, error) {
+// top TrimFrac of the mass and running plain EMS on the rest. init
+// optionally seeds the EMS fit, which is returned for the warm state.
+func (d *SWDAP) pessimisticOHist(m *emf.Matrix, counts []float64, init *emf.Result) (float64, *emf.Result, error) {
 	frac := d.p.TrimFrac
 	if frac <= 0 {
 		frac = 0.5
 	}
 	trimmed := trimHistTop(counts, frac)
-	res, err := emf.RunConstrained(m, trimmed, nil, 0, emf.Config{Smooth: true, MaxIter: d.p.EMFMaxIter})
+	res, err := emf.RunConstrained(m, trimmed, nil, 0,
+		emf.Config{Smooth: true, MaxIter: d.p.EMFMaxIter, Accelerate: true, Init: init})
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
-	return stats.Clamp(stats.HistMean(res.X, m.InCenters()), 0, 1), nil
+	return stats.Clamp(stats.HistMean(res.X, m.InCenters()), 0, 1), res, nil
 }

@@ -78,6 +78,21 @@ type Estimate struct {
 	// OPrime is the pessimistic mean initialization used for the poison
 	// sets (fixed, or Theorem 2-derived under AutoOPrime).
 	OPrime float64
+	// EMFIters is the total number of EM-map evaluations across every
+	// solver run of this estimate (side probes included) — the cost unit
+	// MaxIter bounds.
+	EMFIters int
+	// EMFRestarts counts SQUAREM extrapolations rejected by the
+	// monotonicity safeguard across those runs.
+	EMFRestarts int
+	// WarmHits counts solver runs seeded from a previous fit.
+	WarmHits int
+	// Converged reports whether every solver run met its tolerance before
+	// MaxIter; false means at least one group returned the MaxIter iterate.
+	Converged bool
+	// Warm carries this estimate's EM fits for seeding the next estimate
+	// over the same layout (see WarmState).
+	Warm *WarmState
 }
 
 // ConfidenceInterval returns a two-sided normal-approximation interval

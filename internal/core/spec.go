@@ -107,6 +107,12 @@ type ServeSpec struct {
 	// EpochMs is the epoch length in milliseconds driving automatic
 	// rotation; zero means manual rotation only.
 	EpochMs int64 `json:"epoch_ms,omitempty"`
+	// Warm seeds each epoch re-estimation from the previous rotation's EM
+	// fits (solver warm start). Off, every estimate is bit-identical to
+	// batch estimation over the same histograms; on, estimates are
+	// tolerance-equivalent (same fixed point within the EM termination
+	// rule) and epoch re-estimation latency drops substantially.
+	Warm bool `json:"warm,omitempty"`
 }
 
 // Spec is the declarative, JSON-serializable description of one

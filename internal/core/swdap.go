@@ -121,6 +121,12 @@ type SWEstimate struct {
 
 // Estimate runs the collector side over an SW collection.
 func (d *SWDAP) Estimate(col *Collection) (*SWEstimate, error) {
+	return d.EstimateWarm(col, nil)
+}
+
+// EstimateWarm is Estimate with the solver runs seeded from a previous
+// estimate's fits (tolerance-equivalent to the cold run; see WarmState).
+func (d *SWDAP) EstimateWarm(col *Collection, warm *WarmState) (*SWEstimate, error) {
 	h := d.H()
 	if col == nil || len(col.Groups) != h {
 		return nil, errors.New("core: collection does not match group layout")
@@ -144,22 +150,28 @@ func (d *SWDAP) Estimate(col *Collection) (*SWEstimate, error) {
 	}
 
 	// Pessimistic O′ via trimmed EMS on the smallest-budget group (§V-D).
-	oPrime, err := d.pessimisticO(matrices[h-1], col.Groups[h-1])
+	oPrime, oFit, err := d.pessimisticO(matrices[h-1], col.Groups[h-1], warm.oSeed())
 	if err != nil {
 		return nil, err
 	}
-	return d.estimateFromCounts(matrices, counts, ns, oPrime)
+	return d.estimateFromCounts(matrices, counts, ns, oPrime, oFit, warm)
 }
 
 // estimateFromCounts runs the SW collector stages over the per-group
 // sufficient statistic with a precomputed pessimistic O′ (trimmed from raw
-// reports by Estimate, from histogram mass by EstimateHist).
-func (d *SWDAP) estimateFromCounts(matrices []*emf.Matrix, counts [][]float64, ns []float64, oPrime float64) (*SWEstimate, error) {
+// reports by Estimate, from histogram mass by EstimateHist). oFit is the
+// EMS fit that produced O′ (carried into the warm state and telemetry);
+// warm optionally seeds every solver run.
+func (d *SWDAP) estimateFromCounts(matrices []*emf.Matrix, counts [][]float64, ns []float64, oPrime float64, oFit *emf.Result, warm *WarmState) (*SWEstimate, error) {
 	h := d.H()
-	probe, err := emf.ProbeSide(matrices[h-1], counts[h-1], oPrime, d.cfg(h-1))
+	var diag emfDiag
+	diag.observe(oFit)
+	probe, err := emf.ProbeSideInit(matrices[h-1], counts[h-1], oPrime, d.cfg(h-1),
+		warm.probeLeft(), warm.probeRight())
 	if err != nil {
 		return nil, err
 	}
+	diag.observe(probe.Left, probe.Right)
 	side := probe.Side
 	gammaGlobal := probe.Chosen().Gamma()
 
@@ -174,6 +186,8 @@ func (d *SWDAP) estimateFromCounts(matrices []*emf.Matrix, counts [][]float64, n
 		OPrime: oPrime,
 	}
 	b := make([]float64, h)
+	bases := make([]*emf.Result, h)
+	finals := make([]*emf.Result, h)
 	var xAgg []float64
 	for t := 0; t < h; t++ {
 		m := matrices[t]
@@ -184,14 +198,19 @@ func (d *SWDAP) estimateFromCounts(matrices []*emf.Matrix, counts [][]float64, n
 			poison = m.PoisonLeft(oPrime)
 		}
 		cfg := d.cfg(t)
-		base, err := emf.Run(m, counts[t], poison, cfg)
-		if err != nil {
-			return nil, err
+		wBase, wFinal := warm.base(t), warm.final(t)
+		if t == h-1 {
+			wBase = probe.Chosen()
+			if wFinal == nil {
+				wFinal = probe.Chosen()
+			}
 		}
-		res := base
-		gammaT := base.Gamma()
+		var res, base *emf.Result
+		var gammaT float64
 		switch d.p.Scheme {
 		case SchemeEMFStar:
+			// The unconstrained base fit is unused under EMF*; skip it.
+			cfg.Init = wFinal
 			if res, err = emf.RunConstrained(m, counts[t], poison, gammaGlobal, cfg); err != nil {
 				return nil, err
 			}
@@ -201,10 +220,26 @@ func (d *SWDAP) estimateFromCounts(matrices []*emf.Matrix, counts [][]float64, n
 			if factor <= 0 {
 				factor = 0.5
 			}
-			if res, err = emf.RunConcentrated(m, counts[t], base, gammaGlobal, factor, cfg); err != nil {
+			cfg.Init = wBase
+			if base, err = emf.Run(m, counts[t], poison, cfg); err != nil {
+				return nil, err
+			}
+			if res, err = emf.RunConcentrated(m, counts[t], base, gammaGlobal, factor, d.cfg(t)); err != nil {
 				return nil, err
 			}
 			gammaT = res.Gamma()
+		default:
+			cfg.Init = wBase
+			if base, err = emf.Run(m, counts[t], poison, cfg); err != nil {
+				return nil, err
+			}
+			res = base
+			gammaT = base.Gamma()
+		}
+		bases[t], finals[t] = base, res
+		diag.observe(res)
+		if base != nil && base != res {
+			diag.observe(base)
 		}
 		// SW mean comes from the reconstructed input histogram.
 		mean := stats.HistMean(res.X, m.InCenters())
@@ -237,6 +272,8 @@ func (d *SWDAP) estimateFromCounts(matrices []*emf.Matrix, counts [][]float64, n
 	est.VarMin = MinVariance(b, est.NHat)
 	est.Mean = Aggregate(est.GroupMeans, w)
 	est.XHat = stats.Normalize(xAgg)
+	diag.apply(&est.Estimate)
+	est.Warm = &WarmState{probeL: probe.Left, probeR: probe.Right, oFit: oFit, bases: bases, finals: finals}
 	return est, nil
 }
 
@@ -251,8 +288,9 @@ func (d *SWDAP) Run(r *rand.Rand, values []float64, adv attack.Adversary, gamma 
 
 // pessimisticO estimates O′ for SW by removing the top TrimFrac of the
 // reports and running plain EMS on the rest (§V-D's analogue of
-// Theorem 2).
-func (d *SWDAP) pessimisticO(m *emf.Matrix, reports []float64) (float64, error) {
+// Theorem 2). init optionally seeds the EMS fit; the fit is returned for
+// the next estimate's warm state.
+func (d *SWDAP) pessimisticO(m *emf.Matrix, reports []float64, init *emf.Result) (float64, *emf.Result, error) {
 	frac := d.p.TrimFrac
 	if frac <= 0 {
 		frac = 0.5
@@ -272,15 +310,16 @@ func (d *SWDAP) pessimisticO(m *emf.Matrix, reports []float64) (float64, error) 
 		kept = trimmed
 	}
 	counts := m.Counts(kept)
-	res, err := emf.RunConstrained(m, counts, nil, 0, emf.Config{Smooth: true, MaxIter: d.p.EMFMaxIter})
+	res, err := emf.RunConstrained(m, counts, nil, 0,
+		emf.Config{Smooth: true, MaxIter: d.p.EMFMaxIter, Accelerate: true, Init: init})
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
-	return stats.Clamp(stats.HistMean(res.X, m.InCenters()), 0, 1), nil
+	return stats.Clamp(stats.HistMean(res.X, m.InCenters()), 0, 1), res, nil
 }
 
 func (d *SWDAP) cfg(t int) emf.Config {
-	return emf.Config{Tol: emf.PaperTol(d.groups[t].Eps), MaxIter: d.p.EMFMaxIter, Smooth: true}
+	return emf.Config{Tol: emf.PaperTol(d.groups[t].Eps), MaxIter: d.p.EMFMaxIter, Smooth: true, Accelerate: true}
 }
 
 // SWSingle reconstructs the input distribution from one single-budget SW
@@ -311,7 +350,7 @@ func (s *SWSingle) Reconstruct(reports []float64) (xhat, centers []float64, err 
 		return nil, nil, err
 	}
 	counts := m.Counts(reports)
-	cfg := emf.Config{Tol: emf.PaperTol(s.Eps), MaxIter: s.EMFMaxIter, Smooth: true}
+	cfg := emf.Config{Tol: emf.PaperTol(s.Eps), MaxIter: s.EMFMaxIter, Smooth: true, Accelerate: true}
 	if s.IgnorePoison {
 		res, err := emf.RunConstrained(m, counts, nil, 0, cfg)
 		if err != nil {
@@ -333,6 +372,7 @@ func (s *SWSingle) Reconstruct(reports []float64) (xhat, centers []float64, err 
 	res := probe.Chosen()
 	switch s.Scheme {
 	case SchemeEMFStar:
+		cfg.Init = res
 		res, err = emf.RunConstrained(m, counts, poison, res.Gamma(), cfg)
 	case SchemeCEMFStar:
 		res, err = emf.RunConcentrated(m, counts, res, res.Gamma(), 0.5, cfg)

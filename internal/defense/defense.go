@@ -78,10 +78,23 @@ func (d *KMeansDefense) Estimate(r *rand.Rand, reports []float64) (float64, erro
 		size = 1
 	}
 	means := make([]float64, subsets)
+	// One generator output feeds two index draws: with n < 2³², the
+	// multiply-shift (u32·n)>>32 maps a 32-bit half uniformly onto [0,n)
+	// with bias below n/2³² ≈ 10⁻⁵ — orders of magnitude under the
+	// Monte-Carlo noise of the subset means — and halves the generator
+	// traffic that dominates this comparator's runtime (Subsets·Rate·N
+	// draws per estimate).
+	n := uint64(len(reports))
 	for s := range means {
 		var sum float64
-		for i := 0; i < size; i++ {
-			sum += reports[r.IntN(len(reports))]
+		i := 0
+		for ; i+2 <= size; i += 2 {
+			u := r.Uint64()
+			sum += reports[(u>>32)*n>>32]
+			sum += reports[(u&0xffffffff)*n>>32]
+		}
+		if i < size {
+			sum += reports[(r.Uint64()>>32)*n>>32]
 		}
 		means[s] = sum / float64(size)
 	}

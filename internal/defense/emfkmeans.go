@@ -58,8 +58,12 @@ func (d *EMFKMeans) Estimate(r *rand.Rand, reports []float64) (float64, error) {
 		mHat := gamma * n
 		return (stats.Sum(reports) - mHat*poisonMean) / (n - mHat), nil
 	}
-	// Stage 2: deconvolve inputs assuming no direct poison.
-	res, err := emf.RunConstrained(d.Matrix, counts, nil, 0, d.Config)
+	// Stage 2: deconvolve inputs assuming no direct poison, seeded from
+	// the probe's chosen fit (same counts, same matrix — the probe already
+	// did most of the work).
+	cfg := d.Config
+	cfg.Init = probe.Chosen()
+	res, err := emf.RunConstrained(d.Matrix, counts, nil, 0, cfg)
 	if err != nil {
 		return 0, err
 	}

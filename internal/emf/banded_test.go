@@ -88,11 +88,11 @@ func TestBandReconstructsP(t *testing.T) {
 func TestBandedEStepMatchesDense(t *testing.T) {
 	for _, eps := range []float64{0.0625, 0.5, 2} {
 		m, counts, poison := pmWorkload(t, eps, 20000)
-		sb, err := newState(m, counts, poison)
+		sb, _, err := newState(m, counts, poison, Config{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		sd, err := newState(m, counts, poison)
+		sd, _, err := newState(m, counts, poison, Config{})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -11,6 +11,13 @@ package emf
 // constrained re-run (the paper feeds the γ̂ probed at the smallest
 // budget). The paper's experiments use factor = 0.5 (§VI-C).
 func RunConcentrated(m *Matrix, counts []float64, base *Result, gamma, factor float64, cfg Config) (*Result, error) {
+	// The base fit already solved the same deconvolution on the same
+	// counts; seed the constrained re-run from it (unless the caller warm
+	// started with something else) — the re-run then only re-balances the
+	// surviving poison buckets instead of re-deriving x̂ from uniform.
+	if cfg.Init == nil {
+		cfg.Init = base
+	}
 	if len(base.Poison) == 0 {
 		// Nothing to suppress; degenerate to EMF*.
 		return RunConstrained(m, counts, base.Poison, gamma, cfg)

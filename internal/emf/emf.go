@@ -22,6 +22,21 @@ type Config struct {
 	// banded representation — for tests and benchmarks comparing the two
 	// paths. Production callers leave it false.
 	Dense bool
+	// Accelerate enables SQUAREM extrapolation over the EM map (squarem.go):
+	// two base EM steps, a steplength from the step differences, one
+	// extrapolated jump, and a monotonicity safeguard that falls back to the
+	// plain step whenever the jump lowers the log-likelihood. The fixed
+	// point and the Tol termination rule are unchanged; only the path to
+	// them shortens, so accelerated and plain runs agree within Tol-scaled
+	// bounds (tolerance-equivalent, not bit-identical).
+	Accelerate bool
+	// Init optionally warm-starts the iteration from a previous fit instead
+	// of the uniform 1/(d+|P|) initialization of Algorithm 2. The fit must
+	// come from the same bucket layout (len(X) = D, len(Y) = D′); a
+	// mismatched Init is silently ignored and the run starts cold. Warm
+	// entries are floored at a tiny mass so EM's multiplicative update can
+	// move support the previous fit had zeroed out.
+	Init *Result
 }
 
 // Default iteration controls.
@@ -65,6 +80,11 @@ type Result struct {
 	LogLik float64
 	// Converged reports whether the tolerance was met before MaxIter.
 	Converged bool
+	// Restarts counts SQUAREM extrapolations rejected by the monotonicity
+	// safeguard (always 0 for plain runs).
+	Restarts int
+	// Warm reports whether the run was seeded from Config.Init.
+	Warm bool
 }
 
 // Gamma returns the estimated Byzantine proportion γ̂ = Σ_j ŷ_j (Eq. 9).
@@ -103,6 +123,12 @@ type state struct {
 	// sumPx and sumPy are Σ Px and Σ Py of the latest E-step, accumulated
 	// during the sweep so the M-step normalization needs no extra pass.
 	sumPx, sumPy float64
+	// SQUAREM scratch (squarem.go): the two anchor iterates θ₀, θ₁ of the
+	// current acceleration cycle and the plain double-step iterate θ₂ kept
+	// for the monotonicity fallback. Pooled with the rest of the state so
+	// accelerated runs stay allocation-free per iteration.
+	sx0, sx1, sx2 []float64
+	sy0, sy1, sy2 []float64
 }
 
 var statePool = sync.Pool{New: func() any { return new(state) }}
@@ -121,12 +147,12 @@ func growB(s []bool, n int) []bool {
 	return s[:n]
 }
 
-func newState(m *Matrix, counts []float64, poison []int) (*state, error) {
+func newState(m *Matrix, counts []float64, poison []int, cfg Config) (*state, bool, error) {
 	if len(counts) != m.DPrime {
-		return nil, errors.New("emf: counts length must equal DPrime")
+		return nil, false, errors.New("emf: counts length must equal DPrime")
 	}
 	if err := m.validatePoison(poison); err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	s := statePool.Get().(*state)
 	s.m, s.counts, s.poison = m, counts, poison
@@ -137,6 +163,14 @@ func newState(m *Matrix, counts []float64, poison []int) (*state, error) {
 	s.py = growF(s.py, m.DPrime)
 	s.xpre = growF(s.xpre, m.D+1)
 	s.diff = growF(s.diff, m.D+1)
+	if cfg.Accelerate {
+		s.sx0 = growF(s.sx0, m.D)
+		s.sx1 = growF(s.sx1, m.D)
+		s.sx2 = growF(s.sx2, m.D)
+		s.sy0 = growF(s.sy0, m.DPrime)
+		s.sy1 = growF(s.sy1, m.DPrime)
+		s.sy2 = growF(s.sy2, m.DPrime)
+	}
 	for i := range s.isPoison {
 		s.isPoison[i] = false
 		s.y[i] = 0
@@ -151,13 +185,56 @@ func newState(m *Matrix, counts []float64, poison []int) (*state, error) {
 		s.isPoison[j] = true
 		s.y[j] = init
 	}
+	warm := s.warmStart(cfg.Init, poison)
 	s.rows = s.rows[:0]
 	for i, c := range counts {
 		if c > 0 {
 			s.rows = append(s.rows, i)
 		}
 	}
-	return s, nil
+	return s, warm, nil
+}
+
+// warmStart overwrites the uniform initialization with a previous fit when
+// its bucket layout matches. Entries are floored at a tiny positive mass
+// (exact zeros are fixed points of EM's multiplicative update and could
+// never be resurrected on new data) and the whole vector is renormalized
+// to unit mass. Reports whether the warm start was applied.
+func (s *state) warmStart(init *Result, poison []int) bool {
+	if init == nil || len(init.X) != s.m.D || len(init.Y) != s.m.DPrime {
+		return false
+	}
+	// 0.1% of the uniform mass: small enough not to disturb a good seed,
+	// large enough that EM's multiplicative update can regrow a bucket the
+	// seed had emptied within a handful of iterations.
+	floor := 1e-3 / float64(s.m.D+len(poison))
+	var total float64
+	for k, v := range init.X {
+		if !(v > floor) { // also catches NaN
+			v = floor
+		}
+		s.x[k] = v
+		total += v
+	}
+	for _, j := range poison {
+		v := init.Y[j]
+		if !(v > floor) {
+			v = floor
+		}
+		s.y[j] = v
+		total += v
+	}
+	if total <= 0 {
+		return false
+	}
+	inv := 1 / total
+	for k := range s.x {
+		s.x[k] *= inv
+	}
+	for _, j := range poison {
+		s.y[j] *= inv
+	}
+	return true
 }
 
 // release returns the buffers to the pool; the state must not be used
@@ -481,30 +558,116 @@ func (s *state) result(poison []int, iters int, ll float64, converged bool) *Res
 	return res
 }
 
-// Run executes EMF (Algorithm 2): it reconstructs the frequency histogram
-// F = {x̂, ŷ} of normal values over the input buckets and poison values
-// over the given poison output buckets, from the observed report counts.
-func Run(m *Matrix, counts []float64, poison []int, cfg Config) (*Result, error) {
-	s, err := newState(m, counts, poison)
-	if err != nil {
-		return nil, err
+// emStep applies one full step of the EM map — E-step, the variant's
+// M-step, optional EMS smoothing — and returns the log-likelihood of the
+// pre-step iterate (the quantity the Tol rule watches).
+func (s *state) emStep(cfg Config, mstep func(*state)) float64 {
+	ll := s.eStep(cfg.Dense)
+	mstep(s)
+	if cfg.Smooth {
+		s.smoothX()
 	}
-	defer s.release()
+	return ll
+}
+
+// solvePlain is the literal fixed-point loop of Algorithm 2: iterate the
+// EM map until |l(F_t) − l(F_{t+1})| < Tol or MaxIter. Returns the
+// iteration count, final log-likelihood and whether the tolerance was met.
+func (s *state) solvePlain(cfg Config, mstep func(*state)) (int, float64, bool) {
 	tol, maxIter := cfg.tol(), cfg.maxIter()
 	prevLL := math.Inf(-1)
 	var ll float64
 	for it := 1; it <= maxIter; it++ {
-		ll = s.eStep(cfg.Dense)
-		s.mStepEMF()
-		if cfg.Smooth {
-			s.smoothX()
-		}
+		ll = s.emStep(cfg, mstep)
 		if it > 1 && math.Abs(ll-prevLL) < tol {
-			return s.result(poison, it, ll, true), nil
+			return it, ll, true
 		}
 		prevLL = ll
 	}
-	return s.result(poison, maxIter, ll, false), nil
+	return maxIter, ll, false
+}
+
+// solve dispatches between the plain and the SQUAREM-accelerated loop and
+// packages the result. renorm projects an extrapolated iterate back onto
+// the variant's constraint set (joint unit mass for EMF, the (1−γ, γ)
+// split for EMF*).
+func solve(m *Matrix, counts []float64, poison []int, cfg Config, mstep, renorm func(*state)) (*Result, error) {
+	s, warm, err := newState(m, counts, poison, cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer s.release()
+	var (
+		iters, restarts int
+		ll              float64
+		converged       bool
+	)
+	if cfg.Accelerate {
+		iters, restarts, ll, converged = s.solveSQUAREM(cfg, mstep, renorm)
+	} else {
+		iters, ll, converged = s.solvePlain(cfg, mstep)
+	}
+	res := s.result(poison, iters, ll, converged)
+	res.Restarts, res.Warm = restarts, warm
+	return res, nil
+}
+
+// renormJoint rescales {x̂, ŷ} to joint unit mass — EMF's constraint set.
+func (s *state) renormJoint() {
+	var total float64
+	for _, v := range s.x {
+		total += v
+	}
+	for _, j := range s.poison {
+		total += s.y[j]
+	}
+	if total <= 0 {
+		return
+	}
+	inv := 1 / total
+	for k := range s.x {
+		s.x[k] *= inv
+	}
+	for _, j := range s.poison {
+		s.y[j] *= inv
+	}
+}
+
+// renormSplit rescales x̂ to mass 1−γ and ŷ to mass γ — EMF*'s constraint
+// set (Theorem 4).
+func (s *state) renormSplit(gamma float64) {
+	var sx, sy float64
+	for _, v := range s.x {
+		sx += v
+	}
+	for _, j := range s.poison {
+		sy += s.y[j]
+	}
+	if sx > 0 {
+		scale := (1 - gamma) / sx
+		for k := range s.x {
+			s.x[k] *= scale
+		}
+	}
+	if sy > 0 {
+		scale := gamma / sy
+		for _, j := range s.poison {
+			s.y[j] *= scale
+		}
+	} else if len(s.poison) > 0 {
+		spread := gamma / float64(len(s.poison))
+		for _, j := range s.poison {
+			s.y[j] = spread
+		}
+	}
+}
+
+// Run executes EMF (Algorithm 2): it reconstructs the frequency histogram
+// F = {x̂, ŷ} of normal values over the input buckets and poison values
+// over the given poison output buckets, from the observed report counts.
+func Run(m *Matrix, counts []float64, poison []int, cfg Config) (*Result, error) {
+	mstep := func(s *state) { s.mStepEMF() }
+	return solve(m, counts, poison, cfg, mstep, (*state).renormJoint)
 }
 
 // RunConstrained executes EMF* (Algorithm 4): EM with the M-step of
@@ -513,24 +676,7 @@ func RunConstrained(m *Matrix, counts []float64, poison []int, gamma float64, cf
 	if gamma < 0 || gamma > 1 {
 		return nil, errors.New("emf: gamma must lie in [0,1]")
 	}
-	s, err := newState(m, counts, poison)
-	if err != nil {
-		return nil, err
-	}
-	defer s.release()
-	tol, maxIter := cfg.tol(), cfg.maxIter()
-	prevLL := math.Inf(-1)
-	var ll float64
-	for it := 1; it <= maxIter; it++ {
-		ll = s.eStep(cfg.Dense)
-		s.mStepConstrained(gamma)
-		if cfg.Smooth {
-			s.smoothX()
-		}
-		if it > 1 && math.Abs(ll-prevLL) < tol {
-			return s.result(poison, it, ll, true), nil
-		}
-		prevLL = ll
-	}
-	return s.result(poison, maxIter, ll, false), nil
+	mstep := func(s *state) { s.mStepConstrained(gamma) }
+	renorm := func(s *state) { s.renormSplit(gamma) }
+	return solve(m, counts, poison, cfg, mstep, renorm)
 }

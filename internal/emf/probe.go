@@ -46,6 +46,17 @@ func (p *SideProbe) Chosen() *Result {
 // reconstructed normal-user histogram x̂ has the smaller variance
 // (Theorem 3: under the correct side x̂ tends to uniform).
 func ProbeSide(m *Matrix, counts []float64, oPrime float64, cfg Config) (*SideProbe, error) {
+	return ProbeSideInit(m, counts, oPrime, cfg, cfg.Init, cfg.Init)
+}
+
+// ProbeSideInit is ProbeSide with per-side warm starts: initL seeds the
+// left-poison fit and initR the right-poison fit (either may be nil, or
+// mismatched and ignored — see Config.Init). A previous probe's Left and
+// Right results are the natural arguments when re-probing the same counts
+// around a shifted O′, or the same layout across stream epochs.
+func ProbeSideInit(m *Matrix, counts []float64, oPrime float64, cfg Config, initL, initR *Result) (*SideProbe, error) {
+	cfgL, cfgR := cfg, cfg
+	cfgL.Init, cfgR.Init = initL, initR
 	// The two probes are independent EM fits over shared immutable inputs;
 	// overlap them (the caller blocks on both, so the result is unchanged).
 	var (
@@ -56,9 +67,9 @@ func ProbeSide(m *Matrix, counts []float64, oPrime float64, cfg Config) (*SidePr
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		left, errL = Run(m, counts, m.PoisonLeft(oPrime), cfg)
+		left, errL = Run(m, counts, m.PoisonLeft(oPrime), cfgL)
 	}()
-	right, errR = Run(m, counts, m.PoisonRight(oPrime), cfg)
+	right, errR = Run(m, counts, m.PoisonRight(oPrime), cfgR)
 	wg.Wait()
 	if errL != nil {
 		return nil, errL

@@ -1,0 +1,8 @@
+//go:build race
+
+package emf
+
+// raceEnabled reports that the race detector instruments this build; the
+// allocation-regression guards skip themselves, since instrumentation
+// adds allocations the production build does not make.
+const raceEnabled = true

@@ -15,15 +15,17 @@ import (
 // Trial produces one estimate given a trial-private generator.
 type Trial func(r *rand.Rand) (float64, error)
 
-// Repeat runs fn for the given number of trials, each with an independent
-// deterministic stream derived from seed, spread over a worker pool. The
-// returned estimates are ordered by trial index; the first error (if any)
-// is returned alongside the successful estimates.
-func Repeat(seed uint64, trials int, fn Trial) ([]float64, error) {
+// repeatInto runs fn for the given number of trials, each with an
+// independent deterministic stream derived from seed (rng.Split by trial
+// index), spread over a GOMAXPROCS-bounded worker pool. Results are
+// ordered by trial index; the lowest-index error (if any) is returned
+// alongside whatever completed. Every public runner below is a thin
+// per-result-type wrapper over this one loop.
+func repeatInto[T any](seed uint64, trials int, fn func(r *rand.Rand) (T, error)) ([]T, error) {
 	if trials <= 0 {
 		return nil, nil
 	}
-	out := make([]float64, trials)
+	out := make([]T, trials)
 	errs := make([]error, trials)
 	workers := runtime.GOMAXPROCS(0)
 	if workers > trials {
@@ -51,6 +53,14 @@ func Repeat(seed uint64, trials int, fn Trial) ([]float64, error) {
 		}
 	}
 	return out, nil
+}
+
+// Repeat runs fn for the given number of trials, each with an independent
+// deterministic stream derived from seed, spread over a worker pool. The
+// returned estimates are ordered by trial index; the first error (if any)
+// is returned alongside the successful estimates.
+func Repeat(seed uint64, trials int, fn Trial) ([]float64, error) {
+	return repeatInto(seed, trials, fn)
 }
 
 // MSE runs trials of fn and returns the mean squared error of the
@@ -82,37 +92,75 @@ func MSEVec(seed uint64, trials int, truth []float64, fn VecTrial) (float64, err
 	if trials <= 0 {
 		return 0, nil
 	}
-	mses := make([]float64, trials)
-	errs := make([]error, trials)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > trials {
-		workers = trials
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				est, err := fn(rng.Split(seed, uint64(i)))
-				if err != nil {
-					errs[i] = err
-					continue
-				}
-				mses[i] = stats.MSEVec(est, truth)
-			}
-		}()
-	}
-	for i := 0; i < trials; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	for _, err := range errs {
+	mses, err := repeatInto(seed, trials, func(r *rand.Rand) (float64, error) {
+		est, err := fn(r)
 		if err != nil {
 			return 0, err
 		}
+		return stats.MSEVec(est, truth), nil
+	})
+	if err != nil {
+		return 0, err
 	}
 	return stats.Mean(mses), nil
+}
+
+// MSEPer runs trials of a vector trial whose components each estimate the
+// same scalar truth (one component per estimator, evaluated on shared
+// trial data) and returns the per-component MSE across trials — the
+// engine behind experiment tables whose scheme rows share collections.
+func MSEPer(seed uint64, trials int, truth float64, fn VecTrial) ([]float64, error) {
+	if trials <= 0 {
+		return nil, nil
+	}
+	ests, err := repeatInto(seed, trials, fn)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(ests[0]))
+	for c := range out {
+		var s float64
+		for i := range ests {
+			d := ests[i][c] - truth
+			s += d * d
+		}
+		out[c] = s / float64(trials)
+	}
+	return out, nil
+}
+
+// MultiVecTrial produces one vector estimate per estimator (e.g. one
+// frequency histogram per scheme) from shared trial data.
+type MultiVecTrial func(r *rand.Rand) ([][]float64, error)
+
+// MSEVecPer runs trials of a multi-vector trial and returns, per
+// estimator, the average component MSE of its vector estimates against
+// truth — MSEVec for scheme rows sharing collections.
+func MSEVecPer(seed uint64, trials int, truth []float64, fn MultiVecTrial) ([]float64, error) {
+	if trials <= 0 {
+		return nil, nil
+	}
+	mses, err := repeatInto(seed, trials, func(r *rand.Rand) ([]float64, error) {
+		ests, err := fn(r)
+		if err != nil {
+			return nil, err
+		}
+		per := make([]float64, len(ests))
+		for c, est := range ests {
+			per[c] = stats.MSEVec(est, truth)
+		}
+		return per, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(mses[0]))
+	for c := range out {
+		var s float64
+		for i := range mses {
+			s += mses[i][c]
+		}
+		out[c] = s / float64(trials)
+	}
+	return out, nil
 }

@@ -135,6 +135,12 @@ type Config struct {
 	Shards int
 	// Window shapes the epoch windows.
 	Window WindowConfig
+	// Warm seeds each window re-estimation from the previous estimate's EM
+	// fits. Off (the default), every estimate is bit-identical to batch
+	// estimation over the same histograms — the engine's equivalence
+	// invariant; on, estimates are tolerance-equivalent and re-estimation
+	// converges in a fraction of the iterations.
+	Warm bool
 }
 
 // ConfigFromSpec builds a tenant configuration from a task spec,
@@ -150,6 +156,7 @@ func ConfigFromSpec(sp core.Spec) (Config, error) {
 		cfg.Buckets = s.Buckets
 		cfg.ExpectedUsers = s.ExpectedUsers
 		cfg.Shards = s.Shards
+		cfg.Warm = s.Warm
 		cfg.Window = WindowConfig{
 			Mode:  mode,
 			Span:  s.Span,
@@ -171,6 +178,7 @@ func (cfg Config) SpecWithServe() core.Spec {
 		Window:        cfg.Window.Mode.String(),
 		Span:          cfg.Window.Span,
 		EpochMs:       cfg.Window.Epoch.Milliseconds(),
+		Warm:          cfg.Warm,
 	}
 	return sp
 }
@@ -187,6 +195,9 @@ func (cfg Config) normalize() (Config, error) {
 		}
 		if cfg.Shards == 0 {
 			cfg.Shards = s.Shards
+		}
+		if !cfg.Warm {
+			cfg.Warm = s.Warm
 		}
 		if cfg.Window == (WindowConfig{}) {
 			mode, err := ParseWindowMode(s.Window)

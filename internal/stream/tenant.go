@@ -62,7 +62,7 @@ type Tenant struct {
 	joinMu sync.Mutex
 	joined int
 
-	userGrp sync.Map // user id → group index (set at join or first report)
+	userGrp userGroups // user id → group index (set at join or first report)
 
 	// mu orders ingestion against rotation: ingesters hold it shared while
 	// touching a live stripe, Rotate holds it exclusively while swapping
@@ -73,6 +73,11 @@ type Tenant struct {
 	seq    uint64
 
 	cached atomic.Pointer[Snapshot]
+	// warm is the EM-fit state of the latest estimate, seeding the next
+	// re-estimation when cfg.Warm is on (epoch-to-epoch warm start). Any
+	// recent estimate is a valid seed, so the pointer is simply last-write
+	// -wins.
+	warm atomic.Pointer[core.WarmState]
 
 	clockMu sync.Mutex
 	stop    chan struct{}
@@ -186,7 +191,7 @@ func (t *Tenant) Join() (string, core.Group) {
 	grp := t.joined % len(t.groups)
 	t.joined++
 	t.joinMu.Unlock()
-	t.userGrp.Store(id, grp)
+	t.userGrp.store(maphash.String(t.seed, id), id, grp)
 	return id, t.groups[grp]
 }
 
@@ -196,6 +201,59 @@ func (t *Tenant) Joined() int {
 	defer t.joinMu.Unlock()
 	return t.joined
 }
+
+// userGroups is a striped, typed user→group binding map. The bind-check
+// on the ingest hot path is one RLock plus one map[string]int lookup —
+// unlike sync.Map, whose any-typed keys box the user string (one 16-byte
+// allocation) on every call.
+type userGroups struct {
+	shards [64]userGroupShard
+}
+
+type userGroupShard struct {
+	mu sync.RWMutex
+	m  map[string]int
+	_  [32]byte // keep adjacent stripes off one cache line
+}
+
+// loadOrStore returns the existing binding for user, or records group as
+// its binding. hash selects the stripe (any stable hash of user works;
+// Ingest reuses the histogram stripe hash).
+func (u *userGroups) loadOrStore(hash uint64, user string, group int) (prev int, loaded bool) {
+	s := &u.shards[hash&63]
+	s.mu.RLock()
+	prev, ok := s.m[user]
+	s.mu.RUnlock()
+	if ok {
+		return prev, true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev, ok := s.m[user]; ok {
+		return prev, true
+	}
+	if s.m == nil {
+		s.m = make(map[string]int)
+	}
+	s.m[user] = group
+	return group, false
+}
+
+// store records a binding unconditionally (user join).
+func (u *userGroups) store(hash uint64, user string, group int) {
+	s := &u.shards[hash&63]
+	s.mu.Lock()
+	if s.m == nil {
+		s.m = make(map[string]int)
+	}
+	s.m[user] = group
+	s.mu.Unlock()
+}
+
+// idxPool recycles the per-request bucket-index buffer so the steady-state
+// ingest path allocates nothing (pointer-to-slice avoids boxing the slice
+// header on Put).
+var idxPool = sync.Pool{New: func() any { s := make([]int, 0, 64); return &s }}
 
 // Ingest validates and records a batch of reports from one user. The
 // sequence is strict: every value is validated and discretized first, the
@@ -217,37 +275,44 @@ func (t *Tenant) Ingest(user string, group int, values []float64) error {
 	if len(values) > g.Reports {
 		return fmt.Errorf("stream: group %d accepts at most %d reports per request", group, g.Reports)
 	}
-	idx, err := t.indices(group, values)
+	buf := idxPool.Get().(*[]int)
+	defer idxPool.Put(buf)
+	idx, err := t.indices(group, values, (*buf)[:0])
+	*buf = idx[:0]
 	if err != nil {
 		return err
 	}
-	if prev, loaded := t.userGrp.LoadOrStore(user, group); loaded && prev.(int) != group {
-		return fmt.Errorf("%w: user %s is bound to group %d", ErrWrongGroup, user, prev.(int))
+	stripe := maphash.String(t.seed, user)
+	if prev, loaded := t.userGrp.loadOrStore(stripe, user, group); loaded && prev != group {
+		return fmt.Errorf("%w: user %s is bound to group %d", ErrWrongGroup, user, prev)
 	}
 	// Budget accounting: each report in group t costs ε_t; the batch is
 	// charged atomically before any histogram is touched.
 	if err := t.acct.SpendN(user, g.Eps, len(values)); err != nil {
 		return err
 	}
-	stripe := maphash.String(t.seed, user)
 	t.mu.RLock()
 	t.live[group].add(stripe, idx, values)
 	t.mu.RUnlock()
 	return nil
 }
 
-// indices validates values for the tenant's task and returns their bucket
-// indices. NaN, ±Inf, out-of-domain values and (for frequency tenants)
-// non-integral or out-of-range categories are rejected here, at the wire
-// boundary, before any state changes; rejections wrap core.ErrDomain.
-func (t *Tenant) indices(group int, values []float64) ([]int, error) {
-	idx := make([]int, len(values))
+// indices validates values for the tenant's task and appends their bucket
+// indices to idx. NaN, ±Inf, out-of-domain values and (for frequency
+// tenants) non-integral or out-of-range categories are rejected here, at
+// the wire boundary, before any state changes; rejections wrap
+// core.ErrDomain.
+func (t *Tenant) indices(group int, values []float64, idx []int) ([]int, error) {
+	if cap(idx) < len(values) {
+		idx = make([]int, len(values))
+	}
+	idx = idx[:len(values)]
 	if t.cfg.Spec.Task == core.TaskFrequency {
 		k := float64(t.cfg.Spec.K)
 		for j, v := range values {
 			c := int(v)
 			if v != float64(c) || v < 0 || v >= k {
-				return nil, fmt.Errorf("%w: %g is not a category in [0,%d)",
+				return idx, fmt.Errorf("%w: %g is not a category in [0,%d)",
 					core.ErrDomain, v, t.cfg.Spec.K)
 			}
 			idx[j] = c
@@ -259,7 +324,7 @@ func (t *Tenant) indices(group int, values []float64) ([]int, error) {
 		i, ok := d.Index(v)
 		if !ok {
 			dom := t.est.OutputDomain(group)
-			return nil, fmt.Errorf("%w: %g outside output domain [%g,%g]",
+			return idx, fmt.Errorf("%w: %g outside output domain [%g,%g]",
 				core.ErrDomain, v, dom.Lo, dom.Hi)
 		}
 		idx[j] = i
@@ -367,10 +432,17 @@ func (t *Tenant) estimateWindow(window []epochHist, liveHist *epochHist, seq uin
 	if liveHist != nil {
 		merge(liveHist)
 	}
-	res, err := t.est.EstimateHist(context.Background(),
+	ctx := context.Background()
+	if t.cfg.Warm {
+		ctx = core.WithWarm(ctx, t.warm.Load())
+	}
+	res, err := t.est.EstimateHist(ctx,
 		&core.HistCollection{Counts: counts, Sums: sums})
 	if err != nil {
 		return nil, err
+	}
+	if t.cfg.Warm && res.Warm != nil {
+		t.warm.Store(res.Warm)
 	}
 	return &Snapshot{
 		Tenant:  t.name,

@@ -261,6 +261,8 @@ func estimateResponse(snap *stream.Snapshot) EstimateResponse {
 		out.GroupMeans, out.Weights, out.VarMin = e.GroupMeans, e.Weights, e.VarMin
 		out.Freqs, out.PoisonCats, out.XHat = e.Freqs, e.PoisonCats, e.XHat
 		out.Variance, out.SecondMoment = e.Variance, e.SecondMoment
+		out.EMFIters, out.EMFRestarts = e.EMFIters, e.EMFRestarts
+		out.WarmHits, out.Converged = e.WarmHits, e.Converged
 	}
 	return out
 }

@@ -114,6 +114,14 @@ type EstimateResponse struct {
 	XHat         []float64 `json:"xhat,omitempty"`
 	Variance     float64   `json:"variance,omitempty"`
 	SecondMoment float64   `json:"second_moment,omitempty"`
+
+	// Solver telemetry of the estimate: total EM-map evaluations, rejected
+	// SQUAREM extrapolations, warm-started runs, and whether every EM fit
+	// met its tolerance before MaxIter (false = under-converged estimate).
+	EMFIters    int  `json:"emf_iters,omitempty"`
+	EMFRestarts int  `json:"emf_restarts,omitempty"`
+	WarmHits    int  `json:"warm_hits,omitempty"`
+	Converged   bool `json:"converged"`
 }
 
 // TenantRequest is the body of POST /v1/tenants: a name plus the task
