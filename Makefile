@@ -3,9 +3,9 @@
 GO ?= go
 DATE := $(shell date +%Y%m%d)
 
-.PHONY: all build vet fmt-check test race bench bench-json bench-diff bench-smoke load-smoke load-json apicheck apigen
+.PHONY: all build vet fmt-check doccheck test race bench bench-json bench-diff bench-smoke load-smoke load-json apicheck apigen matrix
 
-all: vet fmt-check build test apicheck
+all: vet fmt-check doccheck build test apicheck
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,16 @@ apicheck:
 
 apigen:
 	$(GO) doc -all . > api/dap.txt
+
+# Documentation gate: exported symbols of the public package need doc
+# comments, and the relative links in README/DESIGN/specs must resolve.
+doccheck: vet
+	$(GO) run ./cmd/doccheck
+
+# Red-team robustness matrix (attack battery x schemes); writes markdown
+# and JSON reports.
+matrix:
+	$(GO) run ./cmd/dapredteam -md MATRIX.md -json MATRIX.json
 
 test:
 	$(GO) test ./...

@@ -127,11 +127,13 @@ func main() {
 	}
 	names := []string{*exp}
 	if *exp == "all" {
-		// The spec experiment needs a -spec file; the paper experiments run
-		// without one.
+		// The spec experiment needs a -spec file, and the red-team matrix
+		// has its own runner (cmd/dapredteam) — the paper experiments alone
+		// make up "all", keeping BENCH_*.json totals comparable across
+		// releases.
 		names = names[:0]
 		for _, name := range bench.Experiments() {
-			if name != "spec" {
+			if name != "spec" && name != "matrix" {
 				names = append(names, name)
 			}
 		}

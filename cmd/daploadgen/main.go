@@ -55,6 +55,7 @@ func main() {
 		conns   = flag.Int("conns", 4, "concurrent sender connections")
 		batch   = flag.Int("batch", 200, "users per ingest request")
 		gamma   = flag.Float64("gamma", 0, "Byzantine user fraction")
+		atkEps  = flag.Int("attack-epochs", 1, "attacker epochs the workload spans (drives epoch-adaptive attacks like ramp and burst)")
 		lo      = flag.Float64("lo", -0.5, "honest value range low")
 		hi      = flag.Float64("hi", 0.1, "honest value range high")
 		seed    = flag.Uint64("seed", 1, "workload rng seed")
@@ -120,11 +121,19 @@ func main() {
 	if base != "" && sf.Path() != "" {
 		fatal("-spec configures the self-served collector and needs -addr \"\"")
 	}
+	// The Byzantine mix's adversary comes from the resolved spec's attack
+	// section (self-serve mode) or the bare -attack flag (external
+	// collectors). Attack sections are simulation/client-side only, so the
+	// spec is stripped of it before the collector boots — the wire rejects
+	// attack-bearing tenant specs.
+	var advSpec *attack.Spec
 	if base == "" {
 		sp, err := sf.Resolve()
 		if err != nil {
 			fatal(err)
 		}
+		advSpec = sp.Attack
+		sp.Attack = nil
 		var closeSrv func()
 		base, closeSrv, err = selfServe(sp, *users, *reports)
 		if err != nil {
@@ -132,6 +141,39 @@ func main() {
 		}
 		defer closeSrv()
 		fmt.Printf("daploadgen: self-serving collector at %s\n", base)
+	} else {
+		var err error
+		if advSpec, err = sf.Attack(); err != nil {
+			fatal(err)
+		}
+	}
+	adv := attack.Adversary(attack.NewBBA(attack.RangeHighHalf, attack.DistUniform))
+	epochs := *atkEps
+	if advSpec != nil {
+		var err error
+		if adv, err = attack.New(*advSpec); err != nil {
+			fatal(err)
+		}
+		if advSpec.Categorical() {
+			fatal("categorical attacks cannot drive the mean-task load generator")
+		}
+		// An epoch-adaptive attack at the default -attack-epochs 1 would
+		// stay pinned to its epoch-0 phase (a default ramp never fires);
+		// size the workload to the attack's own schedule unless the flag
+		// was set explicitly.
+		if advSpec.EpochAdaptive() {
+			explicit := false
+			flag.Visit(func(fl *flag.Flag) {
+				if fl.Name == "attack-epochs" {
+					explicit = true
+				}
+			})
+			if !explicit {
+				epochs = advSpec.EpochSpan()
+				fmt.Printf("daploadgen: attack %q is epoch-adaptive; spanning %d attacker epochs (override with -attack-epochs)\n",
+					advSpec.Name, epochs)
+			}
+		}
 	}
 	hc := &http.Client{Transport: &http.Transport{
 		MaxIdleConns:        *conns * 2,
@@ -147,7 +189,7 @@ func main() {
 		fatal(fmt.Sprintf("tenant kind %q not supported (mean only)", cfg.Kind))
 	}
 
-	entries, honestMean := workload(cfg, *users, *reports, *gamma, *lo, *hi, *seed)
+	entries, honestMean := workload(cfg, adv, epochs, *users, *reports, *gamma, *lo, *hi, *seed)
 	var total int
 	for _, e := range entries {
 		total += len(e.Values)
@@ -263,9 +305,13 @@ type entry = transport.ReportRequest
 
 // workload builds the client mix: users round-robin across groups, honest
 // users perturb one value per report slot with the group budget, Byzantine
-// users submit BBA high-half poison. Returns the entries and the honest
-// population's true mean.
-func workload(cfg *transport.ConfigResponse, users, reports int, gamma, lo, hi float64, seed uint64) ([]entry, float64) {
+// users submit the configured adversary's poison (default: BBA high-half).
+// The workload spans atkEpochs synthetic attacker epochs — the epoch index
+// advances as users are generated and reaches epoch-adaptive attackers
+// (ramp, burst) through attack.Env — and users whose adversary emits
+// nothing for an epoch (burst off-phase, dropout) stay silent. Returns the
+// entries and the honest population's true mean.
+func workload(cfg *transport.ConfigResponse, adv attack.Adversary, atkEpochs, users, reports int, gamma, lo, hi float64, seed uint64) ([]entry, float64) {
 	r := rng.New(seed)
 	mechs := make([]*pm.Mechanism, len(cfg.Groups))
 	envs := make([]attack.Env, len(cfg.Groups))
@@ -276,21 +322,45 @@ func workload(cfg *transport.ConfigResponse, users, reports int, gamma, lo, hi f
 		}
 		mechs[i] = m
 		envs[i] = attack.EnvFor(m, 0)
+		envs[i].Group = g.Index
 	}
-	adv := attack.NewBBA(attack.RangeHighHalf, attack.DistUniform)
+	if atkEpochs < 1 {
+		atkEpochs = 1
+	}
+	// Estimated user total for spreading the epoch index over the run;
+	// mirrors selfServe's sizing when -users is 0.
+	estUsers := users
+	if estUsers == 0 {
+		h := len(cfg.Groups)
+		if estUsers = reports * h / (1<<h - 1); estUsers < 1 {
+			estUsers = 1
+		}
+	}
 	var entries []entry
 	var honestSum float64
 	var honest int
 	total := 0
 	for i := 0; users > 0 && i < users || users == 0 && total < reports; i++ {
 		g := cfg.Groups[i%len(cfg.Groups)]
-		vals := make([]float64, g.Reports)
+		var vals []float64
 		if gamma > 0 && r.Float64() < gamma {
-			copy(vals, adv.Poison(r, envs[g.Index], g.Reports))
+			env := envs[g.Index]
+			if env.Epoch = i * atkEpochs / estUsers; env.Epoch >= atkEpochs {
+				env.Epoch = atkEpochs - 1
+			}
+			vals = adv.Poison(r, env, g.Reports)
+			if len(vals) == 0 {
+				// Silent colluder this epoch (burst off-phase, dropout): no
+				// entry, but the unused slots still count toward the -reports
+				// sizing target or an always-silent mix would loop forever.
+				total += g.Reports
+				continue
+			}
 		} else {
 			v := rng.Uniform(r, lo, hi)
 			honestSum += v
 			honest++
+			vals = make([]float64, g.Reports)
 			for k := range vals {
 				vals[k] = mechs[g.Index].Perturb(r, v)
 			}

@@ -72,20 +72,29 @@ func main() {
 		trueMean = (trueMean + 1) / 2
 	}
 
-	var adv attack.Adversary
-	switch {
-	case *evasionA >= 0:
-		adv = &attack.Evasion{A: *evasionA}
-	case !math.IsNaN(*imaG):
-		adv = &attack.IMA{G: *imaG}
-	default:
-		rg, ok := attack.RangeByName(*rangeF)
-		if !ok {
-			fatal(fmt.Errorf("unknown range %q", *rangeF))
+	// The spec's attack section (or -attack) selects the adversary through
+	// the registry; without one the legacy attack flags assemble a BBA /
+	// IMA / Evasion directly.
+	adv, err := sp.Adversary()
+	fatal(err)
+	if sp.Attack != nil && sp.Attack.EpochAdaptive() {
+		fmt.Fprintf(os.Stderr, "dapsim: note: attack %q is epoch-adaptive; this one-shot round runs at epoch 0 (ramp frac0 / burst on-phase) — use daploadgen -attack-epochs for the full schedule\n", sp.Attack.Name)
+	}
+	if adv == nil {
+		switch {
+		case *evasionA >= 0:
+			adv = &attack.Evasion{A: *evasionA}
+		case !math.IsNaN(*imaG):
+			adv = &attack.IMA{G: *imaG}
+		default:
+			rg, ok := attack.RangeByName(*rangeF)
+			if !ok {
+				fatal(fmt.Errorf("unknown range %q", *rangeF))
+			}
+			dist, err := attack.ParseDist(*distF)
+			fatal(err)
+			adv = attack.NewBBA(rg, dist)
 		}
-		dist, err := parseDist(*distF)
-		fatal(err)
-		adv = attack.NewBBA(rg, dist)
 	}
 
 	runner, ok := est.(core.Runner)
@@ -143,7 +152,9 @@ func main() {
 	}
 }
 
-// runFrequency runs a categorical round.
+// runFrequency runs a categorical round. A spec attack section selects
+// the adversary from the registry; otherwise -poison-cats drives the
+// historical direct-injection attack.
 func runFrequency(est core.Estimator, sp core.Spec, dsName string, n int, poisonC string, gamma float64, seed uint64) {
 	r := rng.New(seed)
 	if !strings.EqualFold(dsName, "COVID19") {
@@ -154,17 +165,35 @@ func runFrequency(est core.Estimator, sp core.Spec, dsName string, n int, poison
 		fatal(fmt.Errorf("spec has k=%d but %s has %d categories", sp.K, cov.Name, cov.K()))
 	}
 	cats := cov.Sample(r, n)
-	poison, err := parseCats(poisonC)
+	adv, err := sp.Adversary()
 	fatal(err)
-	runner, ok := est.(core.CatRunner)
-	if !ok {
-		fatal(fmt.Errorf("task %q has no categorical simulation entry point", sp.Task))
+	if sp.Attack != nil && sp.Attack.EpochAdaptive() {
+		fmt.Fprintf(os.Stderr, "dapsim: note: attack %q is epoch-adaptive; this one-shot round runs at epoch 0 (ramp frac0 / burst on-phase) — use daploadgen -attack-epochs for the full schedule\n", sp.Attack.Name)
 	}
-	res, err := runner.RunCats(r, cats, poison, gamma)
-	fatal(err)
+	var res *core.Result
+	var attackLabel string
+	if adv != nil {
+		runner, ok := est.(core.CatAdvRunner)
+		if !ok {
+			fatal(fmt.Errorf("task %q has no categorical adversary entry point", sp.Task))
+		}
+		res, err = runner.RunCatsAdv(r, cats, adv, gamma)
+		fatal(err)
+		attackLabel = fmt.Sprintf("%s, γ=%g", adv.Name(), gamma)
+	} else {
+		poison, err := parseCats(poisonC)
+		fatal(err)
+		runner, ok := est.(core.CatRunner)
+		if !ok {
+			fatal(fmt.Errorf("task %q has no categorical simulation entry point", sp.Task))
+		}
+		res, err = runner.RunCats(r, cats, poison, gamma)
+		fatal(err)
+		attackLabel = fmt.Sprintf("direct injection into %v, γ=%g", poison, gamma)
+	}
 	trueFreqs := cov.Freqs()
 	fmt.Printf("dataset        %s (N=%d, K=%d)\n", cov.Name, n, cov.K())
-	fmt.Printf("attack         direct injection into %v, γ=%g\n", poison, gamma)
+	fmt.Printf("attack         %s\n", attackLabel)
 	fmt.Printf("task           %s over %s, scheme %s, ε=%g, ε0=%g\n",
 		sp.Task, sp.Mechanism, sp.Scheme, sp.Eps, sp.Eps0)
 	fmt.Printf("probed cats    %v\n", res.PoisonCats)
@@ -191,20 +220,6 @@ func parseCats(s string) ([]int, error) {
 		cats = append(cats, c)
 	}
 	return cats, nil
-}
-
-func parseDist(s string) (attack.Dist, error) {
-	switch s {
-	case "uniform":
-		return attack.DistUniform, nil
-	case "gaussian":
-		return attack.DistGaussian, nil
-	case "beta16":
-		return attack.DistBeta16, nil
-	case "beta61":
-		return attack.DistBeta61, nil
-	}
-	return 0, fmt.Errorf("unknown distribution %q", s)
 }
 
 func sideName(right bool) string {

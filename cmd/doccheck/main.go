@@ -1,0 +1,152 @@
+// Command doccheck lints the repository's documentation (the `make
+// doccheck` target, run in CI):
+//
+//   - every exported symbol of the public package (the repository root)
+//     must carry a doc comment — either on the declaration itself or on
+//     its enclosing const/var/type block;
+//   - every relative markdown link in the user-facing documents
+//     (README.md, DESIGN.md, specs/README.md, ...) must point at a file
+//     that exists.
+//
+// It prints one line per violation and exits non-zero if any were found,
+// so documentation drift fails the build like a test would.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	var problems []string
+	report := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+
+	lintPackage(".", report)
+	for _, md := range []string{
+		"README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md", "specs/README.md",
+	} {
+		checkLinks(md, report)
+	}
+
+	for _, p := range problems {
+		fmt.Fprintln(os.Stderr, p)
+	}
+	if len(problems) > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Println("doccheck: ok")
+}
+
+// lintPackage checks that every exported top-level symbol of the
+// non-test package in dir has a doc comment.
+func lintPackage(dir string, report func(string, ...any)) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		report("doccheck: %v", err)
+		return
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				lintDecl(fset, decl, report)
+			}
+		}
+	}
+}
+
+// lintDecl reports exported declarations without doc comments. A doc
+// comment on a const/var/type block covers every spec inside it; a spec
+// may also carry its own.
+func lintDecl(fset *token.FileSet, decl ast.Decl, report func(string, ...any)) {
+	pos := func(p token.Pos) string {
+		position := fset.Position(p)
+		return fmt.Sprintf("%s:%d", position.Filename, position.Line)
+	}
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if d.Name.IsExported() && d.Doc == nil && !isExportedMethodOfUnexported(d) {
+			report("%s: exported %s %s has no doc comment", pos(d.Pos()), "function", d.Name.Name)
+		}
+	case *ast.GenDecl:
+		if d.Doc != nil {
+			return // block comment covers the specs
+		}
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() && s.Doc == nil && s.Comment == nil {
+					report("%s: exported type %s has no doc comment", pos(s.Pos()), s.Name.Name)
+				}
+			case *ast.ValueSpec:
+				if s.Doc != nil || s.Comment != nil {
+					continue
+				}
+				for _, name := range s.Names {
+					if name.IsExported() {
+						report("%s: exported value %s has no doc comment", pos(s.Pos()), name.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// isExportedMethodOfUnexported suppresses method lint on unexported
+// receivers (their API surface is the interface they implement).
+func isExportedMethodOfUnexported(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return false
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if ident, ok := t.(*ast.Ident); ok {
+		return !ident.IsExported()
+	}
+	return false
+}
+
+// mdLink matches markdown links; group 1 is the target.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// checkLinks verifies that every relative link target in the markdown
+// file exists on disk (anchors and absolute URLs are skipped).
+func checkLinks(path string, report func(string, ...any)) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		report("doccheck: %v", err)
+		return
+	}
+	base := filepath.Dir(path)
+	for i, line := range strings.Split(string(data), "\n") {
+		for _, m := range mdLink.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") ||
+				strings.HasPrefix(target, "#") {
+				continue
+			}
+			if idx := strings.IndexByte(target, '#'); idx >= 0 {
+				target = target[:idx]
+			}
+			if target == "" {
+				continue
+			}
+			if _, err := os.Stat(filepath.Join(base, target)); err != nil {
+				report("%s:%d: broken link %q", path, i+1, m[1])
+			}
+		}
+	}
+}

@@ -95,6 +95,7 @@ var (
 	WithEMFMaxIter     = core.WithEMFMaxIter
 	WithTrimFrac       = core.WithTrimFrac
 	WithServe          = core.WithServe
+	WithAttack         = core.WithAttack
 )
 
 // Typed error taxonomy. Branch with errors.Is.
@@ -239,6 +240,32 @@ type (
 	Dist = attack.Dist
 	// NoAttack is the empty adversary.
 	NoAttack = attack.None
+	// AttackSpec selects an adversary by name inside a Spec (the threat
+	// side's mirror of DefenseSpec); NewAttack builds it.
+	AttackSpec = attack.Spec
+	// Targeted injects reports uniformly among chosen categories
+	// (frequency task).
+	Targeted = attack.Targeted
+	// MaxGain concentrates all injected mass on the top categories
+	// (frequency task).
+	MaxGain = attack.MaxGain
+	// DistPoison reshapes the reconstructed distribution with in-range
+	// poison drawn from a chosen distribution (SW task).
+	DistPoison = attack.DistPoison
+	// SWTop is the Fig. 8 out-of-range attack on the SW output domain.
+	SWTop = attack.SWTop
+	// Dropout drops a fraction of the poison report slots (colluder
+	// dropout).
+	Dropout = attack.Dropout
+	// Hetero varies the colluding fraction per protocol group.
+	Hetero = attack.Hetero
+	// Ramp escalates the active poison fraction across epochs.
+	Ramp = attack.Ramp
+	// Burst poisons in epoch-synchronized bursts.
+	Burst = attack.Burst
+	// CatAdvRunner is the categorical simulation entry point under a
+	// registry adversary.
+	CatAdvRunner = core.CatAdvRunner
 )
 
 // Poison distributions.
@@ -267,7 +294,22 @@ var (
 	// ReduceToBBA constructively reduces a GBA to an equivalent BBA
 	// (Theorem 1).
 	ReduceToBBA = attack.ReduceToBBA
+
+	// NewAttack builds an adversary from an AttackSpec — the registry
+	// behind a Spec's attack section (mirroring NewDefense). Unknown names
+	// fail with ErrUnknownAttack.
+	NewAttack = attack.New
+	// AttackNames lists the registered attack names.
+	AttackNames = attack.Names
+	// ParseAttackDist parses a poison-distribution name.
+	ParseAttackDist = attack.ParseDist
+	// ParseAttackSide parses a poisoned-side name.
+	ParseAttackSide = attack.ParseSide
 )
+
+// ErrUnknownAttack marks an attack name outside AttackNames (wrapped into
+// ErrBadSpec during spec validation).
+var ErrUnknownAttack = attack.ErrUnknown
 
 // Comparator defenses (see internal/defense). The function forms remain;
 // NewDefense (or a Spec with WithDefense) selects the same defenses by

@@ -53,6 +53,37 @@
 // remain as deprecated aliases for one release; see DESIGN.md for the
 // migration table.
 //
+// # Attacks
+//
+// The threat side mirrors the defense side: a declarative AttackSpec
+// (name + parameters, JSON-serializable) selects an adversary from the
+// registry via NewAttack, and a Spec's optional "attack" section carries
+// it through every simulation face — dapsim, dapbench -spec, the
+// cmd/dapredteam robustness matrix, and daploadgen's Byzantine client
+// mix. Registered families (AttackNames lists them): the paper's threat
+// models — bba (Definition 4), gba (Definition 2), ima (input
+// manipulation), evasion (§V-D), opportunistic (the §I trimming
+// critique), swtop (Fig. 8) — plus categorical injection for the
+// frequency task (targeted, maxgain), in-range distribution poisoning
+// for SW (distpoison), and composable wrappers: dropout (colluder
+// dropout), hetero (heterogeneous per-group collusion fractions), and
+// the epoch-adaptive streaming attackers ramp and burst, which key on
+// the attack.Env group/epoch context: the collectors provide the group
+// index, and daploadgen's client mix advances the epoch
+// (-attack-epochs). One-shot batch collections run at epoch 0, so the
+// epoch-less harnesses refuse (dapbench -spec, dapredteam extras) or
+// flag (dapsim) epoch-adaptive attacks instead of tabulating their
+// weakened epoch-0 phase. Wrappers nest ("ramp" over "bba" over any
+// range); unknown names fail with ErrUnknownAttack, wrapped into
+// ErrBadSpec at spec validation.
+//
+// Attack sections are simulation/client-side only: stream tenants and
+// the wire reject specs that carry them, so a red-team spec can never
+// configure a production tenant. Adversaries are deterministic for a
+// fixed rng stream, which is what keeps registry-driven experiments
+// reproducible seed-for-seed with the direct constructions (pinned by
+// tests).
+//
 // # Performance engine
 //
 // The EM hot path runs on a structured ("banded") representation of the

@@ -20,11 +20,20 @@ import (
 // Env is everything an adversary knows when poisoning one collection
 // round: the mechanism in use (public, per Kerckhoffs), its output domain,
 // and the collector's reference mean O (the attacker aims to drag the
-// estimate away from it).
+// estimate away from it). Group and Epoch locate the poisoned reports in
+// the protocol — colluders see which group each member joined and share an
+// epoch clock — and drive the heterogeneous (Hetero) and streaming (Ramp,
+// Burst) attacker families; plain batch adversaries ignore them.
 type Env struct {
 	Mech   ldp.Mechanism
 	Domain ldp.Domain
 	O      float64
+	// Group is the index of the protocol group the poisoned user sits in
+	// (0 in single-group collections).
+	Group int
+	// Epoch is the serving layer's epoch counter at poison time (0 in
+	// one-shot batch collections).
+	Epoch int
 }
 
 // EnvFor builds an Env from a mechanism.

@@ -1,0 +1,98 @@
+package attack
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// Targeted is the categorical direct-injection attack on the frequency
+// task (§V-D, Fig. 9(c)(d)): every Byzantine report lands uniformly among
+// the chosen target categories, skipping k-RR entirely. With a single
+// target it is the "targeted item" promotion attack of the LDP poisoning
+// literature. Reports are category ids encoded as float64 (the Collection
+// currency); Env.Domain is [0, K).
+type Targeted struct {
+	Cats []int
+}
+
+// Name implements Adversary.
+func (a *Targeted) Name() string { return fmt.Sprintf("Targeted(%v)", a.Cats) }
+
+// Poison implements Adversary.
+func (a *Targeted) Poison(r *rand.Rand, _ Env, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(a.Cats[r.IntN(len(a.Cats))])
+	}
+	return out
+}
+
+// MaxGain is the maximal-gain direct-injection attack against k-RR
+// frequency estimation (the MGA of the LDP poisoning literature, adapted
+// to DAP's direct-injection threat): all poison mass is concentrated on
+// the Targets highest-index categories — the frequency gain per poisoned
+// category is maximal when the injected mass is spread over as few
+// categories as possible, so Targets=1 (the default) is the strongest
+// promotion of a single item. The category count K is read from
+// Env.Domain ([0, K)), so one MaxGain value works for any spec.
+type MaxGain struct {
+	// Targets is the number of promoted categories (default 1).
+	Targets int
+}
+
+// Name implements Adversary.
+func (a *MaxGain) Name() string { return fmt.Sprintf("MaxGain(t=%d)", a.targets()) }
+
+func (a *MaxGain) targets() int {
+	if a.Targets <= 0 {
+		return 1
+	}
+	return a.Targets
+}
+
+// Poison implements Adversary.
+func (a *MaxGain) Poison(r *rand.Rand, env Env, n int) []float64 {
+	k := int(env.Domain.Hi)
+	t := a.targets()
+	if t > k {
+		t = k
+	}
+	base := k - t
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(base + r.IntN(t))
+	}
+	return out
+}
+
+// DistPoison is a distribution-poisoning attack on the Square Wave
+// distribution task: instead of dragging the mean with out-of-range
+// values (SWTop), the colluders submit reports drawn from a chosen target
+// distribution over the legitimate input range, reshaping the
+// reconstructed histogram x̂ toward that distribution while every poison
+// value stays indistinguishable-by-range from an honest report. On a
+// numeric mechanism the input range comes from Env.Mech; without one the
+// SW input range [0, 1] is assumed.
+type DistPoison struct {
+	// Dist shapes the injected values over the input range (the zero
+	// value is Uniform; the registry's "distpoison" entry defaults to
+	// Beta(6,1), piling mass at the top of the range).
+	Dist Dist
+}
+
+// Name implements Adversary.
+func (a *DistPoison) Name() string { return fmt.Sprintf("DistPoison(%s)", a.Dist) }
+
+// Poison implements Adversary.
+func (a *DistPoison) Poison(r *rand.Rand, env Env, n int) []float64 {
+	lo, hi := 0.0, 1.0
+	if env.Mech != nil {
+		id := env.Mech.InputDomain()
+		lo, hi = id.Lo, id.Hi
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = env.Domain.Clamp(a.Dist.sample(r, lo, hi))
+	}
+	return out
+}

@@ -1,0 +1,337 @@
+package attack
+
+// Registry tests mirroring internal/defense/registry_test.go: every name
+// builds, unknown names fail with ErrUnknown, specs survive a JSON
+// round-trip bit-identically (the rebuilt adversary draws the exact same
+// poison stream), and the registry path reproduces the directly
+// constructed adversaries at pinned seeds.
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"repro/internal/ldp"
+	"repro/internal/ldp/pm"
+	"repro/internal/ldp/sw"
+	"repro/internal/rng"
+)
+
+func f64(v float64) *float64 { return &v }
+
+// specFixtures covers every registry name with non-default parameters
+// where the attack has any.
+func specFixtures() []Spec {
+	return []Spec{
+		{Name: "none"},
+		{Name: "bba", Side: "left", Range: "[3C/4,C]", Dist: "gaussian"},
+		{Name: "bba"},
+		{Name: "gba", FracLeft: 0.3, LeftRange: "[O,C/2]", RightRange: "[C/2,C]", Dist: "beta61"},
+		{Name: "ima", G: f64(0.5)},
+		{Name: "evasion", A: 0.4},
+		{Name: "opportunistic", TrimFrac: 0.3, Margin: 0.05},
+		{Name: "swtop"},
+		{Name: "distpoison", Dist: "beta16"},
+		{Name: "targeted", Cats: []int{3, 7}},
+		{Name: "maxgain", Targets: 2},
+		{Name: "dropout", Frac: 0.3, Inner: &Spec{Name: "bba", Dist: "gaussian"}},
+		{Name: "hetero", GroupFrac: []float64{1, 0.5, 0}},
+		{Name: "ramp", Frac0: 0.1, Frac1: f64(0.9), Epochs: 4},
+		{Name: "burst", Period: 3, Duty: 2, Inner: &Spec{Name: "maxgain"}},
+	}
+}
+
+// envFor returns a poison environment matching the spec's task flavour.
+func envForSpec(sp Spec) Env {
+	if sp.Categorical() {
+		return Env{Domain: ldp.Domain{Lo: 0, Hi: 16}}
+	}
+	if sp.Name == "swtop" || sp.Name == "distpoison" {
+		m, err := sw.New(1)
+		if err != nil {
+			panic(err)
+		}
+		return EnvFor(m, 0.5)
+	}
+	return EnvFor(pm.MustNew(1), 0)
+}
+
+func poisonStream(t *testing.T, adv Adversary, env Env, seed uint64) []float64 {
+	t.Helper()
+	r := rng.New(seed)
+	var out []float64
+	for epoch := 0; epoch < 6; epoch++ {
+		e := env
+		e.Epoch = epoch
+		e.Group = epoch % 3
+		out = append(out, adv.Poison(r, e, 64)...)
+	}
+	return out
+}
+
+func TestSpecRoundTripBitIdentity(t *testing.T) {
+	for _, sp := range specFixtures() {
+		data, err := json.Marshal(sp)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", sp.Name, err)
+		}
+		var back Spec
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("%s: unmarshal: %v", sp.Name, err)
+		}
+		if !reflect.DeepEqual(sp, back) {
+			t.Fatalf("%s: spec changed over JSON: %+v != %+v", sp.Name, back, sp)
+		}
+		a1, err := New(sp)
+		if err != nil {
+			t.Fatalf("%s: build: %v", sp.Name, err)
+		}
+		a2, err := New(back)
+		if err != nil {
+			t.Fatalf("%s: rebuild: %v", sp.Name, err)
+		}
+		if a1.Name() != a2.Name() {
+			t.Fatalf("%s: names diverge: %q vs %q", sp.Name, a1.Name(), a2.Name())
+		}
+		env := envForSpec(sp)
+		s1 := poisonStream(t, a1, env, 7)
+		s2 := poisonStream(t, a2, env, 7)
+		if !reflect.DeepEqual(s1, s2) {
+			t.Fatalf("%s: poison streams diverge after round trip", sp.Name)
+		}
+	}
+}
+
+func TestSpecUnknownName(t *testing.T) {
+	for _, name := range []string{"", "byzantine", "bba2"} {
+		if _, err := New(Spec{Name: name}); !errors.Is(err, ErrUnknown) {
+			t.Fatalf("New(%q) = %v, want ErrUnknown", name, err)
+		}
+	}
+}
+
+func TestSpecBadParams(t *testing.T) {
+	bad := []Spec{
+		{Name: "bba", Side: "up"},
+		{Name: "bba", Range: "[C,2C]"},
+		{Name: "bba", Dist: "cauchy"},
+		{Name: "gba", FracLeft: 1.5},
+		{Name: "ima", G: f64(2)},
+		{Name: "evasion", A: -0.5},
+		{Name: "opportunistic", TrimFrac: 1.5},
+		{Name: "targeted"},
+		{Name: "targeted", Cats: []int{-1}},
+		{Name: "maxgain", Targets: -1},
+		{Name: "dropout", Frac: 2},
+		{Name: "hetero"},
+		{Name: "hetero", GroupFrac: []float64{2}},
+		{Name: "ramp", Frac0: -0.1},
+		{Name: "burst", Period: 2, Duty: 3},
+		{Name: "dropout", Inner: &Spec{Name: "nope"}},
+	}
+	for _, sp := range bad {
+		if _, err := New(sp); err == nil {
+			t.Fatalf("New(%+v) accepted a bad spec", sp)
+		}
+	}
+}
+
+func TestNamesCoverRegistry(t *testing.T) {
+	names := Names()
+	if len(names) < 14 {
+		t.Fatalf("registry has %d names, want >= 14: %v", len(names), names)
+	}
+	for _, name := range names {
+		sp := Spec{Name: name}
+		switch name {
+		case "targeted":
+			sp.Cats = []int{0}
+		case "hetero":
+			sp.GroupFrac = []float64{1, 0.5}
+		}
+		if _, err := New(sp); err != nil {
+			t.Fatalf("registered name %q does not build with defaults: %v", name, err)
+		}
+	}
+}
+
+// TestRegistryMatchesDirect pins the seed-for-seed equivalence between
+// registry-built adversaries and the directly constructed ones the simulator
+// used before the registry existed.
+func TestRegistryMatchesDirect(t *testing.T) {
+	cases := []struct {
+		spec   Spec
+		direct Adversary
+	}{
+		{Spec{Name: "none"}, None{}},
+		{Spec{Name: "bba"}, NewBBA(RangeHighHalf, DistUniform)},
+		{Spec{Name: "bba", Range: "[3C/4,C]", Dist: "gaussian"}, NewBBA(RangeHighQuarter, DistGaussian)},
+		{Spec{Name: "bba", Side: "left"}, &BBA{Side: SideLeft, Range: RangeHighHalf, Dist: DistUniform}},
+		{Spec{Name: "gba"}, &GBA{FracLeft: 0.5, LeftRange: RangeHighHalf, RightRange: RangeHighHalf, Dist: DistUniform}},
+		{Spec{Name: "ima", G: f64(-1)}, &IMA{G: -1}},
+		{Spec{Name: "ima"}, &IMA{G: -1}},
+		{Spec{Name: "evasion", A: 0.3}, &Evasion{A: 0.3}},
+		{Spec{Name: "opportunistic", TrimFrac: 0.5}, &Opportunistic{TrimFrac: 0.5}},
+		{Spec{Name: "swtop"}, SWTop{}},
+		{Spec{Name: "distpoison"}, &DistPoison{Dist: DistBeta61}},
+		{Spec{Name: "targeted", Cats: []int{5}}, &Targeted{Cats: []int{5}}},
+		{Spec{Name: "maxgain"}, &MaxGain{}},
+		{Spec{Name: "dropout"}, &Dropout{Frac: 0.5, Inner: NewBBA(RangeHighHalf, DistUniform)}},
+		{Spec{Name: "hetero", GroupFrac: []float64{1, 0}}, &Hetero{Fracs: []float64{1, 0}, Inner: NewBBA(RangeHighHalf, DistUniform)}},
+		{Spec{Name: "ramp"}, &Ramp{Frac0: 0, Frac1: 1, Epochs: 8, Inner: NewBBA(RangeHighHalf, DistUniform)}},
+		{Spec{Name: "burst"}, &Burst{Period: 4, Duty: 1, Inner: NewBBA(RangeHighHalf, DistUniform)}},
+	}
+	for _, tc := range cases {
+		built, err := New(tc.spec)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.spec.Name, err)
+		}
+		if built.Name() != tc.direct.Name() {
+			t.Fatalf("%s: name %q != direct %q", tc.spec.Name, built.Name(), tc.direct.Name())
+		}
+		env := envForSpec(tc.spec)
+		s1 := poisonStream(t, built, env, 11)
+		s2 := poisonStream(t, tc.direct, env, 11)
+		if !reflect.DeepEqual(s1, s2) {
+			t.Fatalf("%s: registry and direct poison streams diverge", tc.spec.Name)
+		}
+	}
+}
+
+func TestWrapperModulation(t *testing.T) {
+	r := rng.New(3)
+	env := EnvFor(pm.MustNew(1), 0)
+
+	hetero := &Hetero{Fracs: []float64{1, 0}, Inner: NewBBA(RangeHighHalf, DistUniform)}
+	e := env
+	e.Group = 0
+	if got := len(hetero.Poison(r, e, 100)); got != 100 {
+		t.Fatalf("hetero group 0 kept %d/100", got)
+	}
+	e.Group = 1
+	if got := len(hetero.Poison(r, e, 100)); got != 0 {
+		t.Fatalf("hetero group 1 kept %d/100, want 0", got)
+	}
+	e.Group = 2 // cycles back to frac 1
+	if got := len(hetero.Poison(r, e, 100)); got != 100 {
+		t.Fatalf("hetero group 2 kept %d/100", got)
+	}
+
+	ramp := &Ramp{Frac0: 0, Frac1: 1, Epochs: 5, Inner: NewBBA(RangeHighHalf, DistUniform)}
+	var prev int
+	for epoch := 0; epoch < 7; epoch++ {
+		e := env
+		e.Epoch = epoch
+		got := len(ramp.Poison(r, e, 100))
+		want := int(math.Round(ramp.active(epoch) * 100))
+		if got != want {
+			t.Fatalf("ramp epoch %d kept %d, want %d", epoch, got, want)
+		}
+		if got < prev {
+			t.Fatalf("ramp shrank at epoch %d: %d < %d", epoch, got, prev)
+		}
+		prev = got
+	}
+	if ramp.active(0) != 0 || ramp.active(4) != 1 || ramp.active(99) != 1 {
+		t.Fatalf("ramp endpoints wrong: %v %v %v", ramp.active(0), ramp.active(4), ramp.active(99))
+	}
+
+	burst := &Burst{Period: 3, Duty: 1, Inner: NewBBA(RangeHighHalf, DistUniform)}
+	for epoch := 0; epoch < 9; epoch++ {
+		e := env
+		e.Epoch = epoch
+		got := len(burst.Poison(r, e, 50))
+		if epoch%3 == 0 && got != 50 {
+			t.Fatalf("burst epoch %d kept %d, want 50", epoch, got)
+		}
+		if epoch%3 != 0 && got != 0 {
+			t.Fatalf("burst epoch %d kept %d, want 0", epoch, got)
+		}
+	}
+
+	drop := &Dropout{Frac: 0.5, Inner: NewBBA(RangeHighHalf, DistUniform)}
+	total := 0
+	for i := 0; i < 50; i++ {
+		total += len(drop.Poison(r, env, 100))
+	}
+	if total < 2200 || total > 2800 {
+		t.Fatalf("dropout kept %d/5000 reports, want about half", total)
+	}
+}
+
+func TestCategoricalAdversaries(t *testing.T) {
+	r := rng.New(5)
+	env := Env{Domain: ldp.Domain{Lo: 0, Hi: 10}}
+
+	tg := &Targeted{Cats: []int{2, 4}}
+	for _, v := range tg.Poison(r, env, 500) {
+		if v != 2 && v != 4 {
+			t.Fatalf("targeted injected %v outside its category set", v)
+		}
+	}
+
+	mg := &MaxGain{Targets: 2}
+	seen := map[float64]bool{}
+	for _, v := range mg.Poison(r, env, 500) {
+		if v != 8 && v != 9 {
+			t.Fatalf("maxgain injected %v, want top-2 categories", v)
+		}
+		seen[v] = true
+	}
+	if !seen[8] || !seen[9] {
+		t.Fatalf("maxgain did not spread over its targets: %v", seen)
+	}
+}
+
+func TestDistPoisonStaysInInputRange(t *testing.T) {
+	r := rng.New(6)
+	m, err := sw.New(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := EnvFor(m, 0.5)
+	dp := &DistPoison{Dist: DistBeta61}
+	var mean float64
+	vals := dp.Poison(r, env, 4000)
+	for _, v := range vals {
+		if v < 0 || v > 1 {
+			t.Fatalf("distpoison value %v outside the SW input range [0,1]", v)
+		}
+		mean += v
+	}
+	mean /= float64(len(vals))
+	if mean < 0.7 {
+		t.Fatalf("Beta(6,1) poison should skew high, mean %v", mean)
+	}
+}
+
+// mustPoisonLen asserts an adversary emits n reports (helper for the
+// categorical equality test below).
+func mustPoisonLen(t *testing.T, adv Adversary, env Env, r *rand.Rand, n int) []float64 {
+	t.Helper()
+	out := adv.Poison(r, env, n)
+	if len(out) != n {
+		t.Fatalf("%s emitted %d reports, want %d", adv.Name(), len(out), n)
+	}
+	return out
+}
+
+func TestTargetedMatchesInlineDraws(t *testing.T) {
+	// CollectFreq's historical inline loop drew one IntN per report;
+	// Targeted must consume the stream identically so the adversary path
+	// reproduces the legacy collection bit for bit.
+	cats := []int{1, 3, 9}
+	env := Env{Domain: ldp.Domain{Lo: 0, Hi: 12}}
+	r1 := rng.New(9)
+	got := mustPoisonLen(t, &Targeted{Cats: cats}, env, r1, 200)
+	r2 := rng.New(9)
+	for i := 0; i < 200; i++ {
+		want := float64(cats[r2.IntN(len(cats))])
+		if got[i] != want {
+			t.Fatalf("report %d: %v != inline draw %v", i, got[i], want)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package attack
+
+// Stateful attacker families for the streaming and heterogeneous threat
+// models: wrappers that modulate an inner adversary's poison volume by
+// group (Hetero), by epoch (Ramp, Burst) or per report (Dropout). The
+// modulation is a pure function of Env — colluders coordinate through the
+// public protocol state (group assignment, epoch clock) rather than
+// hidden shared memory — so every wrapped adversary stays deterministic
+// for a fixed rng stream and safe to share across goroutines.
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"strings"
+)
+
+// Dropout models colluder dropout (and, adversarially, deliberate
+// under-reporting to starve the collector): each of the n poison report
+// slots is independently dropped with probability Frac, and the inner
+// adversary fills only the surviving slots. Groups receiving fewer
+// reports shift the collector's n̂_t accounting — the dropout-resilience
+// scenario of the hierarchical secure-aggregation literature.
+type Dropout struct {
+	// Frac is the per-report drop probability.
+	Frac float64
+	// Inner produces the surviving poison reports.
+	Inner Adversary
+}
+
+// Name implements Adversary.
+func (a *Dropout) Name() string {
+	return fmt.Sprintf("Dropout(%.0f%%, %s)", a.Frac*100, a.Inner.Name())
+}
+
+// Poison implements Adversary.
+func (a *Dropout) Poison(r *rand.Rand, env Env, n int) []float64 {
+	kept := 0
+	for i := 0; i < n; i++ {
+		if r.Float64() >= a.Frac {
+			kept++
+		}
+	}
+	return a.Inner.Poison(r, env, kept)
+}
+
+// Hetero models heterogeneous collusion across sub-populations: the
+// colluding fraction differs per protocol group (the arbitrary-collusion
+// setting of the multi-server secure-aggregation literature, mapped onto
+// DAP's group axis). Group t poisons Fracs[t mod len(Fracs)] of its
+// report slots through the inner adversary and stays silent on the rest,
+// so e.g. Fracs{1, 0} attacks every other group at full strength.
+type Hetero struct {
+	// Fracs are the per-group active fractions, cycled over the groups.
+	Fracs []float64
+	// Inner produces the active poison reports.
+	Inner Adversary
+}
+
+// Name implements Adversary.
+func (a *Hetero) Name() string {
+	parts := make([]string, len(a.Fracs))
+	for i, f := range a.Fracs {
+		parts[i] = fmt.Sprintf("%g", f)
+	}
+	return fmt.Sprintf("Hetero([%s], %s)", strings.Join(parts, " "), a.Inner.Name())
+}
+
+// Poison implements Adversary.
+func (a *Hetero) Poison(r *rand.Rand, env Env, n int) []float64 {
+	f := a.Fracs[env.Group%len(a.Fracs)]
+	return a.Inner.Poison(r, env, int(math.Round(f*float64(n))))
+}
+
+// Ramp is a streaming attacker that escalates across epochs: the active
+// poison fraction grows linearly from Frac0 at epoch 0 to Frac1 at epoch
+// Epochs−1 and holds there. Ramping defeats defenses calibrated on early
+// epochs — the attack looks harmless while baselines are learned, then
+// reaches full strength.
+type Ramp struct {
+	// Frac0 and Frac1 are the active fractions at the ramp's ends.
+	Frac0, Frac1 float64
+	// Epochs is the ramp length (≤ 1 jumps straight to Frac1).
+	Epochs int
+	// Inner produces the active poison reports.
+	Inner Adversary
+}
+
+// Name implements Adversary.
+func (a *Ramp) Name() string {
+	return fmt.Sprintf("Ramp(%g→%g over %d, %s)", a.Frac0, a.Frac1, a.Epochs, a.Inner.Name())
+}
+
+// active returns the poison fraction at epoch e.
+func (a *Ramp) active(e int) float64 {
+	if a.Epochs <= 1 || e >= a.Epochs-1 {
+		return a.Frac1
+	}
+	if e < 0 {
+		e = 0
+	}
+	return a.Frac0 + (a.Frac1-a.Frac0)*float64(e)/float64(a.Epochs-1)
+}
+
+// Poison implements Adversary.
+func (a *Ramp) Poison(r *rand.Rand, env Env, n int) []float64 {
+	return a.Inner.Poison(r, env, int(math.Round(a.active(env.Epoch)*float64(n))))
+}
+
+// Burst is an epoch-synchronized burst attacker: the colluders poison at
+// full strength during the first Duty epochs of every Period-epoch cycle
+// and stay silent otherwise. Bursts concentrate the attack budget into
+// few windows — each burst epoch is hit as hard as a sustained attack
+// while the tenant's long-run average poison volume stays low.
+type Burst struct {
+	// Period is the cycle length in epochs; Duty is how many of them are
+	// poisoned (1 ≤ Duty ≤ Period).
+	Period, Duty int
+	// Inner produces the burst-epoch poison reports.
+	Inner Adversary
+}
+
+// Name implements Adversary.
+func (a *Burst) Name() string {
+	return fmt.Sprintf("Burst(%d/%d, %s)", a.Duty, a.Period, a.Inner.Name())
+}
+
+// Poison implements Adversary.
+func (a *Burst) Poison(r *rand.Rand, env Env, n int) []float64 {
+	e := env.Epoch
+	if e < 0 {
+		e = -e
+	}
+	if e%a.Period >= a.Duty {
+		return nil
+	}
+	return a.Inner.Poison(r, env, n)
+}

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/attack"
+	"repro/internal/core"
 )
 
 // tinyConfig keeps smoke tests fast; the real harness scales N up.
@@ -16,7 +17,7 @@ func tinyConfig() Config {
 
 func TestExperimentsRegistry(t *testing.T) {
 	names := Experiments()
-	want := []string{"ablation", "fig10", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "spec", "table1"}
+	want := []string{"ablation", "fig10", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "matrix", "spec", "table1"}
 	if len(names) != len(want) {
 		t.Fatalf("experiments = %v", names)
 	}
@@ -263,5 +264,17 @@ func TestConfigDefaults(t *testing.T) {
 	c := Config{}.withDefaults()
 	if c.N != 20000 || c.Trials != 3 || c.Seed != 1 || c.EMFMaxIter != 200 {
 		t.Fatalf("defaults = %+v", c)
+	}
+}
+
+// TestSpecSweepRejectsEpochAdaptiveAttacks: the batch sweep has no epoch
+// axis, so ramp/burst specs fail loudly instead of sweeping their
+// epoch-0 strength.
+func TestSpecSweepRejectsEpochAdaptiveAttacks(t *testing.T) {
+	cfg := tinyConfig()
+	sp := core.NewSpec(core.MeanTask(), core.WithAttack(attack.Spec{Name: "ramp"}))
+	cfg.Spec = &sp
+	if _, err := SpecSweep(cfg); err == nil {
+		t.Fatal("epoch-adaptive attack accepted by the batch spec sweep")
 	}
 }

@@ -31,6 +31,12 @@ func SpecSweep(cfg Config) ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The sweep is one-shot batch simulation — there is no epoch axis, so
+	// an epoch-adaptive attack would silently run at its epoch-0 strength
+	// (a default ramp emits nothing). Fail loudly instead.
+	if sp.Attack != nil && sp.Attack.EpochAdaptive() {
+		return nil, fmt.Errorf("bench: attack %q is epoch-adaptive and the spec sweep has no epochs; drive it with daploadgen -attack-epochs", sp.Attack.Name)
+	}
 	if sp.Task == core.TaskFrequency {
 		return specSweepFreq(cfg, sp, est)
 	}
@@ -63,14 +69,20 @@ func SpecSweep(cfg Config) ([]*Table, error) {
 	}
 
 	gammas := []float64{0, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45}
-	adv := attack.NewBBA(attack.RangeHighHalf, attack.DistUniform)
+	// The spec's attack section selects the swept adversary through the
+	// registry; specs without one sweep the paper's standard BBA.
+	adv, err := specAdversary(sp)
+	if err != nil {
+		return nil, err
+	}
 	// The Ostrich column estimates the mean on the PM collection, so it is
 	// only comparable for mean-task specs; other tasks estimate a
 	// different quantity (or domain) and get the spec column alone.
 	withOstrich := sp.Task == core.TaskMean
 	p := cfg.newPool()
 	table := &Table{
-		Title:  fmt.Sprintf("spec sweep: task=%s scheme=%s ε=%g (MSE vs γ, %s)", sp.Task, sp.Scheme, sp.Eps, ds.Name),
+		Title: fmt.Sprintf("spec sweep: task=%s scheme=%s ε=%g attack=%s (MSE vs γ, %s)",
+			sp.Task, sp.Scheme, sp.Eps, adv.Name(), ds.Name),
 		Header: []string{"gamma", "spec", "emf_iters", "converged"},
 	}
 	if withOstrich {
@@ -161,49 +173,50 @@ func SpecSweep(cfg Config) ([]*Table, error) {
 	return []*Table{table}, nil
 }
 
-// specSweepFreq sweeps a direct-injection attack for a frequency spec
-// over a synthetic Zipf-ish categorical population.
+// specAdversary resolves a spec's attack section through the registry,
+// defaulting to the paper's standard BBA.
+func specAdversary(sp core.Spec) (attack.Adversary, error) {
+	adv, err := sp.Adversary()
+	if err != nil {
+		return nil, err
+	}
+	if adv == nil {
+		adv = attack.NewBBA(attack.RangeHighHalf, attack.DistUniform)
+	}
+	return adv, nil
+}
+
+// specSweepFreq sweeps a categorical attack for a frequency spec over a
+// synthetic Zipf-ish categorical population: the spec's attack section
+// when present, the historical top-category direct injection otherwise.
 func specSweepFreq(cfg Config, sp core.Spec, est core.Estimator) ([]*Table, error) {
-	runner, ok := est.(core.CatRunner)
+	runner, ok := est.(core.CatAdvRunner)
 	if !ok {
 		return nil, fmt.Errorf("bench: task %q has no categorical simulation entry point", sp.Task)
 	}
-	// Deterministic skewed population over the spec's K categories.
-	weights := make([]float64, sp.K)
-	var wSum float64
-	for j := range weights {
-		weights[j] = 1 / float64(j+1)
-		wSum += weights[j]
+	// Deterministic skewed population over the spec's K categories (shared
+	// with the red-team matrix).
+	cats, truth := zipfCats(cfg.N, sp.K)
+	adv, err := sp.Adversary()
+	if err != nil {
+		return nil, err
 	}
-	truth := make([]float64, sp.K)
-	cats := make([]int, cfg.N)
-	idx := 0
-	for j := range weights {
-		cnt := int(weights[j] / wSum * float64(cfg.N))
-		for c := 0; c < cnt && idx < len(cats); c++ {
-			cats[idx] = j
-			idx++
-		}
+	if adv == nil {
+		adv = &attack.Targeted{Cats: []int{sp.K - 1}}
 	}
-	for ; idx < len(cats); idx++ {
-		cats[idx] = 0
-	}
-	for _, c := range cats {
-		truth[c] += 1 / float64(len(cats))
-	}
-	poison := []int{sp.K - 1}
 
 	gammas := []float64{0, 0.1, 0.2, 0.3, 0.4}
 	p := cfg.newPool()
 	table := &Table{
-		Title:  fmt.Sprintf("spec sweep: task=%s K=%d ε=%g (frequency MSE vs γ)", sp.Task, sp.K, sp.Eps),
+		Title: fmt.Sprintf("spec sweep: task=%s K=%d ε=%g attack=%s (frequency MSE vs γ)",
+			sp.Task, sp.K, sp.Eps, adv.Name()),
 		Header: []string{"gamma", "spec"},
 	}
 	futs := make([]*future[float64], len(gammas))
 	for i, g := range gammas {
 		gamma := g
 		futs[i] = p.mseVec(cfg.Seed+uint64(i)*1000, cfg.Trials, truth, func(r *rand.Rand) ([]float64, error) {
-			res, err := runner.RunCats(r, cats, poison, gamma)
+			res, err := runner.RunCatsAdv(r, cats, adv, gamma)
 			if err != nil {
 				return nil, err
 			}

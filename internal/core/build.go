@@ -107,6 +107,13 @@ type CatRunner interface {
 	RunCats(r *rand.Rand, cats []int, poisonCats []int, gamma float64) (*Result, error)
 }
 
+// CatAdvRunner is the categorical simulation entry point under a
+// registry-selected adversary (attack.New): Byzantine users inject the
+// categories the adversary emits instead of a fixed uniform poison set.
+type CatAdvRunner interface {
+	RunCatsAdv(r *rand.Rand, cats []int, adv attack.Adversary, gamma float64) (*Result, error)
+}
+
 // Collector is implemented by estimators whose user side can be simulated
 // into a raw Collection (the input of Estimate).
 type Collector interface {
@@ -370,6 +377,14 @@ func (e *freqEstimator) EstimateHist(ctx context.Context, hc *HistCollection) (*
 
 func (e *freqEstimator) RunCats(r *rand.Rand, cats []int, poisonCats []int, gamma float64) (*Result, error) {
 	est, err := e.d.Run(r, cats, poisonCats, gamma)
+	if err != nil {
+		return nil, err
+	}
+	return resultOfFreq(est), nil
+}
+
+func (e *freqEstimator) RunCatsAdv(r *rand.Rand, cats []int, adv attack.Adversary, gamma float64) (*Result, error) {
+	est, err := e.d.RunAdv(r, cats, adv, gamma)
 	if err != nil {
 		return nil, err
 	}

@@ -138,6 +138,7 @@ func (d *DAP) Collect(r *rand.Rand, values []float64, adv attack.Adversary, gamm
 		g := d.groups[t]
 		mech := d.mechs[t]
 		env := attack.EnvFor(mech, d.p.OPrime)
+		env.Group = t
 		reports := make([]float64, 0, (hi-lo)*g.Reports)
 		for _, u := range perm[lo:hi] {
 			if u < nByz {

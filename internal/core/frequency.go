@@ -6,7 +6,9 @@ import (
 	"math"
 	"math/rand/v2"
 
+	"repro/internal/attack"
 	"repro/internal/emf"
+	"repro/internal/ldp"
 	"repro/internal/ldp/krr"
 	"repro/internal/stats"
 )
@@ -79,15 +81,10 @@ type FreqCollection struct {
 // CollectFreq simulates the user side: normal users k-RR-perturb their
 // category once per report slot; Byzantine users report uniformly among
 // poisonCats directly (no perturbation — the direct-injection threat of
-// Fig. 9(c)(d)).
+// Fig. 9(c)(d)). It is the Targeted-adversary special case of
+// CollectFreqAdv, kept as the historical entry point; the two produce
+// bit-identical collections at equal seeds.
 func (d *FreqDAP) CollectFreq(r *rand.Rand, cats []int, poisonCats []int, gamma float64) (*FreqCollection, error) {
-	n := len(cats)
-	if n < d.H() {
-		return nil, errors.New("core: fewer users than groups")
-	}
-	if gamma < 0 || gamma >= 1 {
-		return nil, errors.New("core: gamma must lie in [0,1)")
-	}
 	if gamma > 0 && len(poisonCats) == 0 {
 		return nil, errors.New("core: gamma > 0 requires poison categories")
 	}
@@ -95,6 +92,29 @@ func (d *FreqDAP) CollectFreq(r *rand.Rand, cats []int, poisonCats []int, gamma 
 		if c < 0 || c >= d.p.K {
 			return nil, fmt.Errorf("core: poison category %d out of range", c)
 		}
+	}
+	var adv attack.Adversary = attack.None{}
+	if len(poisonCats) > 0 {
+		adv = &attack.Targeted{Cats: poisonCats}
+	}
+	return d.CollectFreqAdv(r, cats, adv, gamma)
+}
+
+// CollectFreqAdv simulates the user side under an arbitrary categorical
+// adversary: normal users k-RR-perturb their category once per report
+// slot; Byzantine users inject the categories adv emits (as float64 ids
+// over the domain [0, K)) directly, no perturbation. Reports outside
+// [0, K) or non-integral are rejected with ErrDomain.
+func (d *FreqDAP) CollectFreqAdv(r *rand.Rand, cats []int, adv attack.Adversary, gamma float64) (*FreqCollection, error) {
+	n := len(cats)
+	if n < d.H() {
+		return nil, errors.New("core: fewer users than groups")
+	}
+	if gamma < 0 || gamma >= 1 {
+		return nil, errors.New("core: gamma must lie in [0,1)")
+	}
+	if adv == nil {
+		adv = attack.None{}
 	}
 	nByz := int(math.Round(gamma * float64(n)))
 	// One shuffle provides both the Byzantine subset (the fixed ids
@@ -108,12 +128,20 @@ func (d *FreqDAP) CollectFreq(r *rand.Rand, cats []int, poisonCats []int, gamma 
 		lo, hi := t*n/h, (t+1)*n/h
 		g := d.groups[t]
 		mech := d.mechs[t]
+		env := attack.Env{Domain: ldp.Domain{Lo: 0, Hi: float64(d.p.K)}, Group: t}
 		counts := make([]float64, d.p.K)
 		for _, u := range perm[lo:hi] {
-			for k := 0; k < g.Reports; k++ {
-				if u < nByz {
-					counts[poisonCats[r.IntN(len(poisonCats))]]++
-				} else {
+			if u < nByz {
+				for _, v := range adv.Poison(r, env, g.Reports) {
+					c := int(v)
+					if v != float64(c) || c < 0 || c >= d.p.K {
+						return nil, fmt.Errorf("core: attack %q emitted %g, not a category in [0,%d): %w",
+							adv.Name(), v, d.p.K, ErrDomain)
+					}
+					counts[c]++
+				}
+			} else {
+				for k := 0; k < g.Reports; k++ {
 					counts[mech.PerturbCat(r, cats[u])]++
 				}
 			}
@@ -272,6 +300,16 @@ func (d *FreqDAP) EstimateFreqWarm(col *FreqCollection, warm *WarmState) (*FreqE
 // point, named identically across all protocol variants.
 func (d *FreqDAP) Run(r *rand.Rand, cats []int, poisonCats []int, gamma float64) (*FreqEstimate, error) {
 	col, err := d.CollectFreq(r, cats, poisonCats, gamma)
+	if err != nil {
+		return nil, err
+	}
+	return d.EstimateFreq(col)
+}
+
+// RunAdv is CollectFreqAdv followed by EstimateFreq — the simulation
+// entry point for registry-selected categorical adversaries.
+func (d *FreqDAP) RunAdv(r *rand.Rand, cats []int, adv attack.Adversary, gamma float64) (*FreqEstimate, error) {
+	col, err := d.CollectFreqAdv(r, cats, adv, gamma)
 	if err != nil {
 		return nil, err
 	}

@@ -9,6 +9,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/attack"
 	"repro/internal/defense"
 )
 
@@ -163,6 +164,12 @@ type Spec struct {
 	// Defense replaces the DAP protocol with a comparator defense over a
 	// single-group collection at budget Eps (TaskMean only).
 	Defense *defense.Spec `json:"defense,omitempty"`
+	// Attack names the simulated adversary for the spec's simulation faces
+	// (dapsim, dapbench -spec, the red-team matrix, daploadgen's client
+	// mix), selected from the attack registry (attack.New). Like the other
+	// simulation-only faces it never crosses the wire: stream tenants and
+	// the collector reject specs that carry it.
+	Attack *attack.Spec `json:"attack,omitempty"`
 	// Serve carries the serving-layer parameters for stream tenants.
 	Serve *ServeSpec `json:"serve,omitempty"`
 }
@@ -232,6 +239,12 @@ func WithDomain(lo, hi float64) Option {
 // WithDefense replaces the protocol with the named comparator defense.
 func WithDefense(d defense.Spec) Option {
 	return func(sp *Spec) { sp.Defense = &d }
+}
+
+// WithAttack names the simulated adversary driving the spec's simulation
+// faces (see Spec.Attack).
+func WithAttack(a attack.Spec) Option {
+	return func(sp *Spec) { sp.Attack = &a }
 }
 
 // WithOPrime fixes the pessimistic mean initialization O′.
@@ -360,6 +373,22 @@ func (sp Spec) Validate() error {
 			return badSpec("unknown defense side %q (want left or right)", sp.Defense.Side)
 		}
 	}
+	if a := sp.Attack; a != nil {
+		if _, err := attack.New(*a); err != nil {
+			// %w on both: callers branch on ErrBadSpec or attack.ErrUnknown.
+			return fmt.Errorf("%w: %w", ErrBadSpec, err)
+		}
+		// "none" fits every task; otherwise categorical attacks pair with
+		// the frequency task and numeric attacks with everything else.
+		if !strings.EqualFold(a.Name, "none") && a.Categorical() != (sp.Task == TaskFrequency) {
+			if a.Categorical() {
+				return badSpec("attack %q injects categories and applies to task %q only (got %q)",
+					a.Name, TaskFrequency, sp.Task)
+			}
+			return badSpec("attack %q injects numeric reports and cannot drive task %q (use a categorical attack such as targeted or maxgain)",
+				a.Name, sp.Task)
+		}
+	}
 	if d := sp.Domain; d != nil {
 		if math.IsNaN(d.Lo) || math.IsNaN(d.Hi) || math.IsInf(d.Lo, 0) || math.IsInf(d.Hi, 0) || d.Lo >= d.Hi {
 			return fmt.Errorf("%w: domain [%g, %g] is empty or non-finite: %w",
@@ -416,6 +445,20 @@ func (sp Spec) FromUnit(v float64) float64 {
 	}
 	lo, hi := sp.unitDomain()
 	return sp.Domain.Lo + (sp.Domain.Hi-sp.Domain.Lo)*(v-lo)/(hi-lo)
+}
+
+// Adversary builds the spec's simulated adversary from the attack
+// registry, or nil when the spec carries no attack section (callers keep
+// their own default). Build errors wrap ErrBadSpec.
+func (sp Spec) Adversary() (attack.Adversary, error) {
+	if sp.Attack == nil {
+		return nil, nil
+	}
+	adv, err := attack.New(*sp.Attack)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrBadSpec, err)
+	}
+	return adv, nil
 }
 
 // MarshalJSONIndent renders the spec as the canonical indented JSON used

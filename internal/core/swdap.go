@@ -94,6 +94,7 @@ func (d *SWDAP) Collect(r *rand.Rand, values []float64, adv attack.Adversary, ga
 		g := d.groups[t]
 		mech := d.mechs[t]
 		env := attack.EnvFor(mech, 0.5) // O anchored mid-domain for ranges
+		env.Group = t
 		reports := make([]float64, 0, (hi-lo)*g.Reports)
 		for _, u := range assign[lo:hi] {
 			if isByz[u] {

@@ -8,9 +8,15 @@
 package specflag
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
+	"fmt"
+	"os"
+	"strings"
 	"time"
 
+	"repro/internal/attack"
 	"repro/internal/core"
 )
 
@@ -19,8 +25,14 @@ import (
 type Flags struct {
 	fs   *flag.FlagSet
 	path string
+	// defAttack keeps the default spec's full attack section: the -attack
+	// flag default can only carry its name, so the no-file Resolve path
+	// restores the parameterized section unless the flag was explicitly
+	// set.
+	defAttack *attack.Spec
 
 	task, scheme, weights     string
+	attackF                   string
 	eps, eps0                 float64
 	k                         int
 	oPrime, gammaSup          float64
@@ -40,6 +52,10 @@ type Flags struct {
 func New(fs *flag.FlagSet, def core.Spec) *Flags {
 	def = def.Normalize()
 	f := &Flags{fs: fs}
+	if def.Attack != nil {
+		a := *def.Attack
+		f.defAttack = &a
+	}
 	fs.StringVar(&f.path, "spec", "", "JSON task spec file; explicit flags below override its fields")
 	fs.StringVar(&f.task, "task", string(def.Task), "task kind: mean, distribution, frequency, variance, baseline")
 	fs.StringVar(&f.task, "kind", string(def.Task), "alias of -task")
@@ -54,6 +70,8 @@ func New(fs *flag.FlagSet, def core.Spec) *Flags {
 	fs.Float64Var(&f.suppress, "suppress", def.SuppressFactor, "CEMF* concentration threshold factor (0 = 0.5)")
 	fs.IntVar(&f.maxIter, "emf-maxiter", def.EMFMaxIter, "EM iteration cap (0 = engine default)")
 	fs.Float64Var(&f.trimFrac, "trim-frac", def.TrimFrac, "SW pessimistic-O′ trim fraction (task distribution)")
+	fs.StringVar(&f.attackF, "attack", attackDefault(def),
+		"simulated adversary: a registry name (see attack.Names), inline JSON {\"name\":...}, or @file.json; \"none\" disables the attack")
 
 	serve := core.ServeSpec{}
 	if def.Serve != nil {
@@ -72,12 +90,76 @@ func New(fs *flag.FlagSet, def core.Spec) *Flags {
 // Path returns the -spec file path ("" when none was given).
 func (f *Flags) Path() string { return f.path }
 
+// attackDefault renders a default spec's attack section as the -attack
+// flag default (its registry name, or "" when the spec carries none).
+func attackDefault(def core.Spec) string {
+	if def.Attack == nil {
+		return ""
+	}
+	return def.Attack.Name
+}
+
+// ParseAttack resolves a -attack flag value into an attack spec: "" means
+// unset (nil), "@path" loads a JSON attack spec file, a leading "{" parses
+// inline JSON, anything else is a registry name with default parameters
+// ("none" included — pass it to clear a spec file's attack section).
+func ParseAttack(s string) (*attack.Spec, error) {
+	switch {
+	case s == "":
+		return nil, nil
+	case strings.HasPrefix(s, "@"):
+		data, err := os.ReadFile(s[1:])
+		if err != nil {
+			return nil, err
+		}
+		return decodeAttack(data)
+	case strings.HasPrefix(s, "{"):
+		return decodeAttack([]byte(s))
+	default:
+		return &attack.Spec{Name: s}, nil
+	}
+}
+
+// decodeAttack parses a JSON attack spec strictly, mirroring
+// core.ParseSpec's unknown-field rejection.
+func decodeAttack(data []byte) (*attack.Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var sp attack.Spec
+	if err := dec.Decode(&sp); err != nil {
+		return nil, fmt.Errorf("%w: attack: %v", core.ErrBadSpec, err)
+	}
+	return &sp, nil
+}
+
+// Attack resolves the -attack flag value alone (nil when the flag was
+// left empty) — for CLIs that drive an adversary without resolving a full
+// task spec, e.g. daploadgen against an external collector.
+func (f *Flags) Attack() (*attack.Spec, error) { return ParseAttack(f.attackF) }
+
 // Resolve returns the effective spec: the flag values when no -spec file
 // was given, otherwise the file's spec with every explicitly-set flag
 // applied on top. The result is validated.
 func (f *Flags) Resolve() (core.Spec, error) {
+	attackSet := false
+	f.fs.Visit(func(fl *flag.Flag) {
+		if fl.Name == "attack" {
+			attackSet = true
+		}
+	})
 	if f.path == "" {
 		sp := f.flagSpec()
+		if attackSet {
+			a, err := ParseAttack(f.attackF)
+			if err != nil {
+				return core.Spec{}, err
+			}
+			sp.Attack = a
+		} else {
+			// Flag untouched: keep the default spec's full attack section
+			// (the flag default string alone cannot carry its parameters).
+			sp.Attack = f.defAttack
+		}
 		if err := sp.Validate(); err != nil {
 			return core.Spec{}, err
 		}
@@ -87,7 +169,18 @@ func (f *Flags) Resolve() (core.Spec, error) {
 	if err != nil {
 		return core.Spec{}, err
 	}
-	f.fs.Visit(func(fl *flag.Flag) { f.override(&sp, fl.Name) })
+	f.fs.Visit(func(fl *flag.Flag) {
+		if fl.Name != "attack" {
+			f.override(&sp, fl.Name)
+		}
+	})
+	if attackSet {
+		a, err := ParseAttack(f.attackF)
+		if err != nil {
+			return core.Spec{}, err
+		}
+		sp.Attack = a
+	}
 	if err := sp.Validate(); err != nil {
 		return core.Spec{}, err
 	}

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/attack"
 	"repro/internal/core"
 )
 
@@ -73,5 +74,93 @@ func TestResolveRejectsBadSpecs(t *testing.T) {
 	f2, _ := newSet(t, []string{"-spec", path})
 	if _, err := f2.Resolve(); err == nil {
 		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestAttackFlag(t *testing.T) {
+	// A bare name selects a registry attack with defaults.
+	f, _ := newSet(t, []string{"-attack", "gba"})
+	sp, err := f.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Attack == nil || sp.Attack.Name != "gba" {
+		t.Fatalf("attack flag lost: %+v", sp.Attack)
+	}
+	// Inline JSON carries parameters; unknown fields are rejected.
+	f2, _ := newSet(t, []string{"-attack", `{"name":"bba","dist":"gaussian"}`})
+	sp2, err := f2.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp2.Attack == nil || sp2.Attack.Dist != "gaussian" {
+		t.Fatalf("inline attack lost: %+v", sp2.Attack)
+	}
+	f3, _ := newSet(t, []string{"-attack", `{"name":"bba","strength":9}`})
+	if _, err := f3.Resolve(); err == nil {
+		t.Fatal("unknown attack field accepted")
+	}
+	// An @file value loads a JSON attack spec.
+	path := filepath.Join(t.TempDir(), "atk.json")
+	if err := os.WriteFile(path, []byte(`{"name":"ramp","epochs":3}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f4, _ := newSet(t, []string{"-attack", "@" + path})
+	sp4, err := f4.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp4.Attack == nil || sp4.Attack.Name != "ramp" || sp4.Attack.Epochs != 3 {
+		t.Fatalf("@file attack lost: %+v", sp4.Attack)
+	}
+	// -attack overrides a spec file's attack section.
+	specPath := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(specPath, []byte(`{"task":"mean","eps":1,"attack":{"name":"bba"}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f5, _ := newSet(t, []string{"-spec", specPath, "-attack", "ima"})
+	sp5, err := f5.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp5.Attack == nil || sp5.Attack.Name != "ima" {
+		t.Fatalf("attack override lost: %+v", sp5.Attack)
+	}
+	// A registry-unknown attack fails validation at Resolve.
+	f6, _ := newSet(t, []string{"-attack", "quantum"})
+	if _, err := f6.Resolve(); err == nil {
+		t.Fatal("unknown attack name accepted")
+	}
+}
+
+func TestAttackDefaultKeepsParameters(t *testing.T) {
+	// A default spec's parameterized attack section must survive Resolve
+	// untouched — the -attack flag default string carries only the name.
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	def := core.NewSpec(core.MeanTask(),
+		core.WithAttack(attack.Spec{Name: "bba", Range: "[3C/4,C]", Dist: "gaussian"}))
+	f := New(fs, def)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	sp, err := f.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Attack == nil || sp.Attack.Dist != "gaussian" || sp.Attack.Range != "[3C/4,C]" {
+		t.Fatalf("default attack parameters lost: %+v", sp.Attack)
+	}
+	// Changing the flag replaces the whole section.
+	fs2 := flag.NewFlagSet("test", flag.ContinueOnError)
+	f2 := New(fs2, def)
+	if err := fs2.Parse([]string{"-attack", "ima"}); err != nil {
+		t.Fatal(err)
+	}
+	sp2, err := f2.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp2.Attack == nil || sp2.Attack.Name != "ima" || sp2.Attack.Dist != "" {
+		t.Fatalf("flag override wrong: %+v", sp2.Attack)
 	}
 }

@@ -225,6 +225,10 @@ func (cfg Config) normalize() (Config, error) {
 		return cfg, fmt.Errorf("%w: defense comparators need raw reports and cannot run as stream tenants",
 			core.ErrBadSpec)
 	}
+	if cfg.Spec.Attack != nil {
+		return cfg, fmt.Errorf("%w: attack sections are simulation-only and cannot cross the wire (strip the attack before creating a tenant)",
+			core.ErrBadSpec)
+	}
 	if cfg.ExpectedUsers == 0 {
 		cfg.ExpectedUsers = 4096
 	}

@@ -287,7 +287,8 @@ func TestSpecFiles(t *testing.T) {
 	for _, f := range []string{
 		"specs/mean.json", "specs/distribution.json", "specs/frequency.json",
 		"specs/variance.json", "specs/baseline.json", "specs/defense-trimming.json",
-		"specs/serve.json", "specs/telemetry.json",
+		"specs/serve.json", "specs/telemetry.json", "specs/attack-bba.json",
+		"specs/attack-adaptive-stream.json", "specs/attack-freq-maxgain.json",
 	} {
 		sp, err := core.LoadSpec(f)
 		if err != nil {
