@@ -3,7 +3,7 @@
 GO ?= go
 DATE := $(shell date +%Y%m%d)
 
-.PHONY: all build vet fmt-check doccheck test race bench bench-json bench-diff bench-smoke load-smoke load-json apicheck apigen matrix
+.PHONY: all build vet fmt-check doccheck test race bench bench-json bench-diff bench-smoke load-smoke load-json apicheck apigen matrix crash-test wal-overhead
 
 all: vet fmt-check doccheck build test apicheck
 
@@ -49,6 +49,28 @@ test:
 # Race-detector pass over the concurrent serving layer.
 race:
 	$(GO) test -race ./internal/stream/ ./internal/transport/ ./internal/privacy/
+
+# Durability fault-injection battery under the race detector: kill-and-
+# restart recovery (mid-ingest / mid-rotation / mid-snapshot / torn WAL
+# tail, tumbling and sliding), store-down degraded mode, and WAL/snapshot
+# corruption handling.
+crash-test:
+	$(GO) test -race -run 'Crash|Recover|Durable|Flaky|Torn|StoreDown|Snapshot|WAL' \
+		./internal/store/ ./internal/stream/ ./internal/transport/
+
+# WAL throughput-overhead gate: drive the same 1M-report load through an
+# in-memory collector and a durable one (-store-dir, fsync=os — the
+# batched group-commit path), then fail if durability costs more than 5%
+# throughput. Group commit + batched ingest keep the measured overhead
+# near zero; the 5% bound absorbs machine noise.
+wal-overhead:
+	@rm -rf /tmp/dap-walbench /tmp/dap-walbench-mem.json /tmp/dap-walbench-dur.json; \
+	$(GO) run ./cmd/daploadgen -addr "" -reports 1000000 -conns 4 -epoch 0 \
+		-bench-json /tmp/dap-walbench-mem.json && \
+	$(GO) run ./cmd/daploadgen -addr "" -reports 1000000 -conns 4 -epoch 0 \
+		-store-dir /tmp/dap-walbench -fsync os -bench-json /tmp/dap-walbench-dur.json && \
+	$(GO) run ./cmd/benchdiff -max-load-drop 0.05 \
+		/tmp/dap-walbench-mem.json /tmp/dap-walbench-dur.json
 
 # Micro- and experiment-level benchmarks (reduced scale; see bench_test.go).
 bench:

@@ -12,6 +12,12 @@
 // performance trajectory tracks (individual experiments are too noisy at
 // laptop scale to gate on). Exit status 1 means the new total exceeds
 // old·(1+max-regress).
+//
+// -max-load-drop additionally gates on load.reports_per_sec when both
+// records carry a load section: exit status 1 when the new throughput
+// falls below old·(1−max-load-drop). This is the WAL overhead gate —
+// comparing an in-memory load record against a durable (-store-dir) one
+// bounds the throughput cost of durability.
 package main
 
 import (
@@ -36,6 +42,7 @@ type record struct {
 type loadRecord struct {
 	ReportsPerSec  float64 `json:"reports_per_sec"`
 	EstimateLiveMs float64 `json:"estimate_live_ms"`
+	Retries        int64   `json:"retries"`
 }
 
 func load(path string) (*record, error) {
@@ -52,6 +59,7 @@ func load(path string) (*record, error) {
 
 func main() {
 	maxRegress := flag.Float64("max-regress", 0.15, "maximum tolerated fractional total wall-clock regression")
+	maxLoadDrop := flag.Float64("max-load-drop", 0, "maximum tolerated fractional load.reports_per_sec drop (0 disables the gate)")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [-max-regress 0.15] OLD.json NEW.json")
@@ -99,18 +107,39 @@ func main() {
 	}
 	fmt.Printf("%-10s %10d %10d %8s\n", "TOTAL", oldRec.TotalMs, newRec.TotalMs, ratio(oldRec.TotalMs, newRec.TotalMs))
 	if oldRec.Load != nil && newRec.Load != nil {
-		fmt.Printf("load: %.0f → %.0f reports/sec; live estimate %.2f → %.2f ms\n",
+		fmt.Printf("load: %.0f → %.0f reports/sec; live estimate %.2f → %.2f ms; retries %d → %d\n",
 			oldRec.Load.ReportsPerSec, newRec.Load.ReportsPerSec,
-			oldRec.Load.EstimateLiveMs, newRec.Load.EstimateLiveMs)
+			oldRec.Load.EstimateLiveMs, newRec.Load.EstimateLiveMs,
+			oldRec.Load.Retries, newRec.Load.Retries)
 	}
 
+	failed := false
 	limit := float64(oldRec.TotalMs) * (1 + *maxRegress)
 	if float64(newRec.TotalMs) > limit {
 		fmt.Fprintf(os.Stderr, "benchdiff: FAIL total %dms exceeds %dms·(1+%.2f) = %.0fms\n",
 			newRec.TotalMs, oldRec.TotalMs, *maxRegress, limit)
+		failed = true
+	} else {
+		fmt.Printf("benchdiff: OK total %dms within %.0f%% of %dms\n", newRec.TotalMs, *maxRegress*100, oldRec.TotalMs)
+	}
+	if *maxLoadDrop > 0 {
+		switch {
+		case oldRec.Load == nil || newRec.Load == nil || oldRec.Load.ReportsPerSec <= 0:
+			fmt.Fprintln(os.Stderr, "benchdiff: FAIL -max-load-drop set but a record has no load.reports_per_sec")
+			failed = true
+		case newRec.Load.ReportsPerSec < oldRec.Load.ReportsPerSec*(1-*maxLoadDrop):
+			fmt.Fprintf(os.Stderr, "benchdiff: FAIL load %.0f reports/sec below %.0f·(1-%.2f) = %.0f\n",
+				newRec.Load.ReportsPerSec, oldRec.Load.ReportsPerSec, *maxLoadDrop,
+				oldRec.Load.ReportsPerSec*(1-*maxLoadDrop))
+			failed = true
+		default:
+			fmt.Printf("benchdiff: OK load %.0f reports/sec within %.0f%% of %.0f\n",
+				newRec.Load.ReportsPerSec, *maxLoadDrop*100, oldRec.Load.ReportsPerSec)
+		}
+	}
+	if failed {
 		os.Exit(1)
 	}
-	fmt.Printf("benchdiff: OK total %dms within %.0f%% of %dms\n", newRec.TotalMs, *maxRegress*100, oldRec.TotalMs)
 }
 
 func ratio(o, n int64) string {

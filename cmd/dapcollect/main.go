@@ -18,9 +18,19 @@
 // atomically before any state changes, and stores only sharded
 // histograms — never raw reports.
 //
+// With -store-dir the collector is durable: accepted reports, joins,
+// rotations and tenant lifecycle events are WAL-logged under the
+// directory, periodic checksummed snapshots bound replay time
+// (-snapshot-interval), and boot recovers the registry from the newest
+// verifiable snapshot plus the WAL tail — requests answer 503 with
+// Retry-After until recovery finishes. -fsync picks the durability/latency
+// trade-off (always | interval | os). GET /v1/admin/status reports store
+// health, last-snapshot age and the recovery summary.
+//
 // The process shuts down gracefully: SIGINT/SIGTERM stop accepting
-// connections, in-flight requests drain (bounded by -drain-timeout), and
-// every tenant's epoch clock is stopped.
+// connections, in-flight requests drain (bounded by -drain-timeout),
+// every tenant's epoch clock is stopped, and a durable collector cuts one
+// final snapshot before closing the store.
 package main
 
 import (
@@ -37,6 +47,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/specflag"
+	"repro/internal/store"
 	"repro/internal/transport"
 )
 
@@ -46,6 +57,10 @@ func main() {
 		readTimeout  = flag.Duration("read-timeout", 30*time.Second, "HTTP read timeout")
 		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "HTTP write timeout")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain deadline")
+		storeDir     = flag.String("store-dir", "", "durability directory (WAL + snapshots); empty = in-memory only")
+		snapEvery    = flag.Duration("snapshot-interval", 30*time.Second, "periodic snapshot interval (with -store-dir; 0 disables)")
+		fsync        = flag.String("fsync", "interval", "WAL fsync policy: always | interval | os (with -store-dir)")
+		maxBody      = flag.Int64("max-ingest-bytes", 0, "request body limit for report/ingest (0 = 8 MiB default, negative = unlimited)")
 	)
 	sf := specflag.New(flag.CommandLine, core.NewSpec(core.MeanTask(),
 		core.WithScheme(core.SchemeCEMFStar)))
@@ -54,7 +69,25 @@ func main() {
 	if err != nil {
 		log.Fatal("dapcollect: ", err)
 	}
-	srv, err := transport.NewServerSpec(sp)
+	opts := transport.ServerOptions{MaxIngestBytes: *maxBody}
+	var st *store.Store
+	if *storeDir != "" {
+		policy, err := store.ParseSyncPolicy(*fsync)
+		if err != nil {
+			log.Fatal("dapcollect: ", err)
+		}
+		st, err = store.Open(*storeDir, store.Options{Sync: policy})
+		if err != nil {
+			log.Fatal("dapcollect: ", err)
+		}
+		opts.Store = st
+		opts.SnapshotInterval = *snapEvery
+		// Serve immediately; the 503 gate covers the recovery window.
+		opts.AsyncRecover = true
+		fmt.Printf("dapcollect: durable store at %s (fsync=%s, snapshot every %v)\n",
+			*storeDir, *fsync, *snapEvery)
+	}
+	srv, err := transport.NewServerSpecOpts(sp, opts)
 	if err != nil {
 		log.Fatal("dapcollect: ", err)
 	}
@@ -82,6 +115,9 @@ func main() {
 	select {
 	case err := <-done:
 		srv.Close()
+		if st != nil {
+			_ = st.Close()
+		}
 		log.Fatal("dapcollect: ", err)
 	case <-ctx.Done():
 	}
@@ -92,6 +128,11 @@ func main() {
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("dapcollect: drain incomplete: %v", err)
 	}
-	srv.Close() // stop every tenant's epoch clock
+	srv.Close() // stop clocks; a durable server drains one final snapshot
+	if st != nil {
+		if err := st.Close(); err != nil {
+			log.Printf("dapcollect: store close: %v", err)
+		}
+	}
 	fmt.Println("dapcollect: bye")
 }

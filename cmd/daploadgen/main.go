@@ -17,8 +17,16 @@
 // -min-rate fails the run when ingest throughput drops below the bound;
 // -assert additionally checks that a live per-epoch estimate exists and is
 // sane. -bench-json merges a "load" record into an existing BENCH_*.json
-// (or creates the file), recording throughput and estimate latency next to
-// the experiment timings.
+// (or creates the file), recording throughput, estimate latency and retry
+// counts next to the experiment timings.
+//
+// -retries N retries transient failures (network errors, 5xx responses)
+// with exponential backoff plus jitter capped at -retry-max-wait,
+// honouring the collector's Retry-After — rotation and crash-recovery
+// windows then cost latency instead of failed runs. With -addr "",
+// -store-dir makes the self-served collector durable (WAL + snapshots,
+// -fsync policy), which is how the WAL overhead gate measures durability
+// cost against the in-memory baseline.
 package main
 
 import (
@@ -43,6 +51,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/specflag"
 	"repro/internal/stats"
+	"repro/internal/store"
 	"repro/internal/transport"
 )
 
@@ -63,6 +72,10 @@ func main() {
 		minRate = flag.Float64("min-rate", 0, "fail when ingest reports/sec falls below this")
 		assert  = flag.Bool("assert", false, "fail unless a sane per-epoch estimate is served")
 		jsonOut = flag.String("bench-json", "", "merge a load record into this BENCH_*.json")
+		retries = flag.Int("retries", 0, "retry transient failures (network errors, 5xx) up to this many times per request")
+		retryMW = flag.Duration("retry-max-wait", 2*time.Second, "cap on per-retry backoff (exponential + jitter; server Retry-After honoured)")
+		stDir   = flag.String("store-dir", "", "durability directory for the self-served collector (with -addr \"\")")
+		fsync   = flag.String("fsync", "os", "self-served store fsync policy: always | interval | os")
 		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
 		memProf = flag.String("memprofile", "", "write a pprof heap profile at exit to this path")
 	)
@@ -135,13 +148,16 @@ func main() {
 		advSpec = sp.Attack
 		sp.Attack = nil
 		var closeSrv func()
-		base, closeSrv, err = selfServe(sp, *users, *reports)
+		base, closeSrv, err = selfServe(sp, *users, *reports, *stDir, *fsync)
 		if err != nil {
 			fatal(err)
 		}
 		defer closeSrv()
 		fmt.Printf("daploadgen: self-serving collector at %s\n", base)
 	} else {
+		if *stDir != "" {
+			fatal("-store-dir configures the self-served collector and needs -addr \"\"")
+		}
 		var err error
 		if advSpec, err = sf.Attack(); err != nil {
 			fatal(err)
@@ -179,7 +195,11 @@ func main() {
 		MaxIdleConns:        *conns * 2,
 		MaxIdleConnsPerHost: *conns * 2,
 	}}
-	c := transport.NewClient(base, hc).Tenant(*tenant)
+	client := transport.NewClient(base, hc)
+	if *retries > 0 {
+		client.SetRetry(*retries, *retryMW)
+	}
+	c := client.Tenant(*tenant)
 	ctx := context.Background()
 	cfg, err := c.Config(ctx)
 	if err != nil {
@@ -205,7 +225,9 @@ func main() {
 	p50 := stats.Quantile(latencies, 0.5)
 	p90 := stats.Quantile(latencies, 0.9)
 	p99 := stats.Quantile(latencies, 0.99)
-	fmt.Printf("daploadgen: ingested %d reports in %v → %.0f reports/sec\n", accepted, wall.Round(time.Millisecond), rate)
+	retried := client.Retries()
+	fmt.Printf("daploadgen: ingested %d reports in %v → %.0f reports/sec (%d retries)\n",
+		accepted, wall.Round(time.Millisecond), rate, retried)
 	fmt.Printf("daploadgen: request latency ms p50=%.2f p90=%.2f p99=%.2f (n=%d)\n", p50, p90, p99, len(latencies))
 
 	if *rotate {
@@ -249,8 +271,12 @@ func main() {
 			"gamma":            *gamma,
 			"wall_ms":          wall.Milliseconds(),
 			"reports_per_sec":  math.Round(rate),
+			"retries":          client.Retries(),
 			"latency_ms":       map[string]float64{"p50": p50, "p90": p90, "p99": p99},
 			"estimate_live_ms": liveMs,
+		}
+		if *stDir != "" {
+			rec["store"] = map[string]any{"dir": *stDir, "fsync": *fsync}
 		}
 		if cachedErr == nil {
 			rec["estimate_cached_ms"] = cachedMs
@@ -267,8 +293,10 @@ func main() {
 }
 
 // selfServe boots an in-process collector over a loopback listener from
-// the resolved task spec.
-func selfServe(sp core.Spec, users, reports int) (string, func(), error) {
+// the resolved task spec. A non-empty storeDir makes it durable (WAL +
+// snapshots under the directory with the given fsync policy) — the WAL
+// overhead benchmark mode.
+func selfServe(sp core.Spec, users, reports int, storeDir, fsync string) (string, func(), error) {
 	if sp.Serve == nil {
 		sp.Serve = &core.ServeSpec{}
 	}
@@ -283,12 +311,30 @@ func selfServe(sp core.Spec, users, reports int) (string, func(), error) {
 		}
 		sp.Serve.ExpectedUsers = expected
 	}
-	srv, err := transport.NewServerSpec(sp)
+	var opts transport.ServerOptions
+	var st *store.Store
+	if storeDir != "" {
+		policy, err := store.ParseSyncPolicy(fsync)
+		if err != nil {
+			return "", nil, err
+		}
+		if st, err = store.Open(storeDir, store.Options{Sync: policy}); err != nil {
+			return "", nil, err
+		}
+		opts.Store = st
+	}
+	srv, err := transport.NewServerSpecOpts(sp, opts)
 	if err != nil {
+		if st != nil {
+			_ = st.Close()
+		}
 		return "", nil, err
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
+		if st != nil {
+			_ = st.Close()
+		}
 		return "", nil, err
 	}
 	hs := &http.Server{Handler: srv.Handler()}
@@ -296,6 +342,9 @@ func selfServe(sp core.Spec, users, reports int) (string, func(), error) {
 	closeFn := func() {
 		_ = hs.Close()
 		srv.Close()
+		if st != nil {
+			_ = st.Close()
+		}
 	}
 	return "http://" + ln.Addr().String(), closeFn, nil
 }

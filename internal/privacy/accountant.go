@@ -113,6 +113,73 @@ func (a *Accountant) Remaining(id string) float64 {
 	return r
 }
 
+// ForceSpend records n spends of eps for user id without the cap check.
+// It exists for WAL replay: a logged charge was already admitted under the
+// cap before it was written, so re-applying it must not re-ask — otherwise
+// float drift or a tightened cap could silently drop acked spend and
+// break budget monotonicity across recovery.
+func (a *Accountant) ForceSpend(id string, eps float64, n int) {
+	p := a.stripe(id)
+	p.mu.Lock()
+	p.spent[id] += eps * float64(n)
+	p.mu.Unlock()
+}
+
+// Refund returns n spends of eps to user id, clamping at zero. It exists
+// for the durable ingest path: a charge whose WAL append fails is rolled
+// back so the rejected request leaves no trace.
+func (a *Accountant) Refund(id string, eps float64, n int) {
+	p := a.stripe(id)
+	p.mu.Lock()
+	p.spent[id] -= eps * float64(n)
+	if p.spent[id] <= 0 {
+		delete(p.spent, id)
+	}
+	p.mu.Unlock()
+}
+
+// Export copies the full ledger: per-user consumed budget. Snapshots
+// persist it and Import restores it.
+func (a *Accountant) Export() map[string]float64 {
+	out := make(map[string]float64)
+	for i := range a.part {
+		p := &a.part[i]
+		p.mu.Lock()
+		for id, v := range p.spent {
+			out[id] = v
+		}
+		p.mu.Unlock()
+	}
+	return out
+}
+
+// Import replaces users' spends with the exported ledger m. Entries for
+// users not in m are left untouched (recovery imports into a fresh
+// accountant, so in practice this is a full restore).
+func (a *Accountant) Import(m map[string]float64) {
+	for id, v := range m {
+		p := a.stripe(id)
+		p.mu.Lock()
+		p.spent[id] = v
+		p.mu.Unlock()
+	}
+}
+
+// TotalSpent sums consumed budget across all users — the scalar the
+// recovery monotonicity check compares across a crash.
+func (a *Accountant) TotalSpent() float64 {
+	var sum float64
+	for i := range a.part {
+		p := &a.part[i]
+		p.mu.Lock()
+		for _, v := range p.spent {
+			sum += v
+		}
+		p.mu.Unlock()
+	}
+	return sum
+}
+
 // Users returns the number of users with recorded spends.
 func (a *Accountant) Users() int {
 	var n int

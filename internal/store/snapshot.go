@@ -1,0 +1,288 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"sort"
+)
+
+// A snapshot file is the durable image of every tenant's mergeable state:
+// sealed epoch histograms, epoch clock, accountant spend, user-group
+// bindings and the task spec — everything except the live (unsealed)
+// epoch, which is always reconstructed by replaying the WAL from the
+// tenant's last rotation. The layout is self-describing binary:
+//
+//	magic "DAPSNP01" | u32 version | u64 cut LSN | u32 tenant count
+//	per tenant: name, spec JSON, seq, start/acct LSNs, joined count,
+//	            sealed epochs (per group: counts, sum, n), spend map,
+//	            user-group bindings
+//	u32 CRC-32C over everything before it
+//
+// Files are written to a temp name and atomically renamed into place, so
+// a visible snap-*.snap is either complete or checksum-detectably
+// corrupt; recovery walks snapshots newest-first until one verifies. The
+// per-tenant blocks are sum-mergeable (histograms add, spends take max),
+// by design: the same format is the intended multi-node snapshot/merge
+// wire format from ROADMAP item 1.
+
+// snapMagic identifies (and versions) a snapshot file.
+const snapMagic = "DAPSNP01"
+
+// snapVersion is the current snapshot format version.
+const snapVersion = 1
+
+// EpochSnap is one sealed epoch of one tenant: per-group bucket counts
+// over the discretized output domain plus exact report sums and counts.
+type EpochSnap struct {
+	// Counts holds one histogram per group.
+	Counts [][]float64
+	// Sums holds the exact per-group report value sums.
+	Sums []float64
+	// Ns holds the per-group report counts.
+	Ns []float64
+}
+
+// TenantSnap is the durable image of one tenant at a snapshot cut.
+type TenantSnap struct {
+	// Name is the tenant name.
+	Name string
+	// Spec is the tenant's task-spec JSON (with Serve section), enough to
+	// recreate the tenant through the normal spec→tenant path.
+	Spec []byte
+	// Seq is the number of sealed epochs.
+	Seq uint64
+	// StartLSN is the WAL position of the tenant's live epoch: ingest and
+	// rotate records at or beyond it replay into histograms.
+	StartLSN uint64
+	// AcctLSN is the WAL position the Spend map reflects: budget charges
+	// and joins at or beyond it replay into the accountant.
+	AcctLSN uint64
+	// Joined is how many users Join had assigned at AcctLSN.
+	Joined int
+	// Epochs is the sealed window, oldest first.
+	Epochs []EpochSnap
+	// Spend is the accountant ledger: per-user consumed budget.
+	Spend map[string]float64
+	// Users is the user→group binding map.
+	Users map[string]int
+}
+
+// Snapshot is the durable image of a whole registry.
+type Snapshot struct {
+	// LSN is the WAL position at the cut (used for naming and garbage
+	// collection; per-tenant replay positions are in the tenant blocks).
+	LSN uint64
+	// Tenants holds one block per tenant.
+	Tenants []TenantSnap
+}
+
+// minStartLSN returns the oldest WAL position any tenant's replay needs;
+// segments entirely before it are garbage.
+func (s *Snapshot) minStartLSN() uint64 {
+	m := s.LSN
+	for i := range s.Tenants {
+		if s.Tenants[i].StartLSN < m {
+			m = s.Tenants[i].StartLSN
+		}
+	}
+	return m
+}
+
+// appendFloats appends a uvarint count plus float64 bit patterns.
+func appendFloats(b []byte, vs []float64) []byte {
+	b = binary.AppendUvarint(b, uint64(len(vs)))
+	for _, v := range vs {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+	}
+	return b
+}
+
+// encodeSnapshot renders snap into the versioned binary format, CRC
+// trailer included.
+func encodeSnapshot(snap *Snapshot) []byte {
+	b := append([]byte(nil), snapMagic...)
+	b = binary.LittleEndian.AppendUint32(b, snapVersion)
+	b = binary.LittleEndian.AppendUint64(b, snap.LSN)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(snap.Tenants)))
+	for i := range snap.Tenants {
+		t := &snap.Tenants[i]
+		b = appendUstring(b, t.Name)
+		b = appendUbytes(b, t.Spec)
+		b = binary.AppendUvarint(b, t.Seq)
+		b = binary.AppendUvarint(b, t.StartLSN)
+		b = binary.AppendUvarint(b, t.AcctLSN)
+		b = binary.AppendUvarint(b, uint64(t.Joined))
+		b = binary.AppendUvarint(b, uint64(len(t.Epochs)))
+		for e := range t.Epochs {
+			ep := &t.Epochs[e]
+			b = binary.AppendUvarint(b, uint64(len(ep.Counts)))
+			for g := range ep.Counts {
+				b = appendFloats(b, ep.Counts[g])
+			}
+			b = appendFloats(b, ep.Sums)
+			b = appendFloats(b, ep.Ns)
+		}
+		b = binary.AppendUvarint(b, uint64(len(t.Spend)))
+		for _, u := range sortedKeys(t.Spend) {
+			b = appendUstring(b, u)
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(t.Spend[u]))
+		}
+		b = binary.AppendUvarint(b, uint64(len(t.Users)))
+		for _, u := range sortedKeys(t.Users) {
+			b = appendUstring(b, u)
+			b = binary.AppendUvarint(b, uint64(t.Users[u]))
+		}
+	}
+	return binary.LittleEndian.AppendUint32(b, crc32.Checksum(b, castagnoli))
+}
+
+// sortedKeys returns m's keys sorted, for deterministic snapshot bytes.
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// readFloats decodes a float slice written by appendFloats.
+func (c *byteCursor) readFloats() ([]float64, error) {
+	n, err := c.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(c.b)-c.off)/8 {
+		return nil, errCorrupt
+	}
+	vs := make([]float64, n)
+	for i := range vs {
+		if vs[i], err = c.float64(); err != nil {
+			return nil, err
+		}
+	}
+	return vs, nil
+}
+
+// decodeSnapshot parses and checksum-verifies a snapshot file's bytes.
+func decodeSnapshot(b []byte) (*Snapshot, error) {
+	if len(b) < len(snapMagic)+4+8+4+4 {
+		return nil, errCorrupt
+	}
+	if string(b[:len(snapMagic)]) != snapMagic {
+		return nil, fmt.Errorf("%w: bad magic", errCorrupt)
+	}
+	body, trailer := b[:len(b)-4], b[len(b)-4:]
+	if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(trailer) {
+		return nil, fmt.Errorf("%w: checksum mismatch", errCorrupt)
+	}
+	c := byteCursor{b: body, off: len(snapMagic)}
+	ver := binary.LittleEndian.Uint32(body[c.off:])
+	c.off += 4
+	if ver != snapVersion {
+		return nil, fmt.Errorf("store: unsupported snapshot version %d", ver)
+	}
+	snap := &Snapshot{LSN: binary.LittleEndian.Uint64(body[c.off:])}
+	c.off += 8
+	nt := binary.LittleEndian.Uint32(body[c.off:])
+	c.off += 4
+	snap.Tenants = make([]TenantSnap, nt)
+	for i := range snap.Tenants {
+		t := &snap.Tenants[i]
+		var err error
+		if t.Name, err = c.ustring(); err != nil {
+			return nil, err
+		}
+		if t.Spec, err = c.ubytes(); err != nil {
+			return nil, err
+		}
+		if t.Seq, err = c.uvarint(); err != nil {
+			return nil, err
+		}
+		if t.StartLSN, err = c.uvarint(); err != nil {
+			return nil, err
+		}
+		if t.AcctLSN, err = c.uvarint(); err != nil {
+			return nil, err
+		}
+		joined, err := c.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		t.Joined = int(joined)
+		ne, err := c.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		t.Epochs = make([]EpochSnap, ne)
+		for e := range t.Epochs {
+			ep := &t.Epochs[e]
+			ng, err := c.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			ep.Counts = make([][]float64, ng)
+			for g := range ep.Counts {
+				if ep.Counts[g], err = c.readFloats(); err != nil {
+					return nil, err
+				}
+			}
+			if ep.Sums, err = c.readFloats(); err != nil {
+				return nil, err
+			}
+			if ep.Ns, err = c.readFloats(); err != nil {
+				return nil, err
+			}
+		}
+		ns, err := c.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		t.Spend = make(map[string]float64, ns)
+		for j := uint64(0); j < ns; j++ {
+			u, err := c.ustring()
+			if err != nil {
+				return nil, err
+			}
+			v, err := c.float64()
+			if err != nil {
+				return nil, err
+			}
+			t.Spend[u] = v
+		}
+		nu, err := c.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		t.Users = make(map[string]int, nu)
+		for j := uint64(0); j < nu; j++ {
+			u, err := c.ustring()
+			if err != nil {
+				return nil, err
+			}
+			g, err := c.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			t.Users[u] = int(g)
+		}
+	}
+	return snap, nil
+}
+
+// readSnapshotFile loads and verifies one snapshot file.
+func readSnapshotFile(fs FS, path string) (*Snapshot, error) {
+	f, err := fs.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	b, err := io.ReadAll(f)
+	if err != nil {
+		return nil, err
+	}
+	return decodeSnapshot(b)
+}

@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"hash/maphash"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -13,11 +12,39 @@ import (
 	"repro/internal/emf"
 	"repro/internal/ldp"
 	"repro/internal/privacy"
+	"repro/internal/store"
 )
 
 // ErrWrongGroup is returned by Ingest when a user reports for a different
 // group than the one they are bound to.
 var ErrWrongGroup = errors.New("stream: user belongs to another group")
+
+// ErrStoreDown is returned when a state change cannot be made durable:
+// the request was rejected (and any budget charge rolled back) because
+// the WAL append failed. Clients should retry after the store heals.
+var ErrStoreDown = errors.New("stream: durable store unavailable")
+
+// ErrRotating is returned by TryRotate when a rotation is already in
+// flight; the caller should retry shortly.
+var ErrRotating = errors.New("stream: rotation in progress")
+
+// hashUser maps a user id to a histogram/binding stripe with FNV-1a. The
+// hash must be stable across process restarts — WAL replay re-runs every
+// accepted report through the ingest path, and only a deterministic
+// user→stripe assignment reproduces the original per-stripe float
+// accumulation order (and hence bit-identical sums) after a crash.
+func hashUser(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
 
 // Snapshot is one materialized estimate of a tenant's window.
 type Snapshot struct {
@@ -57,7 +84,16 @@ type Tenant struct {
 	acct   *privacy.Accountant
 	disc   []ldp.Discretizer // per group; unused for frequency tasks
 	bkt    []int             // per-group histogram resolution d′
-	seed   maphash.Seed      // user → stripe
+
+	// st is the durability layer, nil for an ephemeral tenant. When set,
+	// every accepted ingest, join and rotation is WAL-appended before it
+	// takes effect, and walStart (guarded by mu) tracks the live epoch's
+	// replay position: the LSN right after the last rotation record.
+	st       *store.Store
+	walStart uint64
+	// acctFrom is the replay position of the accountant/join state; it is
+	// only consulted during single-threaded recovery.
+	acctFrom uint64
 
 	joinMu sync.Mutex
 	joined int
@@ -71,6 +107,10 @@ type Tenant struct {
 	live   []*shardSet
 	sealed []epochHist // newest last; len ≤ cfg.Window.Span
 	seq    uint64
+
+	// rotateMu serializes rotations end to end (WAL append + seal +
+	// estimate), so TryRotate can report an in-flight rotation.
+	rotateMu sync.Mutex
 
 	cached atomic.Pointer[Snapshot]
 	// warm is the EM-fit state of the latest estimate, seeding the next
@@ -105,7 +145,7 @@ func NewTenant(name string, cfg Config) (*Tenant, error) {
 		return nil, fmt.Errorf("%w: task %q cannot run as a stream tenant",
 			core.ErrBadSpec, cfg.Spec.Task)
 	}
-	t := &Tenant{name: name, cfg: cfg, est: streamable, seed: maphash.MakeSeed()}
+	t := &Tenant{name: name, cfg: cfg, est: streamable}
 	t.groups = streamable.Groups()
 	h := len(t.groups)
 	// Per-group histogram resolution: the paper's d′ rule applied to the
@@ -184,15 +224,30 @@ func (t *Tenant) Groups() []core.Group { return append([]core.Group(nil), t.grou
 func (t *Tenant) Accountant() *privacy.Accountant { return t.acct }
 
 // Join assigns the next user to a group round-robin and records the
-// binding, mirroring the batch collector's equal-sized grouping.
+// binding, mirroring the batch collector's equal-sized grouping. With a
+// store attached the assignment is WAL-logged (best effort: a join handed
+// out while the store is down is simply not durable — the binding is
+// re-established idempotently when the user first reports).
 func (t *Tenant) Join() (string, core.Group) {
 	t.joinMu.Lock()
 	id := fmt.Sprintf("u%06d", t.joined)
 	grp := t.joined % len(t.groups)
+	if t.st != nil {
+		_, _ = t.st.AppendJoin(t.name, id, grp)
+	}
 	t.joined++
+	t.userGrp.store(hashUser(id), id, grp)
 	t.joinMu.Unlock()
-	t.userGrp.store(maphash.String(t.seed, id), id, grp)
 	return id, t.groups[grp]
+}
+
+// restoreJoin re-applies a logged join during recovery: the recorded
+// binding, not a recomputed one, so replay reproduces history exactly.
+func (t *Tenant) restoreJoin(user string, group int) {
+	t.joinMu.Lock()
+	t.joined++
+	t.userGrp.store(hashUser(user), user, group)
+	t.joinMu.Unlock()
 }
 
 // Joined returns how many users have joined.
@@ -282,18 +337,155 @@ func (t *Tenant) Ingest(user string, group int, values []float64) error {
 	if err != nil {
 		return err
 	}
-	stripe := maphash.String(t.seed, user)
+	stripe := hashUser(user)
 	if prev, loaded := t.userGrp.loadOrStore(stripe, user, group); loaded && prev != group {
 		return fmt.Errorf("%w: user %s is bound to group %d", ErrWrongGroup, user, prev)
 	}
 	// Budget accounting: each report in group t costs ε_t; the batch is
-	// charged atomically before any histogram is touched.
+	// charged atomically before any histogram is touched. Charge, WAL
+	// append and histogram apply all happen under the shared rotation lock
+	// so an epoch seal (which logs its own record under the exclusive
+	// lock) can never slip between the append and the apply — the WAL's
+	// record order is exactly the order state changed in.
+	t.mu.RLock()
 	if err := t.acct.SpendN(user, g.Eps, len(values)); err != nil {
+		t.mu.RUnlock()
 		return err
 	}
-	t.mu.RLock()
+	if t.st != nil {
+		if _, err := t.st.AppendIngest(t.name, user, group, values); err != nil {
+			// Not durable ⇒ not accepted: roll the charge back so the
+			// rejected request leaves no trace, and surface a retryable
+			// store-down error.
+			t.acct.Refund(user, g.Eps, len(values))
+			t.mu.RUnlock()
+			return fmt.Errorf("%w: %v", ErrStoreDown, err)
+		}
+	}
 	t.live[group].add(stripe, idx, values)
 	t.mu.RUnlock()
+	return nil
+}
+
+// BatchEntry is one report in a batched ingest. It aliases the store's
+// WAL entry type so an all-accepted batch is logged without copying.
+type BatchEntry = store.IngestEntry
+
+// IngestBatch applies many reports with Ingest's exact per-entry
+// semantics — validate, bind, charge atomically, then touch group state —
+// but one WAL write covers every accepted entry, which is what makes the
+// durable ingest path fast. The returned slice holds one error per entry,
+// nil for accepted ones; a rejected entry mutates nothing and does not
+// block the rest. When the store cannot log the batch, every staged
+// entry's charge is rolled back and reported as ErrStoreDown.
+func (t *Tenant) IngestBatch(entries []BatchEntry) []error {
+	errs := make([]error, len(entries))
+	type stagedEntry struct {
+		i      int
+		stripe uint64
+		idx    []int
+	}
+	staged := make([]stagedEntry, 0, len(entries))
+	// One index arena for the whole batch, pre-sized so sub-slices never
+	// move under a later grow.
+	total := 0
+	for i := range entries {
+		total += len(entries[i].Values)
+	}
+	arena := make([]int, 0, total)
+	// As in Ingest: charge, WAL append and histogram apply all happen
+	// under the shared rotation lock, so an epoch seal can never slip
+	// between the append and the apply — record order is state order.
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for i := range entries {
+		e := &entries[i]
+		if e.User == "" {
+			errs[i] = errors.New("stream: user id must be non-empty")
+			continue
+		}
+		if e.Group < 0 || e.Group >= len(t.groups) {
+			errs[i] = fmt.Errorf("stream: group %d out of range [0,%d)", e.Group, len(t.groups))
+			continue
+		}
+		g := t.groups[e.Group]
+		if len(e.Values) == 0 {
+			errs[i] = errors.New("stream: no values")
+			continue
+		}
+		if len(e.Values) > g.Reports {
+			errs[i] = fmt.Errorf("stream: group %d accepts at most %d reports per request", e.Group, g.Reports)
+			continue
+		}
+		base := len(arena)
+		idx, err := t.indices(e.Group, e.Values, arena[base:base])
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		arena = arena[:base+len(idx)]
+		stripe := hashUser(e.User)
+		if prev, loaded := t.userGrp.loadOrStore(stripe, e.User, e.Group); loaded && prev != e.Group {
+			errs[i] = fmt.Errorf("%w: user %s is bound to group %d", ErrWrongGroup, e.User, prev)
+			continue
+		}
+		if err := t.acct.SpendN(e.User, g.Eps, len(e.Values)); err != nil {
+			errs[i] = err
+			continue
+		}
+		staged = append(staged, stagedEntry{i: i, stripe: stripe, idx: idx})
+	}
+	if t.st != nil && len(staged) > 0 {
+		recs := entries // all-accepted batches log as-is, no copy
+		if len(staged) != len(entries) {
+			recs = make([]store.IngestEntry, len(staged))
+			for j, sg := range staged {
+				recs[j] = entries[sg.i]
+			}
+		}
+		if _, err := t.st.AppendIngestBatch(t.name, recs); err != nil {
+			// Not durable ⇒ not accepted: roll back every staged charge so
+			// the rejected batch leaves no trace, and surface a retryable
+			// store-down error per entry.
+			for _, sg := range staged {
+				e := &entries[sg.i]
+				t.acct.Refund(e.User, t.groups[e.Group].Eps, len(e.Values))
+				errs[sg.i] = fmt.Errorf("%w: %v", ErrStoreDown, err)
+			}
+			return errs
+		}
+	}
+	for _, sg := range staged {
+		e := &entries[sg.i]
+		t.live[e.Group].add(sg.stripe, sg.idx, e.Values)
+	}
+	return errs
+}
+
+// replayIngest re-applies one logged ingest record during recovery. The
+// values re-run the normal validation/discretization path; the budget
+// charge is forced (the record was admitted under the cap when logged)
+// and only applied when the accountant does not already reflect it
+// (withCharge). Erroring records — possible only if the spec changed
+// under a tenant, which the spec-from-WAL recovery path prevents — are
+// reported, not applied.
+func (t *Tenant) replayIngest(user string, group int, values []float64, withCharge bool) error {
+	if group < 0 || group >= len(t.groups) {
+		return fmt.Errorf("stream: replay: group %d out of range", group)
+	}
+	buf := idxPool.Get().(*[]int)
+	defer idxPool.Put(buf)
+	idx, err := t.indices(group, values, (*buf)[:0])
+	*buf = idx[:0]
+	if err != nil {
+		return err
+	}
+	stripe := hashUser(user)
+	t.userGrp.loadOrStore(stripe, user, group)
+	if withCharge {
+		t.acct.ForceSpend(user, t.groups[group].Eps, len(values))
+	}
+	t.live[group].add(stripe, idx, values)
 	return nil
 }
 
@@ -336,8 +528,27 @@ func (t *Tenant) indices(group int, values []float64, idx []int) ([]int, error) 
 // snapshot. The sealed epoch enters the ring even when the window cannot
 // be estimated yet (some group still empty) — the error then reports why
 // no fresh cache exists, and the next epochs accumulate normally.
+// Rotations are serialized; Rotate waits for an in-flight one.
 func (t *Tenant) Rotate() (*Snapshot, error) {
-	t.mu.Lock()
+	t.rotateMu.Lock()
+	defer t.rotateMu.Unlock()
+	return t.rotate()
+}
+
+// TryRotate is Rotate without the wait: when another rotation is already
+// in flight it returns ErrRotating immediately, so a wire handler can
+// answer 503 + Retry-After instead of stacking blocked rotations.
+func (t *Tenant) TryRotate() (*Snapshot, error) {
+	if !t.rotateMu.TryLock() {
+		return nil, ErrRotating
+	}
+	defer t.rotateMu.Unlock()
+	return t.rotate()
+}
+
+// sealLocked moves the live epoch into the sealed ring and bumps the
+// epoch counter. Caller holds t.mu exclusively.
+func (t *Tenant) sealLocked() {
 	eh := epochHist{
 		counts: make([][]float64, len(t.groups)),
 		sums:   make([]float64, len(t.groups)),
@@ -353,6 +564,33 @@ func (t *Tenant) Rotate() (*Snapshot, error) {
 		t.sealed = append([]epochHist(nil), t.sealed[over:]...)
 	}
 	t.seq++
+}
+
+// replaySeal re-applies a logged rotation during recovery: seal only, no
+// estimation (the recovered window is estimated once at the end).
+func (t *Tenant) replaySeal(seq uint64) {
+	t.mu.Lock()
+	t.sealLocked()
+	t.seq = seq
+	t.mu.Unlock()
+}
+
+func (t *Tenant) rotate() (*Snapshot, error) {
+	t.mu.Lock()
+	if t.st != nil {
+		// The rotation record must be durable before the seal: its WAL
+		// position splits ingest records into this epoch and the next, so
+		// a crash after the append replays the seal at exactly this point.
+		// A failed append aborts the rotation — the live epoch keeps
+		// accumulating and the clock retries next epoch.
+		lsn, err := t.st.AppendRotate(t.name, t.seq+1)
+		if err != nil {
+			t.mu.Unlock()
+			return nil, fmt.Errorf("%w: %v", ErrStoreDown, err)
+		}
+		t.walStart = lsn + 1
+	}
+	t.sealLocked()
 	seq := t.seq
 	window := append([]epochHist(nil), t.sealed...)
 	t.mu.Unlock()

@@ -7,6 +7,9 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/ldp/pm"
@@ -16,6 +19,13 @@ import (
 type Client struct {
 	base string
 	hc   *http.Client
+
+	// Retry policy: transient failures (network errors and 5xx responses)
+	// are retried up to retries times with exponential backoff plus jitter,
+	// honouring Retry-After. Zero retries (the default) fails fast.
+	retries      int
+	retryMaxWait time.Duration
+	retried      atomic.Int64
 }
 
 // NewClient creates a client for the collector at base URL (no trailing
@@ -25,6 +35,29 @@ func NewClient(base string, hc *http.Client) *Client {
 		hc = http.DefaultClient
 	}
 	return &Client{base: base, hc: hc}
+}
+
+// SetRetry configures transient-failure retries: up to n extra attempts
+// per request, with exponential backoff plus jitter capped at maxWait
+// (2s when non-positive). A server-sent Retry-After overrides the
+// computed backoff. Only network errors and 5xx responses are retried —
+// 4xx rejections are permanent. Call before sharing the client across
+// goroutines.
+func (c *Client) SetRetry(n int, maxWait time.Duration) {
+	if n < 0 {
+		n = 0
+	}
+	if maxWait <= 0 {
+		maxWait = 2 * time.Second
+	}
+	c.retries = n
+	c.retryMaxWait = maxWait
+}
+
+// Retries reports how many retry attempts the client has performed since
+// creation. Safe for concurrent use.
+func (c *Client) Retries() int64 {
+	return c.retried.Load()
 }
 
 func (c *Client) get(ctx context.Context, path string, out any) error {
@@ -51,22 +84,78 @@ func (c *Client) post(ctx context.Context, path string, in, out any) error {
 }
 
 func (c *Client) do(req *http.Request, out any) error {
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		var e ErrorResponse
-		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
-			return fmt.Errorf("transport: %s %s: %s", req.Method, req.URL.Path, e.Error)
+	for attempt := 0; ; attempt++ {
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			if attempt < c.retries && c.rewind(req) && c.backoff(req.Context(), attempt, "") {
+				continue
+			}
+			return err
 		}
-		return fmt.Errorf("transport: %s %s: HTTP %d", req.Method, req.URL.Path, resp.StatusCode)
+		if resp.StatusCode >= 500 && attempt < c.retries && c.rewind(req) {
+			after := resp.Header.Get("Retry-After")
+			resp.Body.Close()
+			if c.backoff(req.Context(), attempt, after) {
+				continue
+			}
+			return fmt.Errorf("transport: %s %s: HTTP %d", req.Method, req.URL.Path, resp.StatusCode)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode < 200 || resp.StatusCode > 299 {
+			var e ErrorResponse
+			if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+				return fmt.Errorf("transport: %s %s: %s", req.Method, req.URL.Path, e.Error)
+			}
+			return fmt.Errorf("transport: %s %s: HTTP %d", req.Method, req.URL.Path, resp.StatusCode)
+		}
+		if out == nil {
+			return nil
+		}
+		return json.NewDecoder(resp.Body).Decode(out)
 	}
-	if out == nil {
-		return nil
+}
+
+// rewind resets the request body for a retry. GET and other body-less
+// requests always rewind; bodied requests need GetBody (set automatically
+// by net/http for the *bytes.Buffer bodies post builds).
+func (c *Client) rewind(req *http.Request) bool {
+	if req.Body == nil {
+		return true
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	if req.GetBody == nil {
+		return false
+	}
+	body, err := req.GetBody()
+	if err != nil {
+		return false
+	}
+	req.Body = body
+	return true
+}
+
+// backoff sleeps before retry attempt+1: a server-sent Retry-After wins,
+// otherwise exponential backoff from 50ms with up to 50% jitter, capped
+// at retryMaxWait. It returns false when the context is done.
+func (c *Client) backoff(ctx context.Context, attempt int, retryAfter string) bool {
+	wait := 50 * time.Millisecond << uint(attempt)
+	if retryAfter != "" {
+		if secs, err := strconv.Atoi(retryAfter); err == nil && secs >= 0 {
+			wait = time.Duration(secs) * time.Second
+		}
+	}
+	wait += time.Duration(rand.Int64N(int64(wait)/2 + 1))
+	if wait > c.retryMaxWait {
+		wait = c.retryMaxWait
+	}
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-timer.C:
+		c.retried.Add(1)
+		return true
+	}
 }
 
 // Config fetches the protocol configuration.
@@ -106,6 +195,30 @@ func (c *Client) Status(ctx context.Context) (*StatusResponse, error) {
 func (c *Client) Estimate(ctx context.Context) (*EstimateResponse, error) {
 	var out EstimateResponse
 	if err := c.get(ctx, "/v1/estimate", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// AdminStatus fetches the collector's operational health: recovery state,
+// store health and last-snapshot age. It is served even while the
+// collector is recovering. AdminStatus never retries — it is the endpoint
+// used to decide whether retrying elsewhere makes sense.
+func (c *Client) AdminStatus(ctx context.Context) (*AdminStatusResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/admin/status", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("transport: GET /v1/admin/status: HTTP %d", resp.StatusCode)
+	}
+	var out AdminStatusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		return nil, err
 	}
 	return &out, nil

@@ -5,9 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/privacy"
+	"repro/internal/store"
 	"repro/internal/stream"
 )
 
@@ -19,13 +22,50 @@ const DefaultTenant = "default"
 // batched ingest.
 const maxIngestErrors = 8
 
+// defaultMaxIngestBytes bounds ingest request bodies when ServerOptions
+// leaves MaxIngestBytes zero.
+const defaultMaxIngestBytes = 8 << 20
+
+// ServerOptions configures the deployment concerns of a collector; the
+// zero value is an ephemeral in-memory server, the pre-durability
+// behavior.
+type ServerOptions struct {
+	// Store, when set, makes the collector durable: the registry is
+	// recovered from it at boot (snapshot + WAL replay) and every accepted
+	// state change is WAL-logged. The store must be freshly opened and not
+	// yet loaded; its lifetime stays with the caller.
+	Store *store.Store
+	// SnapshotInterval is the period of the background snapshot loop
+	// (durable servers only; zero disables periodic snapshots — one is
+	// still cut on Close).
+	SnapshotInterval time.Duration
+	// MaxIngestBytes bounds report/ingest request bodies; oversized
+	// requests fail fast with 413 before any decoding (default 8 MiB,
+	// negative disables the limit).
+	MaxIngestBytes int64
+	// AsyncRecover serves immediately: requests answer 503 + Retry-After
+	// while recovery runs in the background. Off, construction blocks
+	// until recovery completes.
+	AsyncRecover bool
+}
+
 // Server is a multi-tenant DAP collector service on top of the streaming
 // aggregation engine: reports land in sharded per-group histograms, epoch
 // windows keep estimates fresh without rescanning reports, and one process
-// hosts many concurrent aggregations.
+// hosts many concurrent aggregations. With a store attached the collector
+// is durable: boot recovers tenants from snapshot + WAL, and a crash never
+// loses acked budget spend (see internal/store).
 type Server struct {
-	reg *stream.Registry
-	def *stream.Tenant
+	// regP/defP are published atomically so async recovery can install
+	// them while the 503 gate is still up; handlers only dereference them
+	// after observing recovering == false.
+	regP atomic.Pointer[stream.Registry]
+	defP atomic.Pointer[stream.Tenant]
+
+	opts       ServerOptions
+	recovering atomic.Bool
+	recoverErr atomic.Pointer[string]
+	report     atomic.Pointer[stream.RecoveryReport]
 }
 
 // NewServer builds a collector whose default tenant runs mean estimation
@@ -56,19 +96,99 @@ func NewServerSpec(sp core.Spec) (*Server, error) {
 // NewServerConfig builds a collector whose default tenant runs the given
 // engine configuration (any task, epoch clock, shard and bucket layout).
 func NewServerConfig(cfg stream.Config) (*Server, error) {
-	reg := stream.NewRegistry()
-	def, err := reg.Create(DefaultTenant, cfg)
+	return NewServerOpts(cfg, ServerOptions{})
+}
+
+// NewServerSpecOpts builds a collector from a task spec plus deployment
+// options — the durable spec→service path used by cmd/dapcollect.
+func NewServerSpecOpts(sp core.Spec, opts ServerOptions) (*Server, error) {
+	cfg, err := stream.ConfigFromSpec(sp)
 	if err != nil {
 		return nil, err
 	}
-	return &Server{reg: reg, def: def}, nil
+	return NewServerOpts(cfg, opts)
 }
 
-// Registry exposes the tenant registry (load generators and tests).
-func (s *Server) Registry() *stream.Registry { return s.reg }
+// NewServerOpts builds a collector from an engine configuration plus
+// deployment options. With opts.Store the registry is recovered from disk
+// (a recovered "default" tenant keeps its durable spec — the one it was
+// created with — over cfg); without, the server is ephemeral.
+func NewServerOpts(cfg stream.Config, opts ServerOptions) (*Server, error) {
+	if opts.MaxIngestBytes == 0 {
+		opts.MaxIngestBytes = defaultMaxIngestBytes
+	}
+	s := &Server{opts: opts}
+	if opts.Store == nil {
+		reg := stream.NewRegistry()
+		def, err := reg.Create(DefaultTenant, cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.install(reg, def, nil)
+		return s, nil
+	}
+	s.recovering.Store(true)
+	if opts.AsyncRecover {
+		go func() { _ = s.recover(cfg) }()
+		return s, nil
+	}
+	if err := s.recover(cfg); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
 
-// Close stops every tenant's epoch clock.
-func (s *Server) Close() { s.reg.Close() }
+// recover rebuilds the registry from the store and installs it. On
+// failure the 503 gate stays up and the error is surfaced on the admin
+// status endpoint.
+func (s *Server) recover(cfg stream.Config) error {
+	reg, rep, err := stream.Recover(s.opts.Store)
+	if err != nil {
+		msg := err.Error()
+		s.recoverErr.Store(&msg)
+		return err
+	}
+	def, ok := reg.Get(DefaultTenant)
+	if !ok {
+		if def, err = reg.Create(DefaultTenant, cfg); err != nil {
+			msg := err.Error()
+			s.recoverErr.Store(&msg)
+			return err
+		}
+	}
+	reg.StartSnapshots(s.opts.SnapshotInterval)
+	s.install(reg, def, rep)
+	return nil
+}
+
+// install publishes the registry and drops the recovery gate. The
+// atomic.Bool store orders after the pointer stores, so a handler that
+// observes recovering == false sees the installed registry.
+func (s *Server) install(reg *stream.Registry, def *stream.Tenant, rep *stream.RecoveryReport) {
+	s.regP.Store(reg)
+	s.defP.Store(def)
+	if rep != nil {
+		s.report.Store(rep)
+	}
+	s.recovering.Store(false)
+}
+
+// Registry exposes the tenant registry (load generators and tests). It is
+// nil while an async recovery is still running.
+func (s *Server) Registry() *stream.Registry { return s.regP.Load() }
+
+// Recovering reports whether boot recovery is still in progress (or has
+// failed — see the admin status endpoint for the error).
+func (s *Server) Recovering() bool { return s.recovering.Load() }
+
+// Close stops the snapshot loop and every tenant's epoch clock, and — for
+// a durable server — drains one final snapshot. The store itself is not
+// closed; it belongs to whoever opened it.
+func (s *Server) Close() {
+	if reg := s.regP.Load(); reg != nil {
+		reg.Close()
+	}
+}
 
 // Handler returns the HTTP API.
 func (s *Server) Handler() http.Handler {
@@ -94,19 +214,30 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/tenants/{tenant}/status", s.scoped(s.handleStatus))
 	mux.HandleFunc("GET /v1/tenants/{tenant}/estimate", s.scoped(s.handleEstimate))
 	mux.HandleFunc("POST /v1/tenants/{tenant}/rotate", s.scoped(s.handleRotate))
-	return mux
+	// Admin: store health, recovery state, last-snapshot age. Reachable
+	// while the collector is still recovering — it is how operators watch
+	// recovery progress.
+	mux.HandleFunc("GET /v1/admin/status", s.handleAdminStatus)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.recovering.Load() && !(r.Method == http.MethodGet && r.URL.Path == "/v1/admin/status") {
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusServiceUnavailable, "collector is recovering; retry shortly")
+			return
+		}
+		mux.ServeHTTP(w, r)
+	})
 }
 
 // tenantless adapts a tenant-scoped handler to the original API.
 func (s *Server) tenantless(h func(http.ResponseWriter, *http.Request, *stream.Tenant)) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) { h(w, r, s.def) }
+	return func(w http.ResponseWriter, r *http.Request) { h(w, r, s.defP.Load()) }
 }
 
 // scoped resolves {tenant} from the path.
 func (s *Server) scoped(h func(http.ResponseWriter, *http.Request, *stream.Tenant)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		name := r.PathValue("tenant")
-		t, ok := s.reg.Get(name)
+		t, ok := s.regP.Load().Get(name)
 		if !ok {
 			writeErr(w, http.StatusNotFound, "tenant %q not found", name)
 			return
@@ -132,9 +263,49 @@ func ingestStatus(err error) int {
 		return http.StatusTooManyRequests
 	case errors.Is(err, stream.ErrWrongGroup):
 		return http.StatusForbidden
+	case errors.Is(err, stream.ErrStoreDown), errors.Is(err, stream.ErrRotating):
+		return http.StatusServiceUnavailable
 	default:
 		return http.StatusBadRequest
 	}
+}
+
+// writeEngineErr maps an engine rejection onto the wire, attaching
+// Retry-After to the retryable (503) ones so well-behaved clients back
+// off instead of hammering a recovering store.
+func writeEngineErr(w http.ResponseWriter, err error) {
+	status := ingestStatus(err)
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeErr(w, status, "%v", err)
+}
+
+// limitBody enforces the ingest body-size limit: oversized requests with
+// a declared length fail fast with 413 before a byte is decoded, and
+// chunked uploads are cut off at the limit mid-decode.
+func (s *Server) limitBody(w http.ResponseWriter, r *http.Request) bool {
+	max := s.opts.MaxIngestBytes
+	if max <= 0 {
+		return true
+	}
+	if r.ContentLength > max {
+		writeErr(w, http.StatusRequestEntityTooLarge,
+			"request body %d bytes exceeds the %d-byte limit", r.ContentLength, max)
+		return false
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, max)
+	return true
+}
+
+// decodeStatus distinguishes an oversized body (413, from MaxBytesReader)
+// from plain bad JSON (400).
+func decodeStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
 }
 
 func configResponse(t *stream.Tenant) ConfigResponse {
@@ -169,35 +340,55 @@ func (s *Server) handleJoin(w http.ResponseWriter, _ *http.Request, t *stream.Te
 }
 
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request, t *stream.Tenant) {
+	if !s.limitBody(w, r) {
+		return
+	}
 	var req ReportRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		writeErr(w, decodeStatus(err), "invalid JSON: %v", err)
 		return
 	}
 	if err := t.Ingest(req.User, req.Group, req.Values); err != nil {
-		writeErr(w, ingestStatus(err), "%v", err)
+		writeEngineErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, ReportResponse{Accepted: len(req.Values)})
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request, t *stream.Tenant) {
-	var req IngestRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
+	if !s.limitBody(w, r) {
 		return
 	}
-	var out IngestResponse
+	var req IngestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, decodeStatus(err), "invalid JSON: %v", err)
+		return
+	}
+	entries := make([]stream.BatchEntry, len(req.Reports))
 	for i := range req.Reports {
 		e := &req.Reports[i]
-		if err := t.Ingest(e.User, e.Group, e.Values); err != nil {
+		entries[i] = stream.BatchEntry{User: e.User, Group: e.Group, Values: e.Values}
+	}
+	// One engine call applies the whole batch under a single WAL write —
+	// the durable fast path — with per-entry accept/reject semantics.
+	var out IngestResponse
+	for i, err := range t.IngestBatch(entries) {
+		if err != nil {
+			// A dead store fails every staged entry the same way, and the
+			// engine rolled all of them back — nothing was applied, so the
+			// whole batch is retryable: answer 503 and the client re-sends
+			// it after the store heals.
+			if errors.Is(err, stream.ErrStoreDown) {
+				writeEngineErr(w, err)
+				return
+			}
 			out.Rejected++
 			if len(out.Errors) < maxIngestErrors {
 				out.Errors = append(out.Errors, err.Error())
 			}
 			continue
 		}
-		out.Accepted += len(e.Values)
+		out.Accepted += len(req.Reports[i].Values)
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -241,8 +432,13 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request, t *strea
 }
 
 func (s *Server) handleRotate(w http.ResponseWriter, _ *http.Request, t *stream.Tenant) {
-	snap, err := t.Rotate()
+	snap, err := t.TryRotate()
 	if err != nil {
+		// In-flight rotation or a dead store: retryable, 503 + Retry-After.
+		if errors.Is(err, stream.ErrRotating) || errors.Is(err, stream.ErrStoreDown) {
+			writeEngineErr(w, err)
+			return
+		}
 		writeErr(w, http.StatusConflict, "rotation sealed an epoch but estimation failed: %v", err)
 		return
 	}
@@ -279,8 +475,39 @@ func tenantStatusResponse(t *stream.Tenant) TenantStatusResponse {
 
 func (s *Server) handleTenantList(w http.ResponseWriter, _ *http.Request) {
 	out := TenantListResponse{Tenants: []TenantStatusResponse{}}
-	for _, t := range s.reg.List() {
+	for _, t := range s.regP.Load().List() {
 		out.Tenants = append(out.Tenants, tenantStatusResponse(t))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleAdminStatus(w http.ResponseWriter, _ *http.Request) {
+	out := AdminStatusResponse{Recovering: s.recovering.Load()}
+	if e := s.recoverErr.Load(); e != nil {
+		out.RecoverError = *e
+	}
+	if reg := s.regP.Load(); reg != nil {
+		out.Tenants = len(reg.List())
+		if st := reg.Store(); st != nil {
+			out.Durable = true
+			h := st.Health()
+			info := &StoreHealthInfo{
+				Healthy: h.Healthy, LastErr: h.LastErr, LSN: h.LSN,
+				Segments: h.Segments, WALBytes: h.WALBytes,
+				SnapshotLSN: h.SnapshotLSN, Dir: h.Dir,
+			}
+			if !h.LastSnapshot.IsZero() {
+				info.LastSnapshotAgeMs = time.Since(h.LastSnapshot).Milliseconds()
+			}
+			out.Store = info
+		}
+	}
+	if rep := s.report.Load(); rep != nil {
+		out.Recovery = &RecoveryInfo{
+			SnapshotLSN: rep.SnapshotLSN, Records: rep.Records, Applied: rep.Applied,
+			Tenants: rep.Tenants, Torn: rep.Torn, Warnings: rep.Warnings,
+			SpendBefore: rep.SpendBefore, SpendAfter: rep.SpendAfter,
+		}
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -296,11 +523,15 @@ func (s *Server) handleTenantCreate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	t, err := s.reg.CreateSpec(req.Name, sp)
+	t, err := s.regP.Load().CreateSpec(req.Name, sp)
 	if err != nil {
 		status := http.StatusConflict
 		if errors.Is(err, core.ErrBadSpec) {
 			status = http.StatusBadRequest
+		}
+		if errors.Is(err, stream.ErrStoreDown) {
+			writeEngineErr(w, err)
+			return
 		}
 		writeErr(w, status, "%v", err)
 		return
@@ -341,7 +572,7 @@ func (s *Server) handleTenantDelete(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "the default tenant cannot be deleted")
 		return
 	}
-	if !s.reg.Delete(name) {
+	if !s.regP.Load().Delete(name) {
 		writeErr(w, http.StatusNotFound, "tenant %q not found", name)
 		return
 	}

@@ -177,3 +177,43 @@ type TenantListResponse struct {
 type ErrorResponse struct {
 	Error string `json:"error"`
 }
+
+// StoreHealthInfo describes the durability layer inside an admin status:
+// WAL position and footprint, last snapshot, and whether the most recent
+// append or sync failed (a degraded store serves reads but rejects
+// writes).
+type StoreHealthInfo struct {
+	Healthy           bool   `json:"healthy"`
+	LastErr           string `json:"last_err,omitempty"`
+	LSN               uint64 `json:"lsn"`
+	Segments          int    `json:"segments"`
+	WALBytes          int64  `json:"wal_bytes"`
+	SnapshotLSN       uint64 `json:"snapshot_lsn"`
+	LastSnapshotAgeMs int64  `json:"last_snapshot_age_ms,omitempty"`
+	Dir               string `json:"dir,omitempty"`
+}
+
+// RecoveryInfo summarizes the boot-time crash recovery that produced the
+// running registry.
+type RecoveryInfo struct {
+	SnapshotLSN uint64   `json:"snapshot_lsn"`
+	Records     int      `json:"records"`
+	Applied     int      `json:"applied"`
+	Tenants     int      `json:"tenants"`
+	Torn        bool     `json:"torn"`
+	Warnings    []string `json:"warnings,omitempty"`
+	SpendBefore float64  `json:"spend_before"`
+	SpendAfter  float64  `json:"spend_after"`
+}
+
+// AdminStatusResponse is returned by GET /v1/admin/status — the only
+// endpoint that answers during recovery (everything else returns 503 with
+// Retry-After until the registry is rebuilt).
+type AdminStatusResponse struct {
+	Recovering   bool             `json:"recovering"`
+	RecoverError string           `json:"recover_error,omitempty"`
+	Tenants      int              `json:"tenants"`
+	Durable      bool             `json:"durable"`
+	Store        *StoreHealthInfo `json:"store,omitempty"`
+	Recovery     *RecoveryInfo    `json:"recovery,omitempty"`
+}
