@@ -255,6 +255,7 @@ func (s *Store) Load() (*Recovery, error) {
 	// were intact on disk and applying them is strictly better than
 	// discarding them.
 	s.nextLSN = 1
+	keep := s.segs[:0]
 	for i := range s.segs {
 		seg := &s.segs[i]
 		good, next, torn, err := readSegment(s.fs, seg.path, func(r *Record) {
@@ -265,12 +266,22 @@ func (s *Store) Load() (*Recovery, error) {
 		}
 		if torn {
 			rec.Torn = true
+			if good < int64(walHeaderSize) {
+				// The header itself is torn: the segment carries nothing.
+				// Remove the file entirely rather than truncating to zero —
+				// a zero-byte entry left in segs would collide with the
+				// next roll at the same firstLSN (duplicate segs entries
+				// sharing one path), and gc would then unlink the live
+				// segment out from under the log.
+				rec.Warnings = append(rec.Warnings,
+					fmt.Sprintf("removing %s: torn segment header", filepath.Base(seg.path)))
+				if err := s.fs.Remove(seg.path); err != nil {
+					return nil, fmt.Errorf("store: removing %s: %w", seg.path, err)
+				}
+				continue
+			}
 			rec.Warnings = append(rec.Warnings,
 				fmt.Sprintf("truncated torn tail of %s at byte %d", filepath.Base(seg.path), good))
-			if good < int64(walHeaderSize) {
-				// Header itself is torn: the segment carries nothing.
-				good = 0
-			}
 			if err := s.fs.Truncate(seg.path, good); err != nil {
 				return nil, fmt.Errorf("store: truncating %s: %w", seg.path, err)
 			}
@@ -279,7 +290,9 @@ func (s *Store) Load() (*Recovery, error) {
 		if next > s.nextLSN {
 			s.nextLSN = next
 		}
+		keep = append(keep, *seg)
 	}
+	s.segs = keep
 	// Open the last segment for appending (or start fresh).
 	if n := len(s.segs); n > 0 && s.segs[n-1].size >= int64(walHeaderSize) {
 		f, err := s.fs.OpenAppend(s.segs[n-1].path)
@@ -400,12 +413,31 @@ func (s *Store) appendFrame(b *walBatch, r *Record) {
 // commitBatch assigns n contiguous LSNs to the frames just enqueued and
 // blocks until their batch is flushed, leading the flush when no one else
 // is. Caller holds s.mu.
+//
+// Close does not abandon an in-flight flush: if a leader is already
+// writing this batch, every waiter blocks for the real outcome — frames
+// that land durably will replay on recovery, so reporting ErrClosed for
+// them would make callers refund charges for records that survive (a
+// double-apply after restart). Only a batch no leader ever picked up is
+// discarded at close; its frames never reached the disk, so ErrClosed is
+// then the truth.
 func (s *Store) commitBatch(b *walBatch, n int) (uint64, error) {
 	first := s.nextLSN
 	s.nextLSN += uint64(n)
 	for !b.flushed {
 		if s.closed {
-			return 0, ErrClosed
+			if s.pendBatch == b {
+				// No leader will take this batch after close: discard it
+				// so its records are consistently non-durable.
+				s.pendBatch = nil
+				b.flushed = true
+				b.err = ErrClosed
+				s.cond.Broadcast()
+				break
+			}
+			// A leader is mid-flush on this batch; wait for its outcome.
+			s.cond.Wait()
+			continue
 		}
 		if !s.flushing && s.pendBatch == b {
 			s.flushBatch(b)
@@ -445,8 +477,18 @@ func (s *Store) flushBatch(b *walBatch) {
 	s.mu.Lock()
 	s.flushing = false
 	if err != nil {
-		// The segment tail may be torn; abandon it so later appends land
-		// in a fresh segment and recovery truncates only this one.
+		// A partial write may have left CRC-intact prefix frames of the
+		// failed batch on disk; recovery would replay them even though
+		// every caller was told the batch failed (and refunded, and will
+		// retry). Cut the tail back to the pre-batch size so the failed
+		// batch leaves no trace — best effort: if the truncate fails too,
+		// the segment is abandoned anyway and the risk is confined to the
+		// torn tail recovery already handles.
+		if n := len(s.segs); n > 0 {
+			_ = s.fs.Truncate(s.segs[n-1].path, s.curSize)
+		}
+		// The segment is now suspect; abandon it so later appends land in
+		// a fresh segment and recovery truncates only this one.
 		s.fail(err)
 	} else {
 		s.curSize += int64(len(b.buf))

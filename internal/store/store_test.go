@@ -346,16 +346,191 @@ func TestFlakyTornWriteTruncates(t *testing.T) {
 	if _, err := s.AppendIngest("a", "u1", 0, []float64{2}); err == nil {
 		t.Fatal("torn write error not surfaced")
 	}
-	// Crash here: recovery must truncate the torn half-record and keep
-	// the intact one.
+	// Crash here: the store survived the failed write, so it already cut
+	// the torn half-record off the segment — recovery finds a clean tail
+	// and only the intact record.
 	s.Close()
 	s2 := openTest(t, dir, Options{Sync: SyncOS})
 	rec := mustLoad(t, s2)
-	if !rec.Torn {
-		t.Fatal("torn tail not detected")
+	if rec.Torn {
+		t.Fatalf("failed write's torn bytes not cleaned up at failure time: %v", rec.Warnings)
 	}
 	if len(rec.Records) != 1 || rec.Records[0].User != "u0" {
 		t.Fatalf("recovered %+v, want only u0's record", rec.Records)
+	}
+}
+
+// TestFailedBatchLeavesNoPartialFrames: a torn group-commit write can
+// land a CRC-intact prefix of the batch's frames. Every caller of the
+// batch was told it failed (and refunded), so recovery must not replay
+// any of them — the store truncates the segment back to its pre-batch
+// size when the write fails.
+func TestFailedBatchLeavesNoPartialFrames(t *testing.T) {
+	dir := t.TempDir()
+	flaky := NewFlaky(nil)
+	s := openTest(t, dir, Options{Sync: SyncOS, FS: flaky})
+	mustLoad(t, s)
+	if _, err := s.AppendIngest("a", "u0", 0, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	// A three-frame batch whose write lands its first half: without the
+	// pre-batch truncate, the leading frame survives CRC-intact and would
+	// replay records the callers rolled back.
+	flaky.FailWrites(1, true, false)
+	entries := []IngestEntry{
+		{User: "u1", Group: 0, Values: []float64{1, 2, 3}},
+		{User: "u2", Group: 0, Values: []float64{4, 5, 6}},
+		{User: "u3", Group: 0, Values: []float64{7, 8, 9}},
+	}
+	if _, err := s.AppendIngestBatch("a", entries); err == nil {
+		t.Fatal("injected torn batch write not surfaced")
+	}
+	s.Close()
+	s2 := openTest(t, dir, Options{Sync: SyncOS})
+	rec := mustLoad(t, s2)
+	if rec.Torn {
+		t.Fatalf("failed batch's torn bytes not cleaned up at failure time: %v", rec.Warnings)
+	}
+	if len(rec.Records) != 1 || rec.Records[0].User != "u0" {
+		t.Fatalf("recovered %+v, want only u0's record (no frame of the failed batch)", rec.Records)
+	}
+}
+
+// TestTornHeaderSegmentRemovedOnLoad: a segment whose header never fully
+// landed (crash mid-roll) carries nothing and must be removed outright.
+// Leaving a zero-byte entry in the segment list would collide with the
+// next roll at the same firstLSN — two entries sharing one path — and
+// snapshot GC would then unlink the ACTIVE segment's file, silently
+// losing every later acked record.
+func TestTornHeaderSegmentRemovedOnLoad(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{Sync: SyncOS})
+	mustLoad(t, s)
+	appendMix(t, s)
+	next := s.NextLSN()
+	s.Close()
+	// Crash mid-roll: the next segment's header is half-written.
+	torn := segPath(dir, next)
+	if err := os.WriteFile(torn, []byte(walMagic[:3]), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openTest(t, dir, Options{Sync: SyncOS})
+	rec := mustLoad(t, s2)
+	if !rec.Torn {
+		t.Fatal("torn segment header not detected")
+	}
+	if _, err := os.Stat(torn); !os.IsNotExist(err) {
+		t.Fatalf("torn-header segment not removed from disk (stat err %v)", err)
+	}
+	// The next append re-creates the same firstLSN path fresh; a snapshot
+	// covering everything then garbage-collects old segments. Before the
+	// fix the duplicate segs entries made this GC unlink the live segment.
+	lsn, err := s2.AppendRotate("a", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != next {
+		t.Fatalf("first post-recovery append got LSN %d, want %d", lsn, next)
+	}
+	snap := &Snapshot{LSN: s2.NextLSN(), Tenants: []TenantSnap{{Name: "a", StartLSN: s2.NextLSN()}}}
+	if err := s2.WriteSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	after, err := s2.AppendRotate("a", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+
+	// Everything appended after the GC must survive the next recovery —
+	// it does not if GC removed the active segment's file.
+	s3 := openTest(t, dir, Options{Sync: SyncOS})
+	rec3 := mustLoad(t, s3)
+	if rec3.Torn {
+		t.Fatalf("unexpected torn tail after GC: %v", rec3.Warnings)
+	}
+	found := false
+	for _, r := range rec3.Records {
+		if r.LSN == after && r.Type == RecRotate && r.Seq == 9 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("record appended after GC lost (recovered %d records): live segment was unlinked", len(rec3.Records))
+	}
+}
+
+// TestCloseWaitsForInflightFlush: waiters whose batch a leader is already
+// writing at Close time must observe the flush's real outcome. Returning
+// ErrClosed early would make callers refund charges for records that land
+// durably and replay on recovery — a double-apply.
+func TestCloseWaitsForInflightFlush(t *testing.T) {
+	dir := t.TempDir()
+	flaky := NewFlaky(nil)
+	s := openTest(t, dir, Options{Sync: SyncOS, FS: flaky})
+	mustLoad(t, s)
+	if _, err := s.AppendIngest("a", "u0", 0, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Slow every write down, then line up: C leads a slow flush; A and B
+	// enqueue onto the next batch while C is in flight; once C finishes,
+	// one of A/B leads that batch's (slow) write and the other waits on
+	// it. Close lands inside that second write. Flaky's write counter
+	// (incremented before the injected latency) pins each phase: writes
+	// so far are the segment header and u0's record, C is #3, the A/B
+	// batch is #4.
+	const lat = 300 * time.Millisecond
+	waitWrites := func(n int) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			if w, _, _ := flaky.Stats(); w >= n {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("write #%d never started", n)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	flaky.Latency(lat)
+	errc := make(chan error, 3)
+	go func() {
+		_, err := s.AppendIngest("a", "uc", 0, []float64{2})
+		errc <- err
+	}()
+	waitWrites(3) // C is mid-write for the next ~lat
+	go func() {
+		_, err := s.AppendIngest("a", "ua", 0, []float64{3})
+		errc <- err
+	}()
+	go func() {
+		_, err := s.AppendIngest("a", "ub", 0, []float64{4})
+		errc <- err
+	}()
+	time.Sleep(lat / 4) // both enqueue on the pending batch while C sleeps
+	waitWrites(4)       // the A/B batch's write began; it sleeps ~lat more
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := <-errc; err != nil {
+			t.Errorf("append during close returned %v; its record is durable", err)
+		}
+	}
+
+	s2 := openTest(t, dir, Options{Sync: SyncOS})
+	rec := mustLoad(t, s2)
+	users := map[string]bool{}
+	for _, r := range rec.Records {
+		users[r.User] = true
+	}
+	for _, u := range []string{"u0", "uc", "ua", "ub"} {
+		if !users[u] {
+			t.Errorf("record %s lost across close", u)
+		}
 	}
 }
 

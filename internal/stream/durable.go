@@ -20,8 +20,9 @@ import (
 // ingest records at or beyond it rebuild the live histograms — the live
 // epoch is never snapshotted, it is always reproduced by replay, which is
 // what makes recovered estimates bit-identical to an uninterrupted run
-// (stripe assignment is the deterministic hashUser, so per-stripe float
-// accumulation order reproduces exactly). acctFrom is where the
+// (stripe assignment is the deterministic hashUser, and ingest holds the
+// stripe lock across WAL append + apply, so per-stripe float accumulation
+// order equals LSN order and reproduces exactly). acctFrom is where the
 // snapshot's accountant ledger and join counter stop being authoritative:
 // charges and joins at or beyond it replay into the accountant — with
 // ForceSpend, not SpendN, because every logged record was already

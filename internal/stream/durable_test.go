@@ -3,8 +3,13 @@ package stream_test
 import (
 	"errors"
 	"math"
+	"os"
+	"path/filepath"
 	"reflect"
+	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/ldp/pm"
@@ -87,6 +92,36 @@ func ingestAll(t *testing.T, tn *stream.Tenant, reports []report) {
 	}
 }
 
+// tearNewestSegment appends a few garbage bytes (shorter than a frame
+// header) to the newest WAL segment — the torn tail a kill -9 mid-write
+// leaves behind.
+func tearNewestSegment(t *testing.T, dir string) {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var newest string
+	for _, e := range ents { // ReadDir sorts, so the last wal-* wins
+		if strings.HasPrefix(e.Name(), "wal-") && strings.HasSuffix(e.Name(), ".log") {
+			newest = filepath.Join(dir, e.Name())
+		}
+	}
+	if newest == "" {
+		t.Fatal("no WAL segment to tear")
+	}
+	f, err := os.OpenFile(newest, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xde, 0xad, 0xbe}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestCrashRecoveryMatrix is the fault-injection matrix from the issue:
 // kill the collector at {mid-ingest, mid-rotation, mid-snapshot, torn WAL
 // tail} × {tumbling, sliding} and assert that (a) recovered estimates are
@@ -156,8 +191,9 @@ func TestCrashRecoveryMatrix(t *testing.T) {
 				case "torn-tail":
 					ingestAll(t, tn, reports[half:threeQ])
 					// One extra user's append dies half-written: the charge
-					// is refunded, the request is rejected, and the torn
-					// bytes are what recovery must truncate.
+					// is refunded, the request is rejected, and the store
+					// repairs its own tail in place (truncating the failed
+					// batch's bytes) since the process survived the fault.
 					flaky.FailWrites(1, true, false)
 					extra := make([]float64, tn.Groups()[0].Reports)
 					if err := tn.Ingest("torn-extra", 0, extra); err == nil {
@@ -168,6 +204,12 @@ func TestCrashRecoveryMatrix(t *testing.T) {
 					}
 				}
 				spentBefore := tn.Accountant().TotalSpent()
+				if point == "torn-tail" {
+					// kill -9 mid-write leaves torn bytes the dead process
+					// never got to repair — tear the newest segment directly;
+					// recovery must truncate them.
+					tearNewestSegment(t, dir)
+				}
 
 				// Kill. Recover from the same dir with a fresh store.
 				reg2, _, rep := openDurable(t, dir, nil)
@@ -330,5 +372,96 @@ func TestIngestStoreDownRefunds(t *testing.T) {
 	flaky.Heal()
 	if err := tn.Ingest(fresh.user, fresh.group, fresh.vals); err != nil {
 		t.Fatalf("ingest after heal: %v", err)
+	}
+}
+
+// TestConcurrentIngestRecoversBitIdentical: ingests racing from many
+// goroutines — including users hashing to the same histogram stripe —
+// must still recover bit-identically. The ingest path holds the stripe
+// lock across WAL append + apply, so the live run's per-stripe float
+// accumulation order equals LSN order, which is the order replay uses.
+func TestConcurrentIngestRecoversBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	// A slow disk makes group-commit batches actually coalesce: while the
+	// leader's write sleeps, more appenders pile into the pending batch, and
+	// on flush they all wake together and race to apply — exactly the window
+	// where an unserialized apply could land out of LSN order.
+	flaky := store.NewFlaky(nil)
+	flaky.Latency(500 * time.Microsecond)
+	reg, _, _ := openDurable(t, dir, flaky)
+	sp := durableSpec(stream.Tumbling)
+	sp.Serve.Shards = 2 // few stripes: force same-stripe collisions
+	tn, err := reg.CreateSpec("t", sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := workload(t, tn.Groups(), 48)
+	// Spread report magnitudes across ~32 binary decades (exact power-of-two
+	// scaling keeps every value in the PM output domain). Summing mixed
+	// magnitudes is order-sensitive in almost every permutation, so a single
+	// same-stripe apply that lands out of LSN order flips the sum's low bits.
+	for i, r := range reports {
+		for k := range r.vals {
+			r.vals[k] = math.Ldexp(r.vals[k], -((i + k) % 32))
+		}
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var batch []stream.BatchEntry
+			for i := w; i < len(reports); i += workers {
+				r := reports[i]
+				if w%2 == 0 {
+					// Even workers exercise the single-report path...
+					if err := tn.Ingest(r.user, r.group, r.vals); err != nil {
+						t.Errorf("ingest %s: %v", r.user, err)
+					}
+					continue
+				}
+				// ...odd workers the batched one, three reports at a time.
+				batch = append(batch, stream.BatchEntry{User: r.user, Group: r.group, Values: r.vals})
+				if len(batch) == 3 {
+					for j, err := range tn.IngestBatch(batch) {
+						if err != nil {
+							t.Errorf("batch ingest %s: %v", batch[j].User, err)
+						}
+					}
+					batch = batch[:0]
+				}
+			}
+			for j, err := range tn.IngestBatch(batch) {
+				if err != nil {
+					t.Errorf("batch ingest %s: %v", batch[j].User, err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	want, err := tn.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill (no shutdown courtesy) and recover; recovery re-estimates the
+	// replayed window into the cache.
+	reg2, _, _ := openDurable(t, dir, nil)
+	tn2, ok := reg2.Get("t")
+	if !ok {
+		t.Fatal("tenant lost across crash")
+	}
+	got, err := tn2.Estimate(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(got.Reports) != math.Float64bits(want.Reports) {
+		t.Fatalf("window reports %v, reference %v", got.Reports, want.Reports)
+	}
+	if !reflect.DeepEqual(got.Result, want.Result) {
+		t.Errorf("recovered estimate differs from the concurrent live run\n got: %+v\nwant: %+v",
+			got.Result, want.Result)
 	}
 }

@@ -29,19 +29,31 @@ func newShardSet(stripes, buckets int) *shardSet {
 	return s
 }
 
+// stripe returns the shard a stripe hash maps to.
+func (s *shardSet) stripe(hash uint64) *shard {
+	return &s.shards[hash%uint64(len(s.shards))]
+}
+
 // add records a batch of reports on stripe. idx and vals are parallel:
 // idx[j] is the precomputed bucket of value vals[j]. Validation happened
 // before the lock — nothing here can fail, so the critical section is a
 // handful of adds.
 func (s *shardSet) add(stripe uint64, idx []int, vals []float64) {
-	sh := &s.shards[stripe%uint64(len(s.shards))]
+	sh := s.stripe(stripe)
 	sh.mu.Lock()
+	sh.addLocked(idx, vals)
+	sh.mu.Unlock()
+}
+
+// addLocked is add with the shard lock already held — the durable ingest
+// path holds it across the WAL append so same-stripe applies happen in
+// LSN order (see Tenant.Ingest).
+func (sh *shard) addLocked(idx []int, vals []float64) {
 	for j, i := range idx {
 		sh.counts[i]++
 		sh.sum += vals[j]
 	}
 	sh.n += float64(len(idx))
-	sh.mu.Unlock()
 }
 
 // mergeLocked folds every stripe into counts (which must be zeroed,

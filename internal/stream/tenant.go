@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -30,9 +31,11 @@ var ErrRotating = errors.New("stream: rotation in progress")
 
 // hashUser maps a user id to a histogram/binding stripe with FNV-1a. The
 // hash must be stable across process restarts — WAL replay re-runs every
-// accepted report through the ingest path, and only a deterministic
-// user→stripe assignment reproduces the original per-stripe float
-// accumulation order (and hence bit-identical sums) after a crash.
+// accepted report through the ingest path, and bit-identical recovered
+// sums need two ingredients: a deterministic user→stripe assignment
+// (this hash) and same-stripe ingests serializing their WAL append with
+// their apply (the stripe lock held across both in Ingest/IngestBatch),
+// so per-stripe float accumulation order equals LSN order.
 func hashUser(s string) uint64 {
 	const (
 		offset64 = 14695981039346656037
@@ -346,9 +349,19 @@ func (t *Tenant) Ingest(user string, group int, values []float64) error {
 	// append and histogram apply all happen under the shared rotation lock
 	// so an epoch seal (which logs its own record under the exclusive
 	// lock) can never slip between the append and the apply — the WAL's
-	// record order is exactly the order state changed in.
+	// record order is exactly the order state changed in. The target
+	// stripe's lock is additionally held across the same window: replay
+	// applies records in LSN order, so same-stripe ingests must serialize
+	// their append+apply for the live run's per-stripe float accumulation
+	// order (and a same-user ledger's charge order) to equal log order —
+	// that is what makes recovered sums bit-identical rather than
+	// approximately equal. Different stripes still proceed concurrently
+	// and coalesce into one group-commit write.
 	t.mu.RLock()
+	sh := t.live[group].stripe(stripe)
+	sh.mu.Lock()
 	if err := t.acct.SpendN(user, g.Eps, len(values)); err != nil {
+		sh.mu.Unlock()
 		t.mu.RUnlock()
 		return err
 	}
@@ -358,11 +371,13 @@ func (t *Tenant) Ingest(user string, group int, values []float64) error {
 			// rejected request leaves no trace, and surface a retryable
 			// store-down error.
 			t.acct.Refund(user, g.Eps, len(values))
+			sh.mu.Unlock()
 			t.mu.RUnlock()
 			return fmt.Errorf("%w: %v", ErrStoreDown, err)
 		}
 	}
-	t.live[group].add(stripe, idx, values)
+	sh.addLocked(idx, values)
+	sh.mu.Unlock()
 	t.mu.RUnlock()
 	return nil
 }
@@ -429,12 +444,39 @@ func (t *Tenant) IngestBatch(entries []BatchEntry) []error {
 			errs[i] = fmt.Errorf("%w: user %s is bound to group %d", ErrWrongGroup, e.User, prev)
 			continue
 		}
-		if err := t.acct.SpendN(e.User, g.Eps, len(e.Values)); err != nil {
-			errs[i] = err
-			continue
-		}
 		staged = append(staged, stagedEntry{i: i, stripe: stripe, idx: idx})
 	}
+	// Same-stripe serialization, batch form (see Ingest): every stripe the
+	// batch touches is locked — in one global (group, stripe) order, so
+	// concurrent batches cannot deadlock — and held across charge, WAL
+	// append and apply, keeping per-stripe (and per-user ledger) apply
+	// order equal to LSN order for bit-identical replay.
+	nsh := t.cfg.Shards
+	keys := make([]int, 0, len(staged))
+	for _, sg := range staged {
+		keys = append(keys, entries[sg.i].Group*nsh+int(sg.stripe%uint64(nsh)))
+	}
+	slices.Sort(keys)
+	keys = slices.Compact(keys)
+	for _, k := range keys {
+		t.live[k/nsh].shards[k%nsh].mu.Lock()
+	}
+	defer func() {
+		for _, k := range keys {
+			t.live[k/nsh].shards[k%nsh].mu.Unlock()
+		}
+	}()
+	// Charge each staged entry; a failed charge rejects that entry alone.
+	charged := staged[:0]
+	for _, sg := range staged {
+		e := &entries[sg.i]
+		if err := t.acct.SpendN(e.User, t.groups[e.Group].Eps, len(e.Values)); err != nil {
+			errs[sg.i] = err
+			continue
+		}
+		charged = append(charged, sg)
+	}
+	staged = charged
 	if t.st != nil && len(staged) > 0 {
 		recs := entries // all-accepted batches log as-is, no copy
 		if len(staged) != len(entries) {
@@ -457,7 +499,7 @@ func (t *Tenant) IngestBatch(entries []BatchEntry) []error {
 	}
 	for _, sg := range staged {
 		e := &entries[sg.i]
-		t.live[e.Group].add(sg.stripe, sg.idx, e.Values)
+		t.live[e.Group].stripe(sg.stripe).addLocked(sg.idx, e.Values)
 	}
 	return errs
 }

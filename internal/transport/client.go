@@ -137,11 +137,24 @@ func (c *Client) rewind(req *http.Request) bool {
 // otherwise exponential backoff from 50ms with up to 50% jitter, capped
 // at retryMaxWait. It returns false when the context is done.
 func (c *Client) backoff(ctx context.Context, attempt int, retryAfter string) bool {
-	wait := 50 * time.Millisecond << uint(attempt)
+	wait := 50 * time.Millisecond
+	if attempt >= 37 {
+		// 50ms << 37 overflows time.Duration; anything this deep is past
+		// every sane cap anyway.
+		wait = c.retryMaxWait
+	} else {
+		wait <<= uint(attempt)
+	}
 	if retryAfter != "" {
 		if secs, err := strconv.Atoi(retryAfter); err == nil && secs >= 0 {
 			wait = time.Duration(secs) * time.Second
 		}
+	}
+	// Clamp before computing jitter: a shifted or server-sent wait beyond
+	// the cap (or one that overflowed negative) must not reach Int64N,
+	// which panics on non-positive arguments.
+	if wait <= 0 || wait > c.retryMaxWait {
+		wait = c.retryMaxWait
 	}
 	wait += time.Duration(rand.Int64N(int64(wait)/2 + 1))
 	if wait > c.retryMaxWait {

@@ -378,3 +378,26 @@ func TestClientRetryGivesUp(t *testing.T) {
 		t.Fatalf("server saw %d calls, want 3 (1 + 2 retries)", got)
 	}
 }
+
+// TestBackoffDeepAttemptsClamped: the exponential shift overflows
+// time.Duration past attempt ~37, and a huge server Retry-After can
+// overflow the seconds multiply; both must clamp to retryMaxWait instead
+// of panicking on a non-positive jitter bound.
+func TestBackoffDeepAttemptsClamped(t *testing.T) {
+	c := NewClient("http://unused", nil)
+	c.SetRetry(1, 10*time.Millisecond)
+	ctx := context.Background()
+	for _, attempt := range []int{0, 1, 10, 37, 38, 40, 63, 64, 100, 1 << 20} {
+		start := time.Now()
+		if !c.backoff(ctx, attempt, "") {
+			t.Fatalf("backoff(attempt=%d) aborted without ctx cancellation", attempt)
+		}
+		if d := time.Since(start); d > 5*time.Second {
+			t.Fatalf("backoff(attempt=%d) slept %v, want ≈ retryMaxWait", attempt, d)
+		}
+	}
+	// 1e10 seconds overflows time.Duration when multiplied out.
+	if !c.backoff(ctx, 0, "10000000000") {
+		t.Fatal("backoff with huge Retry-After aborted without ctx cancellation")
+	}
+}
