@@ -3,7 +3,7 @@
 GO ?= go
 DATE := $(shell date +%Y%m%d)
 
-.PHONY: all build vet fmt-check doccheck test race bench bench-json bench-diff bench-smoke load-smoke load-json apicheck apigen matrix crash-test wal-overhead
+.PHONY: all build vet fmt-check doccheck test race bench bench-json bench-diff bench-smoke load-smoke load-json apicheck apigen matrix crash-test wal-overhead metrics-check
 
 all: vet fmt-check doccheck build test apicheck
 
@@ -48,7 +48,7 @@ test:
 
 # Race-detector pass over the concurrent serving layer.
 race:
-	$(GO) test -race ./internal/stream/ ./internal/transport/ ./internal/privacy/
+	$(GO) test -race ./internal/stream/ ./internal/transport/ ./internal/privacy/ ./internal/metrics/
 
 # Durability fault-injection battery under the race detector: kill-and-
 # restart recovery (mid-ingest / mid-rotation / mid-snapshot / torn WAL
@@ -96,6 +96,14 @@ bench-diff:
 	if [ -z "$$old" ]; then old=$$(ls BENCH_*.json | sort | tail -2 | head -1); fi; \
 	echo "benchdiff $$old $$new"; \
 	$(GO) run ./cmd/benchdiff "$$old" "$$new"
+
+# Observability end-to-end gate: boot a durable collector on loopback,
+# drive traffic through every instrumented layer, scrape GET /metrics
+# over HTTP and verify the payload parses, every documented metric
+# family is present with its documented type, and the layer counters
+# moved (see cmd/metricscheck). `-addr` points it at a live collector.
+metrics-check:
+	$(GO) run ./cmd/metricscheck
 
 # Load-generator smoke: boot an in-process collector over real loopback
 # HTTP, drive 10k reports through batched ingest with a rotating epoch

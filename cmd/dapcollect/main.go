@@ -27,6 +27,14 @@
 // trade-off (always | interval | os). GET /v1/admin/status reports store
 // health, last-snapshot age and the recovery summary.
 //
+// Observability: GET /metrics serves every layer's metrics in the
+// Prometheus text exposition format (requests, ingest, epochs, solver,
+// privacy budget, WAL health) and stays reachable during recovery, as
+// does GET /v1/admin/status. Structured logs go to stderr via log/slog
+// (-log-level, -log-format); -pprof mounts net/http/pprof under
+// /debug/pprof/ for live profiling (off by default — expose only on
+// trusted networks).
+//
 // The process shuts down gracefully: SIGINT/SIGTERM stop accepting
 // connections, in-flight requests drain (bounded by -drain-timeout),
 // every tenant's epoch clock is stopped, and a durable collector cuts one
@@ -39,9 +47,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -50,6 +60,35 @@ import (
 	"repro/internal/store"
 	"repro/internal/transport"
 )
+
+// setupLogging installs the process-wide slog handler from the CLI
+// flags. The transport's request middleware, the store's WAL events and
+// recovery logging all route through slog.Default.
+func setupLogging(level, format string) error {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "", "info":
+		lvl = slog.LevelInfo
+	case "warn", "warning":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return fmt.Errorf("unknown log level %q (debug | info | warn | error)", level)
+	}
+	ho := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(format) {
+	case "", "text":
+		slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, ho)))
+	case "json":
+		slog.SetDefault(slog.New(slog.NewJSONHandler(os.Stderr, ho)))
+	default:
+		return fmt.Errorf("unknown log format %q (text | json)", format)
+	}
+	return nil
+}
 
 func main() {
 	var (
@@ -61,15 +100,21 @@ func main() {
 		snapEvery    = flag.Duration("snapshot-interval", 30*time.Second, "periodic snapshot interval (with -store-dir; 0 disables)")
 		fsync        = flag.String("fsync", "interval", "WAL fsync policy: always | interval | os (with -store-dir)")
 		maxBody      = flag.Int64("max-ingest-bytes", 0, "request body limit for report/ingest (0 = 8 MiB default, negative = unlimited)")
+		pprofOn      = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (admin-only; off by default)")
+		logLevel     = flag.String("log-level", "info", "log level: debug | info | warn | error")
+		logFormat    = flag.String("log-format", "text", "log format: text | json")
 	)
 	sf := specflag.New(flag.CommandLine, core.NewSpec(core.MeanTask(),
 		core.WithScheme(core.SchemeCEMFStar)))
 	flag.Parse()
+	if err := setupLogging(*logLevel, *logFormat); err != nil {
+		log.Fatal("dapcollect: ", err)
+	}
 	sp, err := sf.Resolve()
 	if err != nil {
 		log.Fatal("dapcollect: ", err)
 	}
-	opts := transport.ServerOptions{MaxIngestBytes: *maxBody}
+	opts := transport.ServerOptions{MaxIngestBytes: *maxBody, Pprof: *pprofOn}
 	var st *store.Store
 	if *storeDir != "" {
 		policy, err := store.ParseSyncPolicy(*fsync)

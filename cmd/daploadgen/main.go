@@ -16,9 +16,13 @@
 //
 // -min-rate fails the run when ingest throughput drops below the bound;
 // -assert additionally checks that a live per-epoch estimate exists and is
-// sane. -bench-json merges a "load" record into an existing BENCH_*.json
-// (or creates the file), recording throughput, estimate latency and retry
-// counts next to the experiment timings.
+// sane. -scrape-metrics scrapes the collector's /metrics before and after
+// the run and fails unless the server-side ingest counter delta for the
+// tenant matches the client-side acked report count — an end-to-end check
+// that the observability pipeline counts exactly what the wire acked.
+// -bench-json merges a "load" record into an existing BENCH_*.json
+// (or creates the file), recording throughput, estimate latency, retry
+// counts and the metrics cross-check next to the experiment timings.
 //
 // -retries N retries transient failures (network errors, 5xx responses)
 // with exponential backoff plus jitter capped at -retry-max-wait,
@@ -48,6 +52,7 @@ import (
 	"repro/internal/attack"
 	"repro/internal/core"
 	"repro/internal/ldp/pm"
+	"repro/internal/metrics"
 	"repro/internal/rng"
 	"repro/internal/specflag"
 	"repro/internal/stats"
@@ -78,6 +83,7 @@ func main() {
 		fsync   = flag.String("fsync", "os", "self-served store fsync policy: always | interval | os")
 		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
 		memProf = flag.String("memprofile", "", "write a pprof heap profile at exit to this path")
+		scrapeM = flag.Bool("scrape-metrics", false, "scrape the collector's /metrics before and after the run and fail unless the server-side ingest counter delta matches the client-side acked count")
 	)
 	// Self-serve collector spec (only with -addr ""): -spec file.json plus
 	// the shared protocol/serving flags as overrides — the same resolution
@@ -217,6 +223,15 @@ func main() {
 	fmt.Printf("daploadgen: %d users, %d reports, γ=%g, %d conns, batch %d\n",
 		len(entries), total, *gamma, *conns, *batch)
 
+	var ingestedBefore float64
+	if *scrapeM {
+		v, err := scrapeIngested(hc, base, *tenant)
+		if err != nil {
+			fatal("scrape-metrics: ", err)
+		}
+		ingestedBefore = v
+	}
+
 	accepted, latencies, wall, err := drive(ctx, c, entries, *conns, *batch)
 	if err != nil {
 		fatal(err)
@@ -250,6 +265,22 @@ func main() {
 	}
 
 	failed := false
+	var serverIngested float64
+	if *scrapeM {
+		after, err := scrapeIngested(hc, base, *tenant)
+		if err != nil {
+			fatal("scrape-metrics: ", err)
+		}
+		serverIngested = after - ingestedBefore
+		if serverIngested != float64(accepted) {
+			fmt.Printf("daploadgen: FAIL metrics cross-check: server ingested %.0f reports, client acked %d\n",
+				serverIngested, accepted)
+			failed = true
+		} else {
+			fmt.Printf("daploadgen: metrics cross-check OK: server ingested %.0f == client acked %d\n",
+				serverIngested, accepted)
+		}
+	}
 	if *minRate > 0 && rate < *minRate {
 		fmt.Printf("daploadgen: FAIL ingest rate %.0f < required %.0f reports/sec\n", rate, *minRate)
 		failed = true
@@ -280,6 +311,12 @@ func main() {
 		}
 		if cachedErr == nil {
 			rec["estimate_cached_ms"] = cachedMs
+		}
+		if *scrapeM {
+			rec["metrics"] = map[string]any{
+				"server_ingested": serverIngested,
+				"client_acked":    accepted,
+			}
 		}
 		if err := mergeBenchJSON(*jsonOut, rec); err != nil {
 			fatal(err)
@@ -472,6 +509,25 @@ func drive(ctx context.Context, c *transport.TenantClient, entries []entry, conn
 	close(ch)
 	wg.Wait()
 	return accepted, lats, time.Since(start), firstErr
+}
+
+// scrapeIngested fetches the collector's /metrics and returns the
+// tenant's dap_stream_reports_ingested_total value (0 when the series
+// does not exist yet, e.g. before the first accepted report).
+func scrapeIngested(hc *http.Client, base, tenant string) (float64, error) {
+	resp, err := hc.Get(base + "/metrics")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("GET /metrics: %s", resp.Status)
+	}
+	sc, err := metrics.Parse(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	return sc.Value("dap_stream_reports_ingested_total", map[string]string{"tenant": tenant}), nil
 }
 
 // sane validates the served estimates.

@@ -1,20 +1,28 @@
 // Telemetry: a fleet of smart devices reports daily energy consumption
 // under LDP (the Apple/Microsoft-style deployment the paper's intro
-// references). Some devices run compromised firmware and collude to
-// deflate the fleet average.
+// references), streamed through the serving engine the collector runs in
+// production — and observed through the metrics registry every layer
+// exports to.
 //
-// The task ships as a JSON spec (specs/telemetry.json) whose domain
-// section declares the kWh scale; the example falls back to the same
-// spec built in code when the file is not on the working directory's
-// path. It also shows the group layout and per-user privacy accounting
-// that make DAP's multi-group design work.
+// The example stands up a stream tenant for the fleet, plays two epochs
+// of device reports through it (15% of the fleet runs compromised
+// firmware that colludes to deflate the average), prints the defended
+// per-epoch estimates, then syncs and scrapes the process-wide metrics
+// registry — the same internal/metrics state a Prometheus server reads
+// from the collector's GET /metrics. The scrape is the observability
+// story in miniature: ingest counters, epoch rotations, solver work and
+// per-user privacy spend, all from one run.
 package main
 
 import (
 	"fmt"
+	"strings"
 
 	dap "repro"
+	"repro/internal/ldp/pm"
+	"repro/internal/metrics"
 	"repro/internal/rng"
+	"repro/internal/stream"
 )
 
 func main() {
@@ -28,65 +36,109 @@ func main() {
 			dap.WithScheme(dap.SchemeEMFStar),
 			dap.WithDomain(0, 30)) // kWh
 	}
-	est, err := dap.Build(sp)
+
+	const devices = 4000
+	reg := stream.NewRegistry()
+	defer reg.Close()
+	t, err := reg.Create("fleet", stream.Config{Spec: sp, ExpectedUsers: devices, Warm: true})
 	if err != nil {
 		panic(err)
 	}
 
-	// Consumption in kWh, right-skewed, support [0, 30].
-	const n = 40000
-	values := make([]float64, n)
-	var sum float64
-	for i := range values {
-		kwh := r.ExpFloat64() * 6
-		if kwh > sp.Domain.Hi {
-			kwh = sp.Domain.Hi
-		}
-		values[i] = sp.ToUnit(kwh)
-		sum += kwh
-	}
-	trueKWH := sum / n
-
-	// Compromised firmware on 15% of devices under-reports aggressively:
-	// poison floods the bottom of the output domain.
-	adv := &dap.BBA{Side: dap.SideLeft, Range: dap.RangeHighHalf, Dist: dap.DistUniform}
-	const gamma = 0.15
-
-	fmt.Printf("task: %s over %s, ε=%g, domain [%g, %g] kWh\n\n",
-		sp.Task, sp.Mechanism, sp.Eps, sp.Domain.Lo, sp.Domain.Hi)
+	fmt.Printf("task: %s, ε=%g, domain [%g, %g] kWh\n",
+		sp.Task, sp.Eps, sp.Domain.Lo, sp.Domain.Hi)
 	fmt.Println("group layout (every device spends exactly ε):")
-	for _, g := range est.Groups() {
+	for _, g := range t.Groups() {
 		fmt.Printf("  group %d: ε_t = %-6.4g × %2d reports = %g total\n",
 			g.Index, g.Eps, g.Reports, g.Eps*float64(g.Reports))
 	}
 
-	res, err := est.(dap.Runner).Run(r, values, adv, gamma)
-	if err != nil {
-		panic(err)
+	// Each device joins once; compromised firmware on 15% of the fleet
+	// colludes to deflate the average by flooding the bottom of the
+	// output domain.
+	const gamma = 0.15
+	mechs := map[float64]*pm.Mechanism{}
+	mech := func(eps float64) *pm.Mechanism {
+		if m, ok := mechs[eps]; ok {
+			return m
+		}
+		m, err := pm.New(eps)
+		if err != nil {
+			panic(err)
+		}
+		mechs[eps] = m
+		return m
+	}
+	type device struct {
+		user string
+		grp  dap.Group
+		kwh  float64
+		bad  bool
+	}
+	fleet := make([]device, devices)
+	var sum float64
+	for i := range fleet {
+		user, g := t.Join()
+		kwh := r.ExpFloat64() * 6
+		if kwh > sp.Domain.Hi {
+			kwh = sp.Domain.Hi
+		}
+		sum += kwh
+		fleet[i] = device{user: user, grp: g, kwh: kwh, bad: r.Float64() < gamma}
+	}
+	trueKWH := sum / devices
+
+	// Two daily epochs. Every device spends its whole ε on one upload
+	// (the per-user budget is what the accountant enforces), so half the
+	// fleet checks in each day; the second day's re-estimate warm-starts
+	// from the first day's fit.
+	for epoch := 0; epoch < 2; epoch++ {
+		for _, d := range fleet[epoch*devices/2 : (epoch+1)*devices/2] {
+			m := mech(d.grp.Eps)
+			values := make([]float64, d.grp.Reports)
+			for k := range values {
+				if d.bad {
+					values[k] = m.OutputDomain().Lo // poison: most-deflating output
+				} else {
+					values[k] = m.Perturb(r, sp.ToUnit(d.kwh))
+				}
+			}
+			if err := t.Ingest(d.user, d.grp.Index, values); err != nil {
+				panic(err)
+			}
+		}
+		snap, err := t.Rotate()
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("\nepoch %d sealed: DAP estimate %.2f kWh (true %.2f), probed γ̂=%.1f%% (true %.0f%%)\n",
+			epoch+1, sp.FromUnit(snap.Result.Mean), trueKWH, snap.Result.Gamma*100, gamma*100)
 	}
 
-	// Undefended comparator through the same surface.
-	ostrich, err := dap.Build(dap.NewSpec(dap.Mean(), dap.WithBudget(sp.Eps, sp.Eps0),
-		dap.WithDefense(dap.DefenseSpec{Name: "ostrich"})))
-	if err != nil {
+	// The observability layer counted all of it. Refresh the
+	// scrape-derived gauges (budget spend, epoch lag) exactly like GET
+	// /metrics does, then print the fleet's slice of the exposition.
+	reg.SyncMetrics()
+	var b strings.Builder
+	if _, err := metrics.Default().WriteTo(&b); err != nil {
 		panic(err)
 	}
-	naive, err := ostrich.(dap.Runner).Run(r, values, adv, gamma)
-	if err != nil {
-		panic(err)
+	fmt.Println("\nmetrics a Prometheus scrape of this process would see (excerpt):")
+	show := []string{
+		"dap_stream_reports_ingested_total",
+		"dap_stream_epoch_rotations_total",
+		"dap_emf_runs_total",
+		"dap_emf_iterations_total",
+		"dap_emf_warm_starts_total",
+		"dap_privacy_budget_spent_eps",
+		"dap_privacy_reporters",
 	}
-
-	fmt.Printf("\ntrue fleet average:      %.2f kWh\n", trueKWH)
-	fmt.Printf("undefended estimate:     %.2f kWh (deflated)\n", sp.FromUnit(naive.Mean))
-	fmt.Printf("DAP estimate:            %.2f kWh\n", sp.FromUnit(res.Mean))
-	fmt.Printf("probed attack side:      %s (correct: left)\n", side(res.PoisonedRight))
-	fmt.Printf("probed compromised rate: %.1f%% (true 15%%)\n", res.Gamma*100)
-	fmt.Printf("worst-case variance:     %.2e\n", res.VarMin)
-}
-
-func side(right bool) string {
-	if right {
-		return "right"
+	for _, line := range strings.Split(b.String(), "\n") {
+		for _, prefix := range show {
+			if strings.HasPrefix(line, prefix) {
+				fmt.Println("  " + line)
+			}
+		}
 	}
-	return "left"
+	fmt.Println("\n(the full inventory is served at GET /metrics; see DESIGN.md)")
 }

@@ -609,6 +609,7 @@ func solve(m *Matrix, counts []float64, poison []int, cfg Config, mstep, renorm 
 	}
 	res := s.result(poison, iters, ll, converged)
 	res.Restarts, res.Warm = restarts, warm
+	recordRun(res)
 	return res, nil
 }
 

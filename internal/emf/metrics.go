@@ -1,0 +1,32 @@
+package emf
+
+import "repro/internal/metrics"
+
+// Solver counters. Every EMF variant (EMF, EMF*, CEMF*, plain or
+// SQUAREM-accelerated) funnels through solve, so one hook covers the
+// whole solver surface. Counters only — per-run detail stays in Result.
+var (
+	metRuns = metrics.NewCounter("dap_emf_runs_total",
+		"EM solver runs completed across all EMF variants.")
+	metIters = metrics.NewCounter("dap_emf_iterations_total",
+		"EM iterations performed, summed over runs.")
+	metRestarts = metrics.NewCounter("dap_emf_restarts_total",
+		"SQUAREM extrapolations rejected by the monotonicity safeguard (restarts).")
+	metConvFail = metrics.NewCounter("dap_emf_convergence_failures_total",
+		"EM runs that hit MaxIter without meeting the tolerance.")
+	metWarm = metrics.NewCounter("dap_emf_warm_starts_total",
+		"EM runs seeded from a previous solution (Config.Init warm starts).")
+)
+
+// recordRun feeds the solver counters from one finished run.
+func recordRun(res *Result) {
+	metRuns.Inc()
+	metIters.Add(uint64(res.Iters))
+	metRestarts.Add(uint64(res.Restarts))
+	if !res.Converged {
+		metConvFail.Inc()
+	}
+	if res.Warm {
+		metWarm.Inc()
+	}
+}

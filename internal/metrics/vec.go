@@ -1,0 +1,183 @@
+package metrics
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// vec is the shared child table behind the three labeled family types:
+// a map from joined label values to a pre-bound child handle. With binds
+// (and creates on first use) under a short lock; after that the caller
+// holds a plain metric pointer and the hot path never touches the map.
+type vec[T any] struct {
+	mu       sync.RWMutex
+	children map[string]*child[T]
+	make     func() *T
+}
+
+type child[T any] struct {
+	values []string
+	m      *T
+}
+
+// vecKey joins label values with a byte that cannot appear in UTF-8 text
+// boundaries ambiguously; it only needs to be injective, not printable.
+func vecKey(values []string) string { return strings.Join(values, "\xff") }
+
+// with returns the child for values, creating it on first use.
+func (v *vec[T]) with(nlabels int, values []string) *T {
+	if len(values) != nlabels {
+		panic("metrics: wrong number of label values")
+	}
+	k := vecKey(values)
+	v.mu.RLock()
+	c, ok := v.children[k]
+	v.mu.RUnlock()
+	if ok {
+		return c.m
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok = v.children[k]; ok {
+		return c.m
+	}
+	vals := make([]string, len(values))
+	copy(vals, values)
+	c = &child[T]{values: vals, m: v.make()}
+	v.children[k] = c
+	return c.m
+}
+
+// delete removes the child for values, if any.
+func (v *vec[T]) delete(values []string) {
+	v.mu.Lock()
+	delete(v.children, vecKey(values))
+	v.mu.Unlock()
+}
+
+// snapshot returns the children sorted by label values for deterministic
+// exposition.
+func (v *vec[T]) snapshot() []*child[T] {
+	v.mu.RLock()
+	out := make([]*child[T], 0, len(v.children))
+	for _, c := range v.children {
+		out = append(out, c)
+	}
+	v.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		return vecKey(out[i].values) < vecKey(out[j].values)
+	})
+	return out
+}
+
+// CounterVec is a family of counters partitioned by a fixed label set.
+// Bind a child once with With and keep the returned *Counter — the hot
+// path then increments it without any lookup or hashing.
+type CounterVec struct {
+	labels []string
+	v      vec[Counter]
+}
+
+// With returns the counter bound to the given label values (one per
+// label, in declaration order), creating it on first use.
+func (cv *CounterVec) With(values ...string) *Counter { return cv.v.with(len(cv.labels), values) }
+
+// Delete drops the child bound to the given label values, removing its
+// series from future scrapes (used when a tenant is deleted).
+func (cv *CounterVec) Delete(values ...string) { cv.v.delete(values) }
+
+// GaugeVec is a family of gauges partitioned by a fixed label set.
+type GaugeVec struct {
+	labels []string
+	v      vec[Gauge]
+}
+
+// With returns the gauge bound to the given label values, creating it on
+// first use.
+func (gv *GaugeVec) With(values ...string) *Gauge { return gv.v.with(len(gv.labels), values) }
+
+// Delete drops the child bound to the given label values.
+func (gv *GaugeVec) Delete(values ...string) { gv.v.delete(values) }
+
+// HistogramVec is a family of histograms partitioned by a fixed label
+// set; all children share the same bucket bounds.
+type HistogramVec struct {
+	labels []string
+	bounds []float64
+	v      vec[Histogram]
+}
+
+// With returns the histogram bound to the given label values, creating
+// it on first use.
+func (hv *HistogramVec) With(values ...string) *Histogram { return hv.v.with(len(hv.labels), values) }
+
+// Delete drops the child bound to the given label values.
+func (hv *HistogramVec) Delete(values ...string) { hv.v.delete(values) }
+
+// CounterVec registers a labeled counter family in r.
+func (r *Registry) CounterVec(name, help string, labels []string) *CounterVec {
+	cv := &CounterVec{labels: labels}
+	cv.v.children = make(map[string]*child[Counter])
+	cv.v.make = func() *Counter { return &Counter{} }
+	r.register(desc{name: name, help: help, typ: "counter", labels: labels}, func() []Sample {
+		cs := cv.v.snapshot()
+		out := make([]Sample, 0, len(cs))
+		for _, c := range cs {
+			out = append(out, Sample{Name: name, Labels: labelMap(labels, c.values), Value: float64(c.m.Value())})
+		}
+		return out
+	})
+	return cv
+}
+
+// GaugeVec registers a labeled gauge family in r.
+func (r *Registry) GaugeVec(name, help string, labels []string) *GaugeVec {
+	gv := &GaugeVec{labels: labels}
+	gv.v.children = make(map[string]*child[Gauge])
+	gv.v.make = func() *Gauge { return &Gauge{} }
+	r.register(desc{name: name, help: help, typ: "gauge", labels: labels}, func() []Sample {
+		cs := gv.v.snapshot()
+		out := make([]Sample, 0, len(cs))
+		for _, c := range cs {
+			out = append(out, Sample{Name: name, Labels: labelMap(labels, c.values), Value: c.m.Value()})
+		}
+		return out
+	})
+	return gv
+}
+
+// HistogramVec registers a labeled histogram family in r; every child
+// uses the same strictly increasing bucket bounds.
+func (r *Registry) HistogramVec(name, help string, labels []string, bounds []float64) *HistogramVec {
+	newHistogram(bounds) // validate bounds once up front
+	hv := &HistogramVec{labels: labels, bounds: bounds}
+	hv.v.children = make(map[string]*child[Histogram])
+	hv.v.make = func() *Histogram { return newHistogram(bounds) }
+	r.register(desc{name: name, help: help, typ: "histogram", labels: labels}, func() []Sample {
+		cs := hv.v.snapshot()
+		var out []Sample
+		for _, c := range cs {
+			out = append(out, histogramSamples(name, labels, c.values, c.m)...)
+		}
+		return out
+	})
+	return hv
+}
+
+// NewCounterVec registers a labeled counter family in the Default
+// registry.
+func NewCounterVec(name, help string, labels ...string) *CounterVec {
+	return def.CounterVec(name, help, labels)
+}
+
+// NewGaugeVec registers a labeled gauge family in the Default registry.
+func NewGaugeVec(name, help string, labels ...string) *GaugeVec {
+	return def.GaugeVec(name, help, labels)
+}
+
+// NewHistogramVec registers a labeled histogram family in the Default
+// registry.
+func NewHistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	return def.HistogramVec(name, help, labels, bounds)
+}

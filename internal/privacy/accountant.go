@@ -192,6 +192,22 @@ func (a *Accountant) Users() int {
 	return n
 }
 
+// Stats returns the number of users with recorded spends and their total
+// consumed budget in one ledger pass — the pair the metrics scrape needs,
+// taken under each stripe lock once instead of twice (Users+TotalSpent).
+func (a *Accountant) Stats() (users int, spent float64) {
+	for i := range a.part {
+		p := &a.part[i]
+		p.mu.Lock()
+		users += len(p.spent)
+		for _, v := range p.spent {
+			spent += v
+		}
+		p.mu.Unlock()
+	}
+	return users, spent
+}
+
 // Exhausted reports whether user id has depleted the cap (within
 // tolerance), i.e. reported the full number of times their group demands.
 func (a *Accountant) Exhausted(id string) bool {

@@ -26,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"log/slog"
 	"path/filepath"
 	"strconv"
 	"strings"
@@ -108,6 +109,7 @@ type segment struct {
 // leader and writes the whole batch.
 type walBatch struct {
 	buf     []byte
+	n       int // records framed onto the batch (for metrics)
 	flushed bool
 	err     error
 }
@@ -424,6 +426,7 @@ func (s *Store) appendFrame(b *walBatch, r *Record) {
 func (s *Store) commitBatch(b *walBatch, n int) (uint64, error) {
 	first := s.nextLSN
 	s.nextLSN += uint64(n)
+	b.n += n
 	for !b.flushed {
 		if s.closed {
 			if s.pendBatch == b {
@@ -472,7 +475,9 @@ func (s *Store) flushBatch(b *walBatch) {
 	s.mu.Unlock()
 	_, err := f.Write(b.buf)
 	if err == nil && s.opts.Sync == SyncAlways {
+		start := time.Now()
 		err = f.Sync()
+		observeFsync(start)
 	}
 	s.mu.Lock()
 	s.flushing = false
@@ -494,6 +499,9 @@ func (s *Store) flushBatch(b *walBatch) {
 		s.curSize += int64(len(b.buf))
 		s.segs[len(s.segs)-1].size = s.curSize
 		s.lastErr = nil
+		metAppends.Add(uint64(b.n))
+		metAppendBytes.Add(uint64(len(b.buf)))
+		metBatchRecords.Observe(float64(b.n))
 	}
 	b.flushed = true
 	b.err = err
@@ -507,6 +515,8 @@ func (s *Store) flushBatch(b *walBatch) {
 // holds s.mu.
 func (s *Store) fail(err error) {
 	s.lastErr = err
+	metAppendFailures.Inc()
+	slog.Warn("wal degraded: segment abandoned", "dir", s.dir, "err", err)
 	if s.f != nil {
 		_ = s.f.Close()
 		s.f = nil
@@ -630,6 +640,8 @@ func (s *Store) WriteSnapshot(snap *Snapshot) error {
 	s.snapLSN = snap.LSN
 	s.snapTime = time.Now()
 	s.mu.Unlock()
+	metSnapshots.Inc()
+	slog.Debug("snapshot published", "dir", s.dir, "lsn", snap.LSN, "bytes", len(b))
 	s.gc(snap)
 	return nil
 }
@@ -717,7 +729,10 @@ func (s *Store) syncLoop(stop <-chan struct{}) {
 		case <-tick.C:
 			s.mu.Lock()
 			if s.f != nil {
-				if err := s.f.Sync(); err != nil {
+				start := time.Now()
+				err := s.f.Sync()
+				observeFsync(start)
+				if err != nil {
 					s.fail(err)
 				}
 			}

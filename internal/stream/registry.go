@@ -109,6 +109,7 @@ func (r *Registry) Delete(name string) bool {
 	r.mu.Unlock()
 	if ok {
 		t.Stop()
+		dropTenantMetrics(name)
 	}
 	return ok
 }

@@ -125,6 +125,12 @@ type Tenant struct {
 	clockMu sync.Mutex
 	stop    chan struct{}
 	done    chan struct{}
+
+	// met holds the tenant's pre-bound metric handles; lastRotate is the
+	// wall clock of the last live seal (unix nanos, 0 = never), read by
+	// the epoch-lag gauge at scrape time.
+	met        tenantMetrics
+	lastRotate atomic.Int64
 }
 
 // NewTenant builds a tenant from cfg (defaults filled, see Config). The
@@ -149,6 +155,7 @@ func NewTenant(name string, cfg Config) (*Tenant, error) {
 			core.ErrBadSpec, cfg.Spec.Task)
 	}
 	t := &Tenant{name: name, cfg: cfg, est: streamable}
+	t.met = bindTenantMetrics(name)
 	t.groups = streamable.Groups()
 	h := len(t.groups)
 	// Per-group histogram resolution: the paper's d′ rule applied to the
@@ -320,6 +327,18 @@ var idxPool = sync.Pool{New: func() any { s := make([]int, 0, 64); return &s }}
 // users are bound to the group they first report for; later reports for a
 // different group are rejected.
 func (t *Tenant) Ingest(user string, group int, values []float64) error {
+	err := t.ingest(user, group, values)
+	if err != nil {
+		t.met.rejected.Inc()
+	} else {
+		t.met.ingested.Add(uint64(len(values)))
+	}
+	return err
+}
+
+// ingest is Ingest's body; the exported wrapper only feeds the tenant's
+// accept/reject counters (pre-bound handles — no allocation).
+func (t *Tenant) ingest(user string, group int, values []float64) error {
 	if user == "" {
 		return errors.New("stream: user id must be non-empty")
 	}
@@ -394,6 +413,22 @@ type BatchEntry = store.IngestEntry
 // block the rest. When the store cannot log the batch, every staged
 // entry's charge is rolled back and reported as ErrStoreDown.
 func (t *Tenant) IngestBatch(entries []BatchEntry) []error {
+	errs := t.ingestBatch(entries)
+	var accepted uint64
+	for i, err := range errs {
+		if err != nil {
+			t.met.rejected.Inc()
+		} else {
+			accepted += uint64(len(entries[i].Values))
+		}
+	}
+	t.met.ingested.Add(accepted)
+	return errs
+}
+
+// ingestBatch is IngestBatch's body; the exported wrapper feeds the
+// accept/reject counters once per batch.
+func (t *Tenant) ingestBatch(entries []BatchEntry) []error {
 	errs := make([]error, len(entries))
 	type stagedEntry struct {
 		i      int
@@ -636,6 +671,8 @@ func (t *Tenant) rotate() (*Snapshot, error) {
 	seq := t.seq
 	window := append([]epochHist(nil), t.sealed...)
 	t.mu.Unlock()
+	t.met.rotations.Inc()
+	t.lastRotate.Store(time.Now().UnixNano())
 
 	snap, err := t.estimateWindow(window, nil, seq, false)
 	if err != nil {
@@ -685,6 +722,16 @@ func (t *Tenant) Estimate(includeLive bool) (*Snapshot, error) {
 // Cached returns the snapshot of the last successful rotation, nil if none.
 func (t *Tenant) Cached() *Snapshot { return t.cached.Load() }
 
+// LastRotation returns when the tenant last sealed a live epoch (zero
+// before the first seal; replays during recovery do not count).
+func (t *Tenant) LastRotation() time.Time {
+	ns := t.lastRotate.Load()
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
+}
+
 // estimateWindow merges the sealed window (plus the optional live epoch)
 // into one histogram collection and runs the tenant's estimator through
 // the unified EstimateHist surface. No locks are held: sealed epochs are
@@ -716,11 +763,14 @@ func (t *Tenant) estimateWindow(window []epochHist, liveHist *epochHist, seq uin
 	if t.cfg.Warm {
 		ctx = core.WithWarm(ctx, t.warm.Load())
 	}
+	start := time.Now()
 	res, err := t.est.EstimateHist(ctx,
 		&core.HistCollection{Counts: counts, Sums: sums})
+	t.met.estimateDur.Observe(time.Since(start).Seconds())
 	if err != nil {
 		return nil, err
 	}
+	t.met.warmHits.Add(uint64(res.WarmHits))
 	if t.cfg.Warm && res.Warm != nil {
 		t.warm.Store(res.Warm)
 	}

@@ -1,11 +1,13 @@
 package stream_test
 
 import (
+	"bytes"
 	"math"
 	"testing"
 
 	"repro/internal/attack"
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/rng"
 	"repro/internal/stream"
 )
@@ -145,8 +147,15 @@ func TestIngestSteadyStateAllocFree(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	// Instrumentation must be live during the measurement — the guard
+	// covers the metered path, not a stripped one — and must cost zero
+	// allocations: the tenant's handles are pre-bound, so each accepted
+	// ingest is one atomic add on a counter.
+	sc := scrapeDefault(t)
+	before := sc.Value("dap_stream_reports_ingested_total", map[string]string{"tenant": "a"})
 	u := 0
-	allocs := testing.AllocsPerRun(100, func() {
+	const runs = 100
+	allocs := testing.AllocsPerRun(runs, func() {
 		if err := tn.Ingest(names[u%users], g, vals); err != nil {
 			t.Fatal(err)
 		}
@@ -155,6 +164,28 @@ func TestIngestSteadyStateAllocFree(t *testing.T) {
 	if allocs >= 1 {
 		t.Fatalf("steady-state ingest allocates %v times per call", allocs)
 	}
+	sc = scrapeDefault(t)
+	after := sc.Value("dap_stream_reports_ingested_total", map[string]string{"tenant": "a"})
+	// AllocsPerRun executes runs+1 iterations (one warm-up); anything
+	// below runs means the counter is not wired to the measured path.
+	if after-before < runs {
+		t.Fatalf("ingest counter advanced by %v during %d metered ingests; instrumentation not active", after-before, runs)
+	}
+}
+
+// scrapeDefault renders and re-parses the process-wide registry, so the
+// assertion exercises the same exposition surface GET /metrics serves.
+func scrapeDefault(t *testing.T) *metrics.Scrape {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := metrics.Default().WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := metrics.Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
 }
 
 func BenchmarkIngest(b *testing.B) {

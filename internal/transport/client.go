@@ -167,6 +167,7 @@ func (c *Client) backoff(ctx context.Context, attempt int, retryAfter string) bo
 		return false
 	case <-timer.C:
 		c.retried.Add(1)
+		metClientRetries.Inc()
 		return true
 	}
 }

@@ -1,0 +1,129 @@
+package transport
+
+import (
+	"log/slog"
+	"net/http"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// HTTP-layer metric families. Handler pre-binds one routeMetrics per
+// route pattern at mux-build time, so the per-request cost is a gauge
+// add, a counter increment and two histogram observes on pre-bound
+// handles — no label hashing per request.
+var (
+	metRequests = metrics.NewCounterVec("dap_http_requests_total",
+		"HTTP requests served, by route pattern and status class.", "route", "code")
+	metReqDur = metrics.NewHistogramVec("dap_http_request_duration_seconds",
+		"HTTP request handling latency by route pattern.",
+		[]float64{0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5}, "route")
+	metReqSize = metrics.NewHistogramVec("dap_http_request_size_bytes",
+		"Declared HTTP request body size by route pattern (Content-Length; 0 when absent).",
+		[]float64{256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304}, "route")
+	metInflight = metrics.NewGauge("dap_http_inflight_requests",
+		"HTTP requests currently being handled.")
+	metClientRetries = metrics.NewCounter("dap_client_retries_total",
+		"Client-side request retries performed by transport.Client.")
+	metRecovering = metrics.NewGauge("dap_collector_recovering",
+		"1 while boot recovery is still running (requests answer 503), else 0.")
+	metRecoveryDur = metrics.NewGauge("dap_store_recovery_duration_seconds",
+		"Wall-clock duration of the last boot recovery; 0 until one completes.")
+)
+
+// statusClasses are the code label values, indexed by status/100.
+var statusClasses = [6]string{"1xx", "1xx", "2xx", "3xx", "4xx", "5xx"}
+
+// routeMetrics is the pre-bound handle set of one route pattern.
+type routeMetrics struct {
+	requests [6]*metrics.Counter // by status class
+	dur      *metrics.Histogram
+	size     *metrics.Histogram
+}
+
+func bindRoute(route string) *routeMetrics {
+	rm := &routeMetrics{
+		dur:  metReqDur.With(route),
+		size: metReqSize.With(route),
+	}
+	for i, class := range statusClasses {
+		rm.requests[i] = metRequests.With(route, class)
+	}
+	return rm
+}
+
+// statusWriter captures the response status for metrics and logging.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a route handler with metrics and structured request
+// logging. route is the path pattern the handler is mounted at (the
+// metric label, so per-tenant paths collapse onto one series). The
+// wrapper is what the mux invokes, so r.PathValue works inside h.
+func instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	rm := bindRoute(route)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		metInflight.Add(1)
+		if r.ContentLength > 0 {
+			rm.size.Observe(float64(r.ContentLength))
+		} else {
+			rm.size.Observe(0)
+		}
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		dur := time.Since(start)
+		metInflight.Add(-1)
+		rm.dur.Observe(dur.Seconds())
+		class := sw.status / 100
+		if class < 1 || class > 5 {
+			class = 5
+		}
+		rm.requests[class].Inc()
+		logRequest(r, route, sw.status, dur)
+	}
+}
+
+// logRequest emits one structured line per request: Debug in the normal
+// case (free when the level is off — a single Enabled check), Warn for
+// server errors so failures surface at default log levels.
+func logRequest(r *http.Request, route string, status int, dur time.Duration) {
+	level := slog.LevelDebug
+	if status >= 500 {
+		level = slog.LevelWarn
+	}
+	if !slog.Default().Enabled(r.Context(), level) {
+		return
+	}
+	attrs := []any{
+		"method", r.Method,
+		"route", route,
+		"status", status,
+		"duration_ms", float64(dur.Microseconds()) / 1000,
+	}
+	if tenant := r.PathValue("tenant"); tenant != "" {
+		attrs = append(attrs, "tenant", tenant)
+	}
+	slog.Log(r.Context(), level, "http request", attrs...)
+}
+
+// handleMetrics serves GET /metrics: refresh the scrape-derived gauges,
+// then render the process-wide registry in the Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	metRecovering.SetBool(s.recovering.Load())
+	// Refresh through the installed registry only: while async recovery
+	// still runs, Store.Load holds the store mutex across filesystem
+	// scans, so polling Health here would block the scrape behind it.
+	if reg := s.regP.Load(); reg != nil {
+		reg.SyncMetrics()
+	}
+	w.Header().Set("Content-Type", metrics.ContentType)
+	_, _ = metrics.Default().WriteTo(w)
+}

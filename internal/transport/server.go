@@ -4,7 +4,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -47,6 +50,9 @@ type ServerOptions struct {
 	// while recovery runs in the background. Off, construction blocks
 	// until recovery completes.
 	AsyncRecover bool
+	// Pprof mounts net/http/pprof under /debug/pprof/ (off by default;
+	// admin-only — expose it on trusted networks).
+	Pprof bool
 }
 
 // Server is a multi-tenant DAP collector service on top of the streaming
@@ -142,10 +148,12 @@ func NewServerOpts(cfg stream.Config, opts ServerOptions) (*Server, error) {
 // failure the 503 gate stays up and the error is surfaced on the admin
 // status endpoint.
 func (s *Server) recover(cfg stream.Config) error {
+	start := time.Now()
 	reg, rep, err := stream.Recover(s.opts.Store)
 	if err != nil {
 		msg := err.Error()
 		s.recoverErr.Store(&msg)
+		slog.Error("boot recovery failed", "dir", s.opts.Store.Dir(), "err", err)
 		return err
 	}
 	def, ok := reg.Get(DefaultTenant)
@@ -153,11 +161,21 @@ func (s *Server) recover(cfg stream.Config) error {
 		if def, err = reg.Create(DefaultTenant, cfg); err != nil {
 			msg := err.Error()
 			s.recoverErr.Store(&msg)
+			slog.Error("boot recovery failed", "dir", s.opts.Store.Dir(), "err", err)
 			return err
 		}
 	}
 	reg.StartSnapshots(s.opts.SnapshotInterval)
 	s.install(reg, def, rep)
+	dur := time.Since(start)
+	metRecoveryDur.Set(dur.Seconds())
+	attrs := []any{"dir", s.opts.Store.Dir(), "duration_ms", dur.Milliseconds()}
+	if rep != nil {
+		attrs = append(attrs,
+			"records", rep.Records, "applied", rep.Applied,
+			"tenants", rep.Tenants, "torn", rep.Torn)
+	}
+	slog.Info("boot recovery complete", attrs...)
 	return nil
 }
 
@@ -190,42 +208,71 @@ func (s *Server) Close() {
 	}
 }
 
-// Handler returns the HTTP API.
+// Handler returns the HTTP API. Every route is instrumented (request
+// count/latency/size by route pattern) and logged via slog; GET /metrics
+// serves the Prometheus exposition and, with ServerOptions.Pprof, the
+// net/http/pprof handlers mount under /debug/pprof/.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	handle := func(method, route string, h http.HandlerFunc) {
+		mux.HandleFunc(method+" "+route, instrument(route, h))
+	}
 	// Original wire API, bound to the default tenant.
-	mux.HandleFunc("GET /v1/config", s.tenantless(s.handleConfig))
-	mux.HandleFunc("POST /v1/join", s.tenantless(s.handleJoin))
-	mux.HandleFunc("POST /v1/report", s.tenantless(s.handleReport))
-	mux.HandleFunc("POST /v1/ingest", s.tenantless(s.handleIngest))
-	mux.HandleFunc("GET /v1/status", s.tenantless(s.handleStatus))
-	mux.HandleFunc("GET /v1/estimate", s.tenantless(s.handleEstimate))
-	mux.HandleFunc("POST /v1/rotate", s.tenantless(s.handleRotate))
+	handle("GET", "/v1/config", s.tenantless(s.handleConfig))
+	handle("POST", "/v1/join", s.tenantless(s.handleJoin))
+	handle("POST", "/v1/report", s.tenantless(s.handleReport))
+	handle("POST", "/v1/ingest", s.tenantless(s.handleIngest))
+	handle("GET", "/v1/status", s.tenantless(s.handleStatus))
+	handle("GET", "/v1/estimate", s.tenantless(s.handleEstimate))
+	handle("POST", "/v1/rotate", s.tenantless(s.handleRotate))
 	// Tenant CRUD.
-	mux.HandleFunc("GET /v1/tenants", s.handleTenantList)
-	mux.HandleFunc("POST /v1/tenants", s.handleTenantCreate)
-	mux.HandleFunc("GET /v1/tenants/{tenant}", s.scoped(s.handleTenantStatus))
-	mux.HandleFunc("DELETE /v1/tenants/{tenant}", s.handleTenantDelete)
+	handle("GET", "/v1/tenants", s.handleTenantList)
+	handle("POST", "/v1/tenants", s.handleTenantCreate)
+	handle("GET", "/v1/tenants/{tenant}", s.scoped(s.handleTenantStatus))
+	handle("DELETE", "/v1/tenants/{tenant}", s.handleTenantDelete)
 	// Per-tenant routes, mirroring the original API.
-	mux.HandleFunc("GET /v1/tenants/{tenant}/config", s.scoped(s.handleConfig))
-	mux.HandleFunc("POST /v1/tenants/{tenant}/join", s.scoped(s.handleJoin))
-	mux.HandleFunc("POST /v1/tenants/{tenant}/report", s.scoped(s.handleReport))
-	mux.HandleFunc("POST /v1/tenants/{tenant}/ingest", s.scoped(s.handleIngest))
-	mux.HandleFunc("GET /v1/tenants/{tenant}/status", s.scoped(s.handleStatus))
-	mux.HandleFunc("GET /v1/tenants/{tenant}/estimate", s.scoped(s.handleEstimate))
-	mux.HandleFunc("POST /v1/tenants/{tenant}/rotate", s.scoped(s.handleRotate))
+	handle("GET", "/v1/tenants/{tenant}/config", s.scoped(s.handleConfig))
+	handle("POST", "/v1/tenants/{tenant}/join", s.scoped(s.handleJoin))
+	handle("POST", "/v1/tenants/{tenant}/report", s.scoped(s.handleReport))
+	handle("POST", "/v1/tenants/{tenant}/ingest", s.scoped(s.handleIngest))
+	handle("GET", "/v1/tenants/{tenant}/status", s.scoped(s.handleStatus))
+	handle("GET", "/v1/tenants/{tenant}/estimate", s.scoped(s.handleEstimate))
+	handle("POST", "/v1/tenants/{tenant}/rotate", s.scoped(s.handleRotate))
 	// Admin: store health, recovery state, last-snapshot age. Reachable
 	// while the collector is still recovering — it is how operators watch
 	// recovery progress.
-	mux.HandleFunc("GET /v1/admin/status", s.handleAdminStatus)
+	handle("GET", "/v1/admin/status", s.handleAdminStatus)
+	// Observability: the metrics exposition is served (and left
+	// uninstrumented — scrapes should not inflate the request metrics
+	// they report) and pprof mounts when explicitly enabled.
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.opts.Pprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if s.recovering.Load() && !(r.Method == http.MethodGet && r.URL.Path == "/v1/admin/status") {
+		// The recovery gate 503s the data plane but leaves the
+		// observability plane open: admin status, the metrics scrape and
+		// pprof are exactly what an operator needs while recovery runs.
+		if s.recovering.Load() && !recoveryExempt(r) {
 			w.Header().Set("Retry-After", "1")
 			writeErr(w, http.StatusServiceUnavailable, "collector is recovering; retry shortly")
 			return
 		}
 		mux.ServeHTTP(w, r)
 	})
+}
+
+// recoveryExempt reports whether a request bypasses the recovery gate.
+func recoveryExempt(r *http.Request) bool {
+	if r.Method != http.MethodGet {
+		return false
+	}
+	p := r.URL.Path
+	return p == "/v1/admin/status" || p == "/metrics" || strings.HasPrefix(p, "/debug/pprof/")
 }
 
 // tenantless adapts a tenant-scoped handler to the original API.
@@ -491,6 +538,7 @@ func (s *Server) handleAdminStatus(w http.ResponseWriter, _ *http.Request) {
 		if st := reg.Store(); st != nil {
 			out.Durable = true
 			h := st.Health()
+			out.Degraded = !h.Healthy
 			info := &StoreHealthInfo{
 				Healthy: h.Healthy, LastErr: h.LastErr, LSN: h.LSN,
 				Segments: h.Segments, WALBytes: h.WALBytes,

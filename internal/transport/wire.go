@@ -206,14 +206,21 @@ type RecoveryInfo struct {
 	SpendAfter  float64  `json:"spend_after"`
 }
 
-// AdminStatusResponse is returned by GET /v1/admin/status — the only
-// endpoint that answers during recovery (everything else returns 503 with
-// Retry-After until the registry is rebuilt).
+// AdminStatusResponse is returned by GET /v1/admin/status. Together with
+// /metrics and /debug/pprof it forms the observability plane, which stays
+// reachable during recovery (everything else returns 503 with Retry-After
+// until the registry is rebuilt). Recovering, Degraded and the snapshot
+// age mirror the dap_collector_recovering, dap_store_degraded and
+// dap_store_snapshot_age_seconds gauges so dashboards can use either
+// source.
 type AdminStatusResponse struct {
-	Recovering   bool             `json:"recovering"`
-	RecoverError string           `json:"recover_error,omitempty"`
-	Tenants      int              `json:"tenants"`
-	Durable      bool             `json:"durable"`
-	Store        *StoreHealthInfo `json:"store,omitempty"`
-	Recovery     *RecoveryInfo    `json:"recovery,omitempty"`
+	Recovering   bool   `json:"recovering"`
+	RecoverError string `json:"recover_error,omitempty"`
+	Tenants      int    `json:"tenants"`
+	Durable      bool   `json:"durable"`
+	// Degraded is true while the durable store is unhealthy (last append
+	// or fsync failed); ingest answers 503 until an append succeeds.
+	Degraded bool             `json:"degraded"`
+	Store    *StoreHealthInfo `json:"store,omitempty"`
+	Recovery *RecoveryInfo    `json:"recovery,omitempty"`
 }
