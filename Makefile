@@ -3,15 +3,25 @@
 GO ?= go
 DATE := $(shell date +%Y%m%d)
 
-.PHONY: all build vet fmt-check doccheck test race bench bench-json bench-diff bench-smoke load-smoke load-json apicheck apigen matrix crash-test wal-overhead metrics-check
+FUZZTIME ?= 30s
 
-all: vet fmt-check doccheck build test apicheck
+.PHONY: all build vet dapvet fmt-check doccheck test race fuzz-smoke bench bench-json bench-diff bench-smoke load-smoke load-json apicheck apigen matrix crash-test wal-overhead metrics-check
+
+all: vet dapvet fmt-check doccheck build test apicheck
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Repo-specific invariant linter (cmd/dapvet): determinism of the
+# estimation path, lock ordering against the store, privacy-budget
+# charge-before-mutate, hot-path allocation hygiene, error taxonomy and
+# metrics registration rules. Violations are fixed or carry a justified
+# //dapvet:<rule>-ok annotation; see DESIGN.md "Static analysis".
+dapvet:
+	$(GO) run ./cmd/dapvet ./...
 
 # Fail when any file needs gofmt.
 fmt-check:
@@ -46,9 +56,22 @@ matrix:
 test:
 	$(GO) test ./...
 
-# Race-detector pass over the concurrent serving layer.
+# Race-detector pass over every package. The race_on/race_off build-tag
+# split keeps the detector-only assertions compiled out of normal builds.
 race:
-	$(GO) test -race ./internal/stream/ ./internal/transport/ ./internal/privacy/ ./internal/metrics/
+	$(GO) test -race ./...
+
+# Short fuzzing pass over every untrusted decoder: WAL record payloads,
+# WAL segment files, snapshots, the metrics exposition parser and task-
+# spec JSON. Seed corpora live in each package's testdata/fuzz/; CI runs
+# this with the default FUZZTIME=30s per target, local runs can go
+# longer (make fuzz-smoke FUZZTIME=5m).
+fuzz-smoke:
+	$(GO) test -run '^Fuzz' -fuzz '^FuzzWALRecord$$' -fuzztime $(FUZZTIME) ./internal/store/
+	$(GO) test -run '^Fuzz' -fuzz '^FuzzWALSegment$$' -fuzztime $(FUZZTIME) ./internal/store/
+	$(GO) test -run '^Fuzz' -fuzz '^FuzzSnapshot$$' -fuzztime $(FUZZTIME) ./internal/store/
+	$(GO) test -run '^Fuzz' -fuzz '^FuzzMetricsParse$$' -fuzztime $(FUZZTIME) ./internal/metrics/
+	$(GO) test -run '^Fuzz' -fuzz '^FuzzSpecJSON$$' -fuzztime $(FUZZTIME) ./internal/core/
 
 # Durability fault-injection battery under the race detector: kill-and-
 # restart recovery (mid-ingest / mid-rotation / mid-snapshot / torn WAL
@@ -92,6 +115,14 @@ bench-json:
 # make bench-diff OLD=BENCH_a.json NEW=BENCH_b.json.
 bench-diff:
 	@old="$(OLD)"; new="$(NEW)"; \
+	if [ -z "$$old" ] || [ -z "$$new" ]; then \
+		count=$$(ls BENCH_*.json 2>/dev/null | wc -l); \
+		if [ "$$count" -lt 2 ]; then \
+			echo "bench-diff: need two BENCH_*.json records, found $$count" \
+			     "— run 'make bench-json' to record one, or pass OLD=/NEW= explicitly"; \
+			exit 1; \
+		fi; \
+	fi; \
 	if [ -z "$$new" ]; then new=$$(ls BENCH_*.json | sort | tail -1); fi; \
 	if [ -z "$$old" ]; then old=$$(ls BENCH_*.json | sort | tail -2 | head -1); fi; \
 	echo "benchdiff $$old $$new"; \

@@ -105,6 +105,10 @@ var (
 	// ErrDomain marks a value outside the domain a spec or mechanism
 	// prescribes.
 	ErrDomain = core.ErrDomain
+	// ErrBadCollection marks a collection whose shape does not match the
+	// spec that built it: wrong group count, missing histograms or sums,
+	// empty groups, mismatched arities.
+	ErrBadCollection = core.ErrBadCollection
 	// ErrBudgetExhausted marks a user whose privacy budget cannot cover a
 	// requested spend (returned by the serving layer's accountant).
 	ErrBudgetExhausted = privacy.ErrBudgetExceeded

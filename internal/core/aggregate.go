@@ -1,7 +1,7 @@
 package core
 
 import (
-	"errors"
+	"fmt"
 	"strings"
 )
 
@@ -37,7 +37,7 @@ func ParseWeightMode(s string) (WeightMode, error) {
 	case "general", "minvar":
 		return WeightsGeneral, nil
 	}
-	return 0, errors.New("core: unknown weight mode " + s)
+	return 0, badSpec("unknown weight mode %q", s)
 }
 
 // OptimalWeights computes aggregation weights for group variance proxies
@@ -45,13 +45,13 @@ func ParseWeightMode(s string) (WeightMode, error) {
 // weights sum to one.
 func OptimalWeights(b, nHat []float64, mode WeightMode) ([]float64, error) {
 	if len(b) == 0 || len(b) != len(nHat) {
-		return nil, errors.New("core: weight inputs must be non-empty and equal length")
+		return nil, badCollection("weight inputs must be non-empty and equal length")
 	}
 	w := make([]float64, len(b))
 	var total float64
 	for t := range b {
 		if b[t] <= 0 {
-			return nil, errors.New("core: variance proxies must be positive")
+			return nil, fmt.Errorf("%w: variance proxies must be positive", ErrDomain)
 		}
 		switch mode {
 		case WeightsGeneral:
@@ -62,7 +62,7 @@ func OptimalWeights(b, nHat []float64, mode WeightMode) ([]float64, error) {
 		total += w[t]
 	}
 	if total <= 0 {
-		return nil, errors.New("core: degenerate weights")
+		return nil, fmt.Errorf("%w: degenerate weights", ErrDomain)
 	}
 	for t := range w {
 		w[t] /= total

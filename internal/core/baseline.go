@@ -1,7 +1,7 @@
 package core
 
 import (
-	"errors"
+	"fmt"
 	"math"
 	"math/rand/v2"
 
@@ -37,10 +37,10 @@ type Baseline struct {
 // NewBaseline validates the budget split and precomputes mechanisms.
 func NewBaseline(epsAlpha, epsBeta float64, scheme Scheme) (*Baseline, error) {
 	if epsAlpha <= 0 || epsBeta <= 0 {
-		return nil, errors.New("core: baseline budgets must be positive")
+		return nil, badSpec("baseline budgets must be positive")
 	}
 	if epsAlpha >= epsBeta {
-		return nil, errors.New("core: baseline requires eps_alpha << eps_beta")
+		return nil, badSpec("baseline requires eps_alpha << eps_beta")
 	}
 	ma, err := pm.New(epsAlpha)
 	if err != nil {
@@ -74,7 +74,7 @@ func (b *Baseline) GamedCollect(r *rand.Rand, values []float64, adv attack.Adver
 
 func (b *Baseline) collect(r *rand.Rand, values []float64, adv attack.Adversary, gamma float64, gamed bool) (*BaselineCollection, error) {
 	if gamma < 0 || gamma >= 1 {
-		return nil, errors.New("core: gamma must lie in [0,1)")
+		return nil, fmt.Errorf("%w: gamma must lie in [0,1)", ErrDomain)
 	}
 	if adv == nil {
 		adv = attack.None{}
@@ -110,7 +110,7 @@ func (b *Baseline) collect(r *rand.Rand, values []float64, adv attack.Adversary,
 // between the two output domains — substitutes for M_β in Eq. 12.
 func (b *Baseline) Estimate(col *BaselineCollection) (*Estimate, error) {
 	if col == nil || len(col.Alpha) == 0 || len(col.Beta) == 0 {
-		return nil, errors.New("core: baseline collection is empty")
+		return nil, badCollection("baseline collection is empty")
 	}
 	din, dprime := emf.BucketCounts(len(col.Alpha), b.mechAlpha.C())
 	m, err := emf.BuildNumericCached(b.mechAlpha, din, dprime)
@@ -126,11 +126,11 @@ func (b *Baseline) Estimate(col *BaselineCollection) (*Estimate, error) {
 // sum that Eq. 12 needs.
 func (b *Baseline) EstimateHist(hc *HistCollection) (*Estimate, error) {
 	if hc == nil || len(hc.Counts) != 2 || hc.Sums == nil || len(hc.Sums) != 2 {
-		return nil, errors.New("core: baseline estimation expects alpha and beta histograms with sums")
+		return nil, badCollection("baseline estimation expects alpha and beta histograms with sums")
 	}
 	dprime := len(hc.Counts[0])
 	if dprime < 1 {
-		return nil, errors.New("core: baseline alpha histogram is empty")
+		return nil, badCollection("baseline alpha histogram is empty")
 	}
 	m, err := emf.BuildNumericCached(b.mechAlpha, emf.InputBuckets(dprime, b.mechAlpha.C()), dprime)
 	if err != nil {
@@ -138,7 +138,7 @@ func (b *Baseline) EstimateHist(hc *HistCollection) (*Estimate, error) {
 	}
 	nBeta := stats.Sum(hc.Counts[1])
 	if nBeta <= 0 {
-		return nil, errors.New("core: baseline beta histogram holds no reports")
+		return nil, badCollection("baseline beta histogram holds no reports")
 	}
 	return b.estimateFromCounts(m, hc.Counts[0], nBeta, hc.Sums[1])
 }

@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"math"
 	"math/rand/v2"
@@ -341,7 +340,7 @@ func (e *freqEstimator) Estimate(ctx context.Context, col *Collection) (*Result,
 		return nil, err
 	}
 	if col == nil || len(col.Groups) != e.d.H() {
-		return nil, errors.New("core: collection does not match group layout")
+		return nil, badCollection("collection does not match group layout")
 	}
 	counts := make([][]float64, len(col.Groups))
 	for t, reports := range col.Groups {
@@ -366,7 +365,7 @@ func (e *freqEstimator) EstimateHist(ctx context.Context, hc *HistCollection) (*
 		return nil, err
 	}
 	if hc == nil {
-		return nil, errors.New("core: histogram collection does not match group layout")
+		return nil, badCollection("histogram collection does not match group layout")
 	}
 	est, err := e.d.EstimateFreqWarm(&FreqCollection{Counts: hc.Counts}, WarmFromContext(ctx))
 	if err != nil {
@@ -428,7 +427,7 @@ func (e *varianceEstimator) Groups() []Group {
 // the moment half on 2v²−1, and concatenates the group reports.
 func (e *varianceEstimator) Collect(r *rand.Rand, values []float64, adv attack.Adversary, gamma float64) (*Collection, error) {
 	if len(values) < 4 {
-		return nil, errors.New("core: variance estimation needs at least four users")
+		return nil, badCollection("variance estimation needs at least four users")
 	}
 	perm := rng.SampleWithoutReplacement(r, len(values), len(values))
 	half := len(values) / 2
@@ -462,7 +461,7 @@ func (e *varianceEstimator) Estimate(ctx context.Context, col *Collection) (*Res
 	}
 	h := e.mean.H()
 	if col == nil || len(col.Groups) != 2*h {
-		return nil, fmt.Errorf("core: variance estimation expects %d groups (mean half then moment half)", 2*h)
+		return nil, badCollection("variance estimation expects %d groups (mean half then moment half)", 2*h)
 	}
 	warm := WarmFromContext(ctx)
 	m1, err := e.mean.EstimateWarm(&Collection{Groups: col.Groups[:h]}, warm.subState(0))
@@ -482,7 +481,7 @@ func (e *varianceEstimator) EstimateHist(ctx context.Context, hc *HistCollection
 	}
 	h := e.mean.H()
 	if hc == nil || len(hc.Counts) != 2*h || hc.Sums == nil || len(hc.Sums) != 2*h {
-		return nil, fmt.Errorf("core: variance estimation expects %d group histograms with sums", 2*h)
+		return nil, badCollection("variance estimation expects %d group histograms with sums", 2*h)
 	}
 	warm := WarmFromContext(ctx)
 	m1, err := e.mean.EstimateHistWarm(&HistCollection{Counts: hc.Counts[:h], Sums: hc.Sums[:h]}, warm.subState(0))
@@ -555,7 +554,7 @@ func (e *baselineEstimator) Estimate(ctx context.Context, col *Collection) (*Res
 		return nil, err
 	}
 	if col == nil || len(col.Groups) != 2 {
-		return nil, errors.New("core: baseline estimation expects two groups (alpha, beta)")
+		return nil, badCollection("baseline estimation expects two groups (alpha, beta)")
 	}
 	est, err := e.b.Estimate(&BaselineCollection{Alpha: col.Groups[0], Beta: col.Groups[1]})
 	if err != nil {
@@ -630,7 +629,7 @@ func (e *defenseEstimator) Estimate(ctx context.Context, col *Collection) (*Resu
 		return nil, err
 	}
 	if col == nil || len(col.Groups) != 1 || len(col.Groups[0]) == 0 {
-		return nil, errors.New("core: defense comparators expect one non-empty group")
+		return nil, badCollection("defense comparators expect one non-empty group")
 	}
 	mean, err := e.def.Estimate(rng.New(defenseSeed(col.Groups[0])), col.Groups[0], e.right)
 	if err != nil {

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"math"
 	"math/rand/v2"
@@ -114,10 +113,10 @@ type Collection struct {
 func (d *DAP) Collect(r *rand.Rand, values []float64, adv attack.Adversary, gamma float64) (*Collection, error) {
 	n := len(values)
 	if n < d.H() {
-		return nil, errors.New("core: fewer users than groups")
+		return nil, badCollection("fewer users than groups")
 	}
 	if gamma < 0 || gamma >= 1 {
-		return nil, errors.New("core: gamma must lie in [0,1)")
+		return nil, fmt.Errorf("%w: gamma must lie in [0,1)", ErrDomain)
 	}
 	if adv == nil {
 		adv = attack.None{}
@@ -169,7 +168,7 @@ func (d *DAP) Estimate(col *Collection) (*Estimate, error) {
 func (d *DAP) EstimateWarm(col *Collection, warm *WarmState) (*Estimate, error) {
 	h := d.H()
 	if col == nil || len(col.Groups) != h {
-		return nil, errors.New("core: collection does not match group layout")
+		return nil, badCollection("collection does not match group layout")
 	}
 	matrices := make([]*emf.Matrix, h)
 	counts := make([][]float64, h)
@@ -177,7 +176,7 @@ func (d *DAP) EstimateWarm(col *Collection, warm *WarmState) (*Estimate, error) 
 	ns := make([]float64, h)
 	for t := 0; t < h; t++ {
 		if len(col.Groups[t]) == 0 {
-			return nil, fmt.Errorf("core: group %d holds no reports", t)
+			return nil, badCollection("group %d holds no reports", t)
 		}
 	}
 	if err := forEachGroup(h, func(t int) error {

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"math"
 	"math/rand/v2"
@@ -45,7 +44,7 @@ func NewFreqDAP(p FreqParams) (*FreqDAP, error) {
 		return nil, err
 	}
 	if p.K < 2 {
-		return nil, errors.New("core: categorical protocol needs K >= 2")
+		return nil, badSpec("categorical protocol needs K >= 2")
 	}
 	h := groupCount(p.Eps, p.Eps0)
 	d := &FreqDAP{p: p, groups: make([]Group, h), mechs: make([]*krr.Mechanism, h)}
@@ -86,11 +85,11 @@ type FreqCollection struct {
 // bit-identical collections at equal seeds.
 func (d *FreqDAP) CollectFreq(r *rand.Rand, cats []int, poisonCats []int, gamma float64) (*FreqCollection, error) {
 	if gamma > 0 && len(poisonCats) == 0 {
-		return nil, errors.New("core: gamma > 0 requires poison categories")
+		return nil, fmt.Errorf("%w: gamma > 0 requires poison categories", ErrDomain)
 	}
 	for _, c := range poisonCats {
 		if c < 0 || c >= d.p.K {
-			return nil, fmt.Errorf("core: poison category %d out of range", c)
+			return nil, fmt.Errorf("%w: poison category %d out of range", ErrDomain, c)
 		}
 	}
 	var adv attack.Adversary = attack.None{}
@@ -108,10 +107,10 @@ func (d *FreqDAP) CollectFreq(r *rand.Rand, cats []int, poisonCats []int, gamma 
 func (d *FreqDAP) CollectFreqAdv(r *rand.Rand, cats []int, adv attack.Adversary, gamma float64) (*FreqCollection, error) {
 	n := len(cats)
 	if n < d.H() {
-		return nil, errors.New("core: fewer users than groups")
+		return nil, badCollection("fewer users than groups")
 	}
 	if gamma < 0 || gamma >= 1 {
-		return nil, errors.New("core: gamma must lie in [0,1)")
+		return nil, fmt.Errorf("%w: gamma must lie in [0,1)", ErrDomain)
 	}
 	if adv == nil {
 		adv = attack.None{}
@@ -185,12 +184,12 @@ func (d *FreqDAP) EstimateFreq(col *FreqCollection) (*FreqEstimate, error) {
 func (d *FreqDAP) EstimateFreqWarm(col *FreqCollection, warm *WarmState) (*FreqEstimate, error) {
 	h := d.H()
 	if col == nil || len(col.Counts) != h {
-		return nil, errors.New("core: collection does not match group layout")
+		return nil, badCollection("collection does not match group layout")
 	}
 	matrices := make([]*emf.Matrix, h)
 	for t := 0; t < h; t++ {
 		if len(col.Counts[t]) != d.p.K {
-			return nil, fmt.Errorf("core: group %d counts have wrong arity", t)
+			return nil, badCollection("group %d counts have wrong arity", t)
 		}
 		matrices[t] = emf.BuildCategoricalCached(d.mechs[t])
 	}
@@ -328,7 +327,7 @@ func (d *FreqDAP) RunFreq(r *rand.Rand, cats []int, poisonCats []int, gamma floa
 func (d *FreqDAP) OstrichFreq(col *FreqCollection) ([]float64, error) {
 	h := d.H()
 	if col == nil || len(col.Counts) != h {
-		return nil, errors.New("core: collection does not match group layout")
+		return nil, badCollection("collection does not match group layout")
 	}
 	b := make([]float64, h)
 	nHat := make([]float64, h)

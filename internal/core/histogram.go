@@ -1,8 +1,6 @@
 package core
 
 import (
-	"errors"
-	"fmt"
 	"math"
 
 	"repro/internal/emf"
@@ -30,10 +28,10 @@ type HistCollection struct {
 // validate checks the collection shape against a group count.
 func (hc *HistCollection) validate(h int) error {
 	if hc == nil || len(hc.Counts) != h {
-		return errors.New("core: histogram collection does not match group layout")
+		return badCollection("histogram collection does not match group layout")
 	}
 	if hc.Sums != nil && len(hc.Sums) != h {
-		return errors.New("core: histogram sums do not match group layout")
+		return badCollection("histogram sums do not match group layout")
 	}
 	return nil
 }
@@ -70,7 +68,7 @@ func (d *DAP) EstimateHistWarm(hc *HistCollection, warm *WarmState) (*Estimate, 
 	// group mean would silently collapse toward 0. Only the SW path, which
 	// reads means off the reconstructed histogram, may omit them.
 	if hc.Sums == nil {
-		return nil, errors.New("core: mean estimation requires report sums")
+		return nil, badCollection("mean estimation requires report sums")
 	}
 	matrices := make([]*emf.Matrix, h)
 	ns := make([]float64, h)
@@ -78,7 +76,7 @@ func (d *DAP) EstimateHistWarm(hc *HistCollection, warm *WarmState) (*Estimate, 
 	for t := 0; t < h; t++ {
 		dprime := len(hc.Counts[t])
 		if dprime < 1 {
-			return nil, fmt.Errorf("core: group %d histogram is empty", t)
+			return nil, badCollection("group %d histogram is empty", t)
 		}
 		m, err := emf.BuildNumericCached(d.mechs[t], emf.InputBuckets(dprime, d.mechs[t].C()), dprime)
 		if err != nil {
@@ -87,7 +85,7 @@ func (d *DAP) EstimateHistWarm(hc *HistCollection, warm *WarmState) (*Estimate, 
 		matrices[t] = m
 		ns[t] = stats.Sum(hc.Counts[t])
 		if ns[t] <= 0 {
-			return nil, fmt.Errorf("core: group %d holds no reports", t)
+			return nil, badCollection("group %d holds no reports", t)
 		}
 		sums[t] = hc.sum(t)
 	}
@@ -182,7 +180,7 @@ func (d *SWDAP) EstimateHistWarm(hc *HistCollection, warm *WarmState) (*SWEstima
 	for t := 0; t < h; t++ {
 		dprime := len(hc.Counts[t])
 		if dprime < 1 {
-			return nil, fmt.Errorf("core: group %d histogram is empty", t)
+			return nil, badCollection("group %d histogram is empty", t)
 		}
 		c := d.mechs[t].OutputDomain().Width()
 		m, err := emf.BuildNumericCached(d.mechs[t], emf.InputBuckets(dprime, c), dprime)
@@ -192,7 +190,7 @@ func (d *SWDAP) EstimateHistWarm(hc *HistCollection, warm *WarmState) (*SWEstima
 		matrices[t] = m
 		ns[t] = stats.Sum(hc.Counts[t])
 		if ns[t] <= 0 {
-			return nil, fmt.Errorf("core: group %d holds no reports", t)
+			return nil, badCollection("group %d holds no reports", t)
 		}
 	}
 	oPrime, oFit, err := d.pessimisticOHist(matrices[h-1], hc.Counts[h-1], warm.oSeed())

@@ -7,7 +7,6 @@
 package core
 
 import (
-	"errors"
 	"math"
 )
 
@@ -54,7 +53,7 @@ func ParseScheme(s string) (Scheme, error) {
 	case "", "cemf", "cemf*", "cemfstar", "CEMF*":
 		return SchemeCEMFStar, nil
 	}
-	return 0, errors.New("core: unknown scheme " + s)
+	return 0, badSpec("unknown scheme %q", s)
 }
 
 // Estimate is the collector's output for one protocol run.
@@ -127,10 +126,10 @@ func zScore(level float64) float64 {
 // validateBudgets sanity-checks a (ε, ε0) pair.
 func validateBudgets(eps, eps0 float64) error {
 	if eps <= 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
-		return errors.New("core: eps must be positive and finite")
+		return badSpec("eps must be positive and finite")
 	}
 	if eps0 <= 0 || eps0 > eps {
-		return errors.New("core: eps0 must lie in (0, eps]")
+		return badSpec("eps0 must lie in (0, eps]")
 	}
 	return nil
 }

@@ -25,11 +25,20 @@ var (
 	// ErrDomain marks a value outside the domain a spec or mechanism
 	// prescribes.
 	ErrDomain = errors.New("core: value outside domain")
+	// ErrBadCollection marks a collection whose shape does not match the
+	// spec that built it: wrong group count, missing histograms or sums,
+	// empty groups, mismatched arities.
+	ErrBadCollection = errors.New("core: bad collection shape")
 )
 
 // badSpec builds an error wrapping ErrBadSpec.
 func badSpec(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", ErrBadSpec, fmt.Sprintf(format, args...))
+}
+
+// badCollection builds an error wrapping ErrBadCollection.
+func badCollection(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBadCollection, fmt.Sprintf(format, args...))
 }
 
 // TaskKind names what a task estimates. Kinds marshal as their string

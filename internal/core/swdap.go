@@ -1,7 +1,6 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"math"
 	"math/rand/v2"
@@ -72,10 +71,10 @@ func (d *SWDAP) Mechanism(t int) *sw.Mechanism { return d.mechs[t] }
 func (d *SWDAP) Collect(r *rand.Rand, values []float64, adv attack.Adversary, gamma float64) (*Collection, error) {
 	n := len(values)
 	if n < d.H() {
-		return nil, errors.New("core: fewer users than groups")
+		return nil, badCollection("fewer users than groups")
 	}
 	if gamma < 0 || gamma >= 1 {
-		return nil, errors.New("core: gamma must lie in [0,1)")
+		return nil, fmt.Errorf("%w: gamma must lie in [0,1)", ErrDomain)
 	}
 	if adv == nil {
 		adv = attack.None{}
@@ -130,14 +129,14 @@ func (d *SWDAP) Estimate(col *Collection) (*SWEstimate, error) {
 func (d *SWDAP) EstimateWarm(col *Collection, warm *WarmState) (*SWEstimate, error) {
 	h := d.H()
 	if col == nil || len(col.Groups) != h {
-		return nil, errors.New("core: collection does not match group layout")
+		return nil, badCollection("collection does not match group layout")
 	}
 	matrices := make([]*emf.Matrix, h)
 	counts := make([][]float64, h)
 	ns := make([]float64, h)
 	for t := 0; t < h; t++ {
 		if len(col.Groups[t]) == 0 {
-			return nil, fmt.Errorf("core: group %d holds no reports", t)
+			return nil, badCollection("group %d holds no reports", t)
 		}
 		c := d.mechs[t].OutputDomain().Width() // SW analogue of 2C/2
 		din, dprime := emf.BucketCounts(len(col.Groups[t]), c)

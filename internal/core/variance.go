@@ -1,7 +1,6 @@
 package core
 
 import (
-	"errors"
 	"math/rand/v2"
 
 	"repro/internal/attack"
@@ -38,7 +37,7 @@ type VarianceEstimate struct {
 // proportion gamma.
 func (ve *VarianceEstimator) Run(r *rand.Rand, values []float64, adv attack.Adversary, gamma float64) (*VarianceEstimate, error) {
 	if len(values) < 4 {
-		return nil, errors.New("core: variance estimation needs at least four users")
+		return nil, badCollection("variance estimation needs at least four users")
 	}
 	d1, err := NewDAP(ve.Params)
 	if err != nil {

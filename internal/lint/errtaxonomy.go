@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// analyzerErrTaxonomy enforces the typed-error contract in internal/core:
+// validation failures must surface as wrapped sentinels (ErrBadSpec,
+// ErrDomain, ErrBadCollection, ...) so callers can errors.Is on them. A
+// naked errors.New or a fmt.Errorf whose format carries no %w produces an
+// error nothing can classify — the transport layer then cannot map it to
+// a status code and tests fall back to string matching.
+var analyzerErrTaxonomy = &Analyzer{
+	Name: "errtaxonomy",
+	Doc:  "internal/core errors must wrap a typed sentinel (%w); no naked errors.New/fmt.Errorf",
+	Run:  runErrTaxonomy,
+}
+
+func runErrTaxonomy(p *Package, r *Reporter) {
+	if !p.pathIn("internal/core") {
+		return
+	}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			name := p.funcName(fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := p.callee(call)
+				if fn == nil {
+					return true
+				}
+				if isPkgFunc(fn, "errors", "New") {
+					r.Reportf(call.Pos(), "%s returns a naked errors.New; wrap a typed sentinel (ErrBadSpec/ErrDomain/...) with fmt.Errorf(\"%%w: ...\")", name)
+					return true
+				}
+				if isPkgFunc(fn, "fmt", "Errorf") && len(call.Args) > 0 {
+					lit, ok := call.Args[0].(*ast.BasicLit)
+					if !ok {
+						r.Reportf(call.Pos(), "%s builds an error from a non-literal format; use a literal format wrapping a typed sentinel with %%w", name)
+						return true
+					}
+					if !strings.Contains(lit.Value, "%w") {
+						r.Reportf(call.Pos(), "%s returns fmt.Errorf without %%w; wrap a typed sentinel (ErrBadSpec/ErrDomain/...) so errors.Is works", name)
+					}
+				}
+				return true
+			})
+		}
+	}
+}

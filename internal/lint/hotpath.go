@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// analyzerHotpath enforces the alloc-free ingest contract on functions
+// annotated //dapvet:hotpath. Such a function may not:
+//
+//   - call into package fmt (every fmt call allocates, and Errorf walks
+//     the format string);
+//   - append into a slice reached through a field selector (`s.buf`) —
+//     growing storage that outlives the call is how "alloc-free" claims
+//     rot; pre-size in the constructor instead;
+//   - call *Vec.With — label-set construction hashes and allocates; bind
+//     the child once at setup and Observe/Add on the bound handle;
+//   - convert a concrete value to an interface type (boxing allocates
+//     unless the value is pointer-shaped).
+//
+// The annotation is a declaration of intent: it goes on the leaves the
+// benchmarks hold to zero allocs/op, and dapvet keeps them that way.
+var analyzerHotpath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "//dapvet:hotpath functions must stay allocation-free (no fmt, escaping append, Vec.With, or interface boxing)",
+	Run:  runHotpath,
+}
+
+func runHotpath(p *Package, r *Reporter) {
+	for fd := range p.hot {
+		if fd.Body == nil {
+			continue
+		}
+		name := p.funcName(fd)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkHotCall(p, r, name, n)
+			case *ast.AssignStmt:
+				if len(n.Lhs) == len(n.Rhs) {
+					for i := range n.Rhs {
+						checkBoxing(p, r, name, n.Rhs[i], p.Info.TypeOf(n.Lhs[i]))
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func checkHotCall(p *Package, r *Reporter, name string, call *ast.CallExpr) {
+	// append into a field-held slice: the backing array outlives the call.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
+		if b, ok := p.Info.Uses[id].(*types.Builtin); ok && b.Name() == "append" && len(call.Args) > 0 {
+			if sel, ok := ast.Unparen(call.Args[0]).(*ast.SelectorExpr); ok {
+				if _, isPkg := p.Info.Uses[sel.Sel].(*types.PkgName); !isPkg {
+					r.Reportf(call.Pos(), "%s appends into escaping slice %s on a hot path; pre-size it at construction", name, exprString(call.Args[0]))
+				}
+			}
+		}
+	}
+	fn := p.callee(call)
+	if fn != nil {
+		if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			r.Reportf(call.Pos(), "%s calls fmt.%s on a hot path; fmt always allocates", name, fn.Name())
+		}
+		if fn.Name() == "With" {
+			if recv := recvNamed(fn); len(recv) > 3 && recv[len(recv)-3:] == "Vec" {
+				r.Reportf(call.Pos(), "%s constructs a label set (%s.With) on a hot path; bind the child once at setup", name, recv)
+			}
+		}
+	}
+	// Explicit conversion to an interface type: any(x), error(x).
+	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		checkBoxing(p, r, name, call.Args[0], tv.Type)
+		return
+	}
+	// Arguments boxed into interface-typed parameters.
+	sig, ok := p.Info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no per-element boxing
+			}
+			if sl, ok := sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case i < sig.Params().Len():
+			pt = sig.Params().At(i).Type()
+		}
+		checkBoxing(p, r, name, arg, pt)
+	}
+}
+
+// checkBoxing reports when assigning expr to a target of interface type
+// would box a multi-word or non-pointer-shaped concrete value.
+func checkBoxing(p *Package, r *Reporter, name string, expr ast.Expr, target types.Type) {
+	if target == nil {
+		return
+	}
+	if _, ok := target.Underlying().(*types.Interface); !ok {
+		return
+	}
+	tv, ok := p.Info.Types[expr]
+	if !ok || tv.IsNil() || tv.Value != nil {
+		return // untyped nil and constants don't heap-allocate
+	}
+	at := tv.Type
+	if at == nil || at == types.Typ[types.Invalid] || types.IsInterface(at) {
+		return
+	}
+	switch at.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return // pointer-shaped: stored in the interface word directly
+	}
+	r.Reportf(expr.Pos(), "%s boxes a %s into an interface on a hot path; boxing allocates", name, at.String())
+}

@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// analyzerMetricsHygiene keeps the metrics registry disciplined:
+//
+//   - Metric families are registered (metrics.NewCounter/NewGauge/
+//     NewHistogram and their Vec forms) only at package init — in a
+//     package-level var initializer or an init function. Registering from
+//     a request path re-registers on every call, and the registry's
+//     duplicate check turns that into a panic under load.
+//   - Family names are literal strings carrying the "dap_" prefix, so the
+//     exposition namespace stays greppable and collision-free.
+//
+// Pre-binding of vec children outside hot paths is enforced by the
+// hotpath analyzer's *Vec.With rule; the two analyzers together give the
+// register-at-init, bind-at-setup, observe-on-hotpath lifecycle.
+var analyzerMetricsHygiene = &Analyzer{
+	Name: "metricshygiene",
+	Doc:  "metric families register at package init only, with literal dap_-prefixed names",
+	Run:  runMetricsHygiene,
+}
+
+// metricsRegisterFunc matches the registry's package-level constructors.
+func metricsRegisterFunc(name string) bool {
+	switch name {
+	case "NewCounter", "NewGauge", "NewHistogram",
+		"NewCounterVec", "NewGaugeVec", "NewHistogramVec":
+		return true
+	}
+	return false
+}
+
+func runMetricsHygiene(p *Package, r *Reporter) {
+	match := func(call *ast.CallExpr) *ast.CallExpr {
+		fn := p.callee(call)
+		if fn == nil || recvNamed(fn) != "" || !metricsRegisterFunc(fn.Name()) {
+			return nil
+		}
+		if fn.Pkg() == nil || !pathHasSuffix(fn.Pkg().Path(), "internal/metrics") {
+			return nil
+		}
+		return call
+	}
+	checkName := func(call *ast.CallExpr, where string) {
+		if len(call.Args) == 0 {
+			return
+		}
+		fn := p.callee(call)
+		lit, ok := call.Args[0].(*ast.BasicLit)
+		if !ok {
+			r.Reportf(call.Args[0].Pos(), "%s metric family name must be a string literal (namespace stays greppable)%s", fn.Name(), where)
+			return
+		}
+		if !strings.HasPrefix(strings.Trim(lit.Value, "`\""), "dap_") {
+			r.Reportf(lit.Pos(), "metric family %s must carry the dap_ prefix", lit.Value)
+		}
+	}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			switch d := d.(type) {
+			case *ast.GenDecl:
+				// Package-level var initializers: registration allowed;
+				// still check the name.
+				ast.Inspect(d, func(n ast.Node) bool {
+					if call, ok := n.(*ast.CallExpr); ok && match(call) != nil {
+						checkName(call, "")
+					}
+					return true
+				})
+			case *ast.FuncDecl:
+				if d.Body == nil {
+					continue
+				}
+				isInit := d.Recv == nil && d.Name.Name == "init"
+				name := p.funcName(d)
+				ast.Inspect(d.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok || match(call) == nil {
+						return true
+					}
+					if !isInit {
+						r.Reportf(call.Pos(), "%s registers metric family at run time; families register only at package init (var initializer or init()), or the duplicate check panics on re-registration", name)
+					}
+					checkName(call, "")
+					return true
+				})
+			}
+		}
+	}
+}

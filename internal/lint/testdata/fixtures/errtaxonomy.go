@@ -1,0 +1,32 @@
+// Fixture for the errtaxonomy analyzer, type-checked as
+// repro/internal/core.
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Package-level sentinels are the taxonomy itself: errors.New is exactly
+// right here and must stay silent (var initializers are not functions).
+var ErrFixture = errors.New("core: fixture sentinel")
+
+func nakedNew() error {
+	return errors.New("core: something went wrong") // want errtaxonomy "naked errors.New"
+}
+
+func errorfNoWrap(n int) error {
+	return fmt.Errorf("core: bad count %d", n) // want errtaxonomy "without %w"
+}
+
+func nonLiteralFormat(format string) error {
+	return fmt.Errorf(format) // want errtaxonomy "non-literal format"
+}
+
+func wrapped(n int) error {
+	return fmt.Errorf("%w: bad count %d", ErrFixture, n)
+}
+
+func suppressedNew() error {
+	return errors.New("io timeout") //dapvet:errtaxonomy-ok sentinel-free by design, matched by net retry loop
+}

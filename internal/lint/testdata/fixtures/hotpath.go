@@ -1,0 +1,48 @@
+// Fixture for the hotpath analyzer, type-checked as
+// repro/internal/stream. Only annotated functions are checked.
+package stream
+
+import "fmt"
+
+type histBuf struct {
+	vals []float64
+}
+
+type CounterVec struct{}
+
+func (cv *CounterVec) With(labels ...string) int { return len(labels) }
+
+func sinkAny(v any) {}
+
+//dapvet:hotpath
+func hotViolations(b *histBuf, cv *CounterVec, x int) {
+	_ = fmt.Sprint("hot")      // want hotpath "fmt"
+	b.vals = append(b.vals, 1) // want hotpath "escaping slice"
+	_ = cv.With("tenant")      // want hotpath "label set"
+	sinkAny(x)                 // want hotpath "boxes"
+	var v any
+	v = struct{ a, b int }{} // want hotpath "boxes"
+	_ = v
+}
+
+//dapvet:hotpath
+func hotClean(local []float64, p *histBuf) float64 {
+	local = append(local, 1) // local slice: not escaping through a field
+	sinkAny(p)               // pointers are interface-word sized, no box
+	sinkAny(nil)             // nil never allocates
+	var s float64
+	for _, v := range local {
+		s += v
+	}
+	return s
+}
+
+// coldPath is unannotated: fmt is fine off the hot path.
+func coldPath() string {
+	return fmt.Sprintf("%v", 1)
+}
+
+//dapvet:hotpath
+func hotSuppressed(x int) {
+	sinkAny(x) //dapvet:hotpath-ok diagnostic-only branch, measured alloc-free
+}

@@ -1,0 +1,26 @@
+// Fixture for the metricshygiene analyzer, type-checked as
+// repro/internal/stream against the real metrics package.
+package stream
+
+import "repro/internal/metrics"
+
+// Package-level registration with a dap_-prefixed literal: the idiom.
+var metGood = metrics.NewCounter("dap_fixture_good_total", "fixture")
+
+// A family name without the namespace prefix.
+var metBadName = metrics.NewGauge("fixture_unprefixed", "fixture") // want metricshygiene "dap_ prefix"
+
+func init() {
+	// init-time registration is allowed; the name is still checked.
+	_ = metrics.NewHistogram("dap_fixture_init_seconds", "fixture", nil)
+}
+
+// registerAtRuntime registers on every call: the duplicate check panics.
+func registerAtRuntime(name string) {
+	_ = metrics.NewCounter("dap_fixture_runtime_total", "fixture") // want metricshygiene "only at package init"
+	_ = metrics.NewCounterVec(name, "fixture")                     // want metricshygiene "only at package init" // want metricshygiene "string literal"
+}
+
+func useCounter() {
+	metGood.Inc()
+}

@@ -142,7 +142,7 @@ func formatFloat(v float64) string {
 		return "-Inf"
 	case math.IsNaN(v):
 		return "NaN"
-	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+	case v == math.Trunc(v) && math.Abs(v) < 1e15 && !math.Signbit(v):
 		return strconv.FormatInt(int64(v), 10)
 	default:
 		return strconv.FormatFloat(v, 'g', -1, 64)

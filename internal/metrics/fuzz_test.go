@@ -1,0 +1,57 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzMetricsParse feeds arbitrary bytes to the strict exposition
+// parser: it must never panic, and every sample it accepts must render
+// (Sample.String, the same path WriteTo uses) back to a line the parser
+// re-accepts as the identical sample — Parse ∘ render is the identity on
+// the accepted subset.
+func FuzzMetricsParse(f *testing.F) {
+	reg := NewRegistry()
+	reg.Counter("dap_fuzz_total", "seed counter").Add(3)
+	reg.Gauge("dap_fuzz_level", "seed gauge").Set(-0.5)
+	reg.Histogram("dap_fuzz_seconds", "seed histogram", []float64{0.1, 1}).Observe(0.25)
+	reg.CounterVec("dap_fuzz_labeled_total", "seed vec", []string{"tenant"}).With("a").Inc()
+	var buf bytes.Buffer
+	if _, err := reg.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("# TYPE dap_x counter\ndap_x 1\n"))
+	f.Add([]byte("dap_bad{label=\"unclosed} 1\n"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := Parse(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input: only the no-panic property applies
+		}
+		for _, s := range sc.Samples {
+			re, err := Parse(strings.NewReader(s.String() + "\n"))
+			if err != nil {
+				t.Fatalf("accepted sample %q does not re-parse: %v", s.String(), err)
+			}
+			if len(re.Samples) != 1 {
+				t.Fatalf("sample %q re-parsed to %d samples", s.String(), len(re.Samples))
+			}
+			r := re.Samples[0]
+			if r.Name != s.Name || len(r.Labels) != len(s.Labels) {
+				t.Fatalf("sample round-trip mismatch: %q -> %q", s.String(), r.String())
+			}
+			for k, v := range s.Labels {
+				if r.Labels[k] != v {
+					t.Fatalf("label %q round-trip mismatch: %q -> %q", k, v, r.Labels[k])
+				}
+			}
+			if math.Float64bits(r.Value) != math.Float64bits(s.Value) &&
+				!(math.IsNaN(r.Value) && math.IsNaN(s.Value)) {
+				t.Fatalf("value round-trip mismatch: %v -> %v", s.Value, r.Value)
+			}
+		}
+	})
+}

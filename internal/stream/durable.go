@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"slices"
 	"time"
 
 	"repro/internal/core"
@@ -216,8 +217,17 @@ func Recover(st *store.Store) (*Registry, *RecoveryReport, error) {
 			rep.Applied++
 		}
 	}
-	for _, t := range reg.tenants {
-		rep.SpendAfter += t.acct.TotalSpent()
+	// Sum the ledgers in sorted tenant order: map iteration order varies
+	// run to run and float addition is not associative, so an unordered
+	// sum could make the monotonicity gate below flicker across otherwise
+	// bit-identical recoveries.
+	names := make([]string, 0, len(reg.tenants))
+	for name := range reg.tenants {
+		names = append(names, name)
+	}
+	slices.Sort(names)
+	for _, name := range names {
+		rep.SpendAfter += reg.tenants[name].acct.TotalSpent()
 	}
 	rep.Tenants = len(reg.tenants)
 	// ε-spend monotonicity: replay only ever adds charges on top of the

@@ -79,6 +79,8 @@ func dropTenantMetrics(name string) {
 // tenant epoch lag and privacy-budget levels, and (when a store is
 // attached) the store gauges. The /metrics handler calls it once per
 // scrape so the ingest path never pays for level computation.
+//
+//dapvet:scrape
 func (r *Registry) SyncMetrics() {
 	tenants := r.List()
 	metTenants.Set(float64(len(tenants)))
@@ -100,6 +102,6 @@ func (r *Registry) SyncMetrics() {
 		metReporters.With(t.name).Set(float64(users))
 	}
 	if r.st != nil {
-		r.st.SyncMetrics()
+		r.st.SyncMetrics() //dapvet:lockorder-ok r.st is attached only after Store.Load returned, so recovery no longer holds the store mutex
 	}
 }

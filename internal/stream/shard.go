@@ -30,6 +30,8 @@ func newShardSet(stripes, buckets int) *shardSet {
 }
 
 // stripe returns the shard a stripe hash maps to.
+//
+//dapvet:hotpath
 func (s *shardSet) stripe(hash uint64) *shard {
 	return &s.shards[hash%uint64(len(s.shards))]
 }
@@ -38,6 +40,8 @@ func (s *shardSet) stripe(hash uint64) *shard {
 // idx[j] is the precomputed bucket of value vals[j]. Validation happened
 // before the lock — nothing here can fail, so the critical section is a
 // handful of adds.
+//
+//dapvet:hotpath
 func (s *shardSet) add(stripe uint64, idx []int, vals []float64) {
 	sh := s.stripe(stripe)
 	sh.mu.Lock()
@@ -48,6 +52,8 @@ func (s *shardSet) add(stripe uint64, idx []int, vals []float64) {
 // addLocked is add with the shard lock already held — the durable ingest
 // path holds it across the WAL append so same-stripe applies happen in
 // LSN order (see Tenant.Ingest).
+//
+//dapvet:hotpath
 func (sh *shard) addLocked(idx []int, vals []float64) {
 	for j, i := range idx {
 		sh.counts[i]++

@@ -36,6 +36,8 @@ var ErrRotating = errors.New("stream: rotation in progress")
 // (this hash) and same-stripe ingests serializing their WAL append with
 // their apply (the stripe lock held across both in Ingest/IngestBatch),
 // so per-stripe float accumulation order equals LSN order.
+//
+//dapvet:hotpath
 func hashUser(s string) uint64 {
 	const (
 		offset64 = 14695981039346656037
@@ -672,7 +674,7 @@ func (t *Tenant) rotate() (*Snapshot, error) {
 	window := append([]epochHist(nil), t.sealed...)
 	t.mu.Unlock()
 	t.met.rotations.Inc()
-	t.lastRotate.Store(time.Now().UnixNano())
+	t.lastRotate.Store(time.Now().UnixNano()) //dapvet:nondeterministic-ok epoch-age gauge, not estimate state
 
 	snap, err := t.estimateWindow(window, nil, seq, false)
 	if err != nil {
@@ -763,10 +765,10 @@ func (t *Tenant) estimateWindow(window []epochHist, liveHist *epochHist, seq uin
 	if t.cfg.Warm {
 		ctx = core.WithWarm(ctx, t.warm.Load())
 	}
-	start := time.Now()
+	start := time.Now() //dapvet:nondeterministic-ok duration metric, not estimate state
 	res, err := t.est.EstimateHist(ctx,
 		&core.HistCollection{Counts: counts, Sums: sums})
-	t.met.estimateDur.Observe(time.Since(start).Seconds())
+	t.met.estimateDur.Observe(time.Since(start).Seconds()) //dapvet:nondeterministic-ok duration metric, not estimate state
 	if err != nil {
 		return nil, err
 	}
@@ -779,7 +781,7 @@ func (t *Tenant) estimateWindow(window []epochHist, liveHist *epochHist, seq uin
 		Task:    t.cfg.Spec.Task,
 		Epoch:   seq,
 		Live:    live,
-		At:      time.Now(),
+		At:      time.Now(), //dapvet:nondeterministic-ok snapshot wall-clock stamp, not estimate state
 		Reports: total,
 		Result:  res,
 	}, nil

@@ -116,6 +116,8 @@ func logRequest(r *http.Request, route string, status int, dur time.Duration) {
 
 // handleMetrics serves GET /metrics: refresh the scrape-derived gauges,
 // then render the process-wide registry in the Prometheus text format.
+//
+//dapvet:scrape
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	metRecovering.SetBool(s.recovering.Load())
 	// Refresh through the installed registry only: while async recovery
