@@ -5,7 +5,7 @@ DATE := $(shell date +%Y%m%d)
 
 FUZZTIME ?= 30s
 
-.PHONY: all build vet dapvet fmt-check doccheck test race fuzz-smoke bench bench-json bench-diff bench-smoke load-smoke load-json apicheck apigen matrix crash-test wal-overhead metrics-check
+.PHONY: all build vet dapvet fmt-check doccheck test race fuzz-smoke bench bench-json bench-diff bench-smoke load-smoke load-smoke-bin load-json apicheck apigen matrix crash-test wal-overhead metrics-check
 
 all: vet dapvet fmt-check doccheck build test apicheck
 
@@ -72,6 +72,7 @@ fuzz-smoke:
 	$(GO) test -run '^Fuzz' -fuzz '^FuzzSnapshot$$' -fuzztime $(FUZZTIME) ./internal/store/
 	$(GO) test -run '^Fuzz' -fuzz '^FuzzMetricsParse$$' -fuzztime $(FUZZTIME) ./internal/metrics/
 	$(GO) test -run '^Fuzz' -fuzz '^FuzzSpecJSON$$' -fuzztime $(FUZZTIME) ./internal/core/
+	$(GO) test -run '^Fuzz' -fuzz '^FuzzFrameDecode$$' -fuzztime $(FUZZTIME) ./internal/wirebin/
 
 # Durability fault-injection battery under the race detector: kill-and-
 # restart recovery (mid-ingest / mid-rotation / mid-snapshot / torn WAL
@@ -143,8 +144,28 @@ load-smoke:
 	$(GO) run ./cmd/daploadgen -addr "" -reports 10000 -epoch 150ms \
 		-min-rate 100000 -assert
 
-# load-smoke plus: merge the measured throughput/latency into the dated
-# BENCH_<date>.json next to the experiment timings.
-load-json:
+# Binary-wire load smoke: the same loopback collector driven with compact
+# binary frames — once over HTTP (-wire bin), once as UDP datagrams
+# (-wire udp). The binary HTTP floor is 3x the JSON floor, the headline
+# of the wire format; the UDP floor stays at the JSON level because the
+# smoke boxes are free to drop datagrams under load.
+load-smoke-bin:
 	$(GO) run ./cmd/daploadgen -addr "" -reports 10000 -epoch 150ms \
+		-wire bin -min-rate 300000 -assert
+	$(GO) run ./cmd/daploadgen -addr "" -reports 10000 -epoch 150ms \
+		-wire udp -min-rate 100000 -assert
+
+# load-smoke plus: merge the measured throughput/latency for all three
+# wires into the dated BENCH_<date>.json next to the experiment timings
+# (keys load, load_bin, load_udp). Recording runs at 200k reports on two
+# connections with the epoch clock off — at the smoke scale (10k, a
+# sub-10ms wall on the binary wires) the numbers are dominated by startup
+# noise, and a rotation firing between ingest end and the sanity estimate
+# would hand the live estimator an empty window.
+load-json:
+	$(GO) run ./cmd/daploadgen -addr "" -reports 200000 -conns 2 -epoch 0 \
 		-min-rate 100000 -assert -bench-json BENCH_$(DATE).json
+	$(GO) run ./cmd/daploadgen -addr "" -reports 200000 -conns 2 -epoch 0 \
+		-wire bin -min-rate 300000 -assert -bench-json BENCH_$(DATE).json
+	$(GO) run ./cmd/daploadgen -addr "" -reports 200000 -conns 2 -epoch 0 \
+		-wire udp -min-rate 100000 -assert -bench-json BENCH_$(DATE).json

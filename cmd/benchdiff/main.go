@@ -17,13 +17,18 @@
 // records carry a load section: exit status 1 when the new throughput
 // falls below old·(1−max-load-drop). This is the WAL overhead gate —
 // comparing an in-memory load record against a durable (-store-dir) one
-// bounds the throughput cost of durability.
+// bounds the throughput cost of durability. The same gate covers the
+// binary-wire record (load_bin, wire=bin) whenever the old record has
+// one; load_udp is reported but never gated (best-effort wire, loss
+// makes its throughput a different quantity). Throughput comparisons
+// round to three decimals, matching the writer's fixed precision.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 )
@@ -37,13 +42,20 @@ type record struct {
 	Experiments map[string]int64 `json:"experiment_wall_ms"`
 	TotalMs     int64            `json:"total_wall_ms"`
 	Load        *loadRecord      `json:"load"`
+	LoadBin     *loadRecord      `json:"load_bin"`
+	LoadUDP     *loadRecord      `json:"load_udp"`
 }
 
 type loadRecord struct {
+	Wire           string  `json:"wire"`
 	ReportsPerSec  float64 `json:"reports_per_sec"`
 	EstimateLiveMs float64 `json:"estimate_live_ms"`
 	Retries        int64   `json:"retries"`
 }
+
+// round3 clamps a float to the writer's fixed precision so gate math
+// cannot flip on sub-milli noise that the BENCH files don't even store.
+func round3(x float64) float64 { return math.Round(x*1000) / 1000 }
 
 func load(path string) (*record, error) {
 	data, err := os.ReadFile(path)
@@ -106,11 +118,18 @@ func main() {
 		}
 	}
 	fmt.Printf("%-10s %10d %10d %8s\n", "TOTAL", oldRec.TotalMs, newRec.TotalMs, ratio(oldRec.TotalMs, newRec.TotalMs))
-	if oldRec.Load != nil && newRec.Load != nil {
-		fmt.Printf("load: %.0f → %.0f reports/sec; live estimate %.2f → %.2f ms; retries %d → %d\n",
-			oldRec.Load.ReportsPerSec, newRec.Load.ReportsPerSec,
-			oldRec.Load.EstimateLiveMs, newRec.Load.EstimateLiveMs,
-			oldRec.Load.Retries, newRec.Load.Retries)
+	for _, sec := range []struct {
+		name     string
+		old, new *loadRecord
+	}{{"load", oldRec.Load, newRec.Load}, {"load_bin", oldRec.LoadBin, newRec.LoadBin}, {"load_udp", oldRec.LoadUDP, newRec.LoadUDP}} {
+		if sec.old != nil && sec.new != nil {
+			fmt.Printf("%s: %.0f → %.0f reports/sec; live estimate %.2f → %.2f ms; retries %d → %d\n",
+				sec.name, sec.old.ReportsPerSec, sec.new.ReportsPerSec,
+				sec.old.EstimateLiveMs, sec.new.EstimateLiveMs,
+				sec.old.Retries, sec.new.Retries)
+		} else if sec.new != nil {
+			fmt.Printf("%s: new — %.0f reports/sec (wire=%s)\n", sec.name, sec.new.ReportsPerSec, sec.new.Wire)
+		}
 	}
 
 	failed := false
@@ -123,22 +142,42 @@ func main() {
 		fmt.Printf("benchdiff: OK total %dms within %.0f%% of %dms\n", newRec.TotalMs, *maxRegress*100, oldRec.TotalMs)
 	}
 	if *maxLoadDrop > 0 {
-		switch {
-		case oldRec.Load == nil || newRec.Load == nil || oldRec.Load.ReportsPerSec <= 0:
-			fmt.Fprintln(os.Stderr, "benchdiff: FAIL -max-load-drop set but a record has no load.reports_per_sec")
+		if gateLoad("load", oldRec.Load, newRec.Load, *maxLoadDrop, true) {
 			failed = true
-		case newRec.Load.ReportsPerSec < oldRec.Load.ReportsPerSec*(1-*maxLoadDrop):
-			fmt.Fprintf(os.Stderr, "benchdiff: FAIL load %.0f reports/sec below %.0f·(1-%.2f) = %.0f\n",
-				newRec.Load.ReportsPerSec, oldRec.Load.ReportsPerSec, *maxLoadDrop,
-				oldRec.Load.ReportsPerSec*(1-*maxLoadDrop))
-			failed = true
-		default:
-			fmt.Printf("benchdiff: OK load %.0f reports/sec within %.0f%% of %.0f\n",
-				newRec.Load.ReportsPerSec, *maxLoadDrop*100, oldRec.Load.ReportsPerSec)
+		}
+		// The binary-wire gate arms itself once a baseline exists: records
+		// predating the binary wire have no load_bin and are skipped.
+		if oldRec.LoadBin != nil {
+			if gateLoad("load_bin", oldRec.LoadBin, newRec.LoadBin, *maxLoadDrop, true) {
+				failed = true
+			}
 		}
 	}
 	if failed {
 		os.Exit(1)
+	}
+}
+
+// gateLoad applies the throughput-drop gate to one load section,
+// returning true on failure. required makes a missing section a failure
+// rather than a skip. Comparisons happen at the writer's three-decimal
+// precision so re-serialized records diff clean.
+func gateLoad(name string, o, n *loadRecord, drop float64, required bool) bool {
+	switch {
+	case o == nil || n == nil || o.ReportsPerSec <= 0:
+		if !required {
+			return false
+		}
+		fmt.Fprintf(os.Stderr, "benchdiff: FAIL -max-load-drop set but a record has no %s.reports_per_sec\n", name)
+		return true
+	case round3(n.ReportsPerSec) < round3(o.ReportsPerSec*(1-drop)):
+		fmt.Fprintf(os.Stderr, "benchdiff: FAIL %s %.0f reports/sec below %.0f·(1-%.2f) = %.0f\n",
+			name, n.ReportsPerSec, o.ReportsPerSec, drop, o.ReportsPerSec*(1-drop))
+		return true
+	default:
+		fmt.Printf("benchdiff: OK %s %.0f reports/sec within %.0f%% of %.0f\n",
+			name, n.ReportsPerSec, drop*100, o.ReportsPerSec)
+		return false
 	}
 }
 

@@ -18,6 +18,11 @@
 // atomically before any state changes, and stores only sharded
 // histograms — never raw reports.
 //
+// Besides JSON, POST /v1/ingest accepts compact binary frames
+// (Content-Type: application/x-dap-frame), and -udp (or the spec's
+// serve.udp_addr) opens a best-effort UDP socket where one datagram is
+// one frame — see DESIGN.md's wire-format section.
+//
 // With -store-dir the collector is durable: accepted reports, joins,
 // rotations and tenant lifecycle events are WAL-logged under the
 // directory, periodic checksummed snapshots bound replay time
@@ -100,6 +105,7 @@ func main() {
 		snapEvery    = flag.Duration("snapshot-interval", 30*time.Second, "periodic snapshot interval (with -store-dir; 0 disables)")
 		fsync        = flag.String("fsync", "interval", "WAL fsync policy: always | interval | os (with -store-dir)")
 		maxBody      = flag.Int64("max-ingest-bytes", 0, "request body limit for report/ingest (0 = 8 MiB default, negative = unlimited)")
+		udpAddr      = flag.String("udp", "", "UDP listen address for binary ingest frames (e.g. :9200; empty = spec serve.udp_addr, or off)")
 		pprofOn      = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (admin-only; off by default)")
 		logLevel     = flag.String("log-level", "info", "log level: debug | info | warn | error")
 		logFormat    = flag.String("log-format", "text", "log format: text | json")
@@ -136,6 +142,18 @@ func main() {
 	if err != nil {
 		log.Fatal("dapcollect: ", err)
 	}
+	udpListen := *udpAddr
+	if udpListen == "" && sp.Serve != nil {
+		udpListen = sp.Serve.UDPAddr
+	}
+	var udpLis *transport.UDPListener
+	if udpListen != "" {
+		udpLis, err = srv.ListenUDP(udpListen)
+		if err != nil {
+			log.Fatal("dapcollect: ", err)
+		}
+		fmt.Printf("dapcollect: binary ingest frames on udp %s\n", udpLis.Addr())
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
@@ -159,6 +177,9 @@ func main() {
 		*addr, sp.Task, sp.Eps, sp.Eps0, sp.Scheme, window, epoch)
 	select {
 	case err := <-done:
+		if udpLis != nil {
+			_ = udpLis.Close()
+		}
 		srv.Close()
 		if st != nil {
 			_ = st.Close()
@@ -172,6 +193,9 @@ func main() {
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("dapcollect: drain incomplete: %v", err)
+	}
+	if udpLis != nil {
+		_ = udpLis.Close() // stop accepting frames before the final snapshot
 	}
 	srv.Close() // stop clocks; a durable server drains one final snapshot
 	if st != nil {

@@ -46,6 +46,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -58,6 +59,7 @@ import (
 	"repro/internal/stats"
 	"repro/internal/store"
 	"repro/internal/transport"
+	"repro/internal/wirebin"
 )
 
 func main() {
@@ -84,6 +86,9 @@ func main() {
 		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
 		memProf = flag.String("memprofile", "", "write a pprof heap profile at exit to this path")
 		scrapeM = flag.Bool("scrape-metrics", false, "scrape the collector's /metrics before and after the run and fail unless the server-side ingest counter delta matches the client-side acked count")
+		wire    = flag.String("wire", "", "ingest wire: json | bin (binary frames over HTTP) | udp (binary frames over UDP); empty follows the tenant's advertised preference")
+		udpAddr = flag.String("udp-addr", "", "UDP ingest socket address for -wire=udp (empty uses the collector's advertised udp_addr)")
+		frames  = flag.Int("frames", 8, "frames coalesced per HTTP request on -wire=bin (the frame-stream wire; 1 = one request per frame)")
 	)
 	// Self-serve collector spec (only with -addr ""): -spec file.json plus
 	// the shared protocol/serving flags as overrides — the same resolution
@@ -154,7 +159,7 @@ func main() {
 		advSpec = sp.Attack
 		sp.Attack = nil
 		var closeSrv func()
-		base, closeSrv, err = selfServe(sp, *users, *reports, *stDir, *fsync)
+		base, closeSrv, err = selfServe(sp, *users, *reports, *stDir, *fsync, *wire == "udp")
 		if err != nil {
 			fatal(err)
 		}
@@ -214,14 +219,36 @@ func main() {
 	if cfg.Kind != "" && cfg.Kind != "mean" {
 		fatal(fmt.Sprintf("tenant kind %q not supported (mean only)", cfg.Kind))
 	}
+	// Resolve the ingest wire: the flag wins, then the tenant's advertised
+	// preference (spec serve.wire), then JSON.
+	w := strings.ToLower(*wire)
+	if w == "" {
+		w = cfg.Wire
+	}
+	if w == "" {
+		w = "json"
+	}
+	udpTarget := *udpAddr
+	switch w {
+	case "json", "bin":
+	case "udp":
+		if udpTarget == "" {
+			udpTarget = cfg.UDPAddr
+		}
+		if udpTarget == "" {
+			fatal("collector advertises no udp_addr; pass -udp-addr or open the socket")
+		}
+	default:
+		fatal(fmt.Sprintf("unknown -wire %q (want json, bin or udp)", w))
+	}
 
 	entries, honestMean := workload(cfg, adv, epochs, *users, *reports, *gamma, *lo, *hi, *seed)
 	var total int
 	for _, e := range entries {
 		total += len(e.Values)
 	}
-	fmt.Printf("daploadgen: %d users, %d reports, γ=%g, %d conns, batch %d\n",
-		len(entries), total, *gamma, *conns, *batch)
+	fmt.Printf("daploadgen: %d users, %d reports, γ=%g, %d conns, batch %d, wire %s\n",
+		len(entries), total, *gamma, *conns, *batch, w)
 
 	var ingestedBefore float64
 	if *scrapeM {
@@ -231,10 +258,33 @@ func main() {
 		}
 		ingestedBefore = v
 	}
+	var reportsBefore float64
+	if w == "udp" {
+		if reportsBefore, err = scrapeIngested(hc, base, *tenant); err != nil {
+			fatal(err)
+		}
+	}
 
-	accepted, latencies, wall, err := drive(ctx, c, entries, *conns, *batch)
+	runStart := time.Now()
+	accepted, latencies, wall, err := drive(ctx, entries, *conns, *batch, makeSender(ctx, c, w, udpTarget, *tenant, *frames, entries))
 	if err != nil {
 		fatal(err)
+	}
+	if w == "udp" {
+		// Fire-and-forget wire: wait for the datagrams to drain into the
+		// engine and count what actually landed; the difference is loss.
+		// The drain time counts toward the measured wall clock.
+		delivered, derr := waitDelivered(func() (float64, error) {
+			return scrapeIngested(hc, base, *tenant)
+		}, reportsBefore, accepted)
+		if derr != nil {
+			fatal(derr)
+		}
+		wall = time.Since(runStart)
+		if delivered < accepted {
+			fmt.Printf("daploadgen: udp loss: %d of %d reports dropped\n", accepted-delivered, accepted)
+		}
+		accepted = delivered
 	}
 	rate := float64(accepted) / wall.Seconds()
 	p50 := stats.Quantile(latencies, 0.5)
@@ -295,22 +345,26 @@ func main() {
 	}
 	if *jsonOut != "" {
 		rec := map[string]any{
-			"users":            len(entries),
-			"reports":          accepted,
-			"conns":            *conns,
-			"batch":            *batch,
-			"gamma":            *gamma,
-			"wall_ms":          wall.Milliseconds(),
-			"reports_per_sec":  math.Round(rate),
-			"retries":          client.Retries(),
-			"latency_ms":       map[string]float64{"p50": p50, "p90": p90, "p99": p99},
-			"estimate_live_ms": liveMs,
+			"users":           len(entries),
+			"reports":         accepted,
+			"conns":           *conns,
+			"batch":           *batch,
+			"gamma":           *gamma,
+			"wire":            w,
+			"wall_ms":         wall.Milliseconds(),
+			"reports_per_sec": math.Round(rate),
+			"retries":         client.Retries(),
+			// Latencies are recorded at fixed precision (three decimals,
+			// i.e. microseconds) so BENCH files don't accumulate float noise
+			// like "p99": 4.742509999999999.
+			"latency_ms":       map[string]float64{"p50": round3(p50), "p90": round3(p90), "p99": round3(p99)},
+			"estimate_live_ms": round3(liveMs),
 		}
 		if *stDir != "" {
 			rec["store"] = map[string]any{"dir": *stDir, "fsync": *fsync}
 		}
 		if cachedErr == nil {
-			rec["estimate_cached_ms"] = cachedMs
+			rec["estimate_cached_ms"] = round3(cachedMs)
 		}
 		if *scrapeM {
 			rec["metrics"] = map[string]any{
@@ -318,10 +372,20 @@ func main() {
 				"client_acked":    accepted,
 			}
 		}
-		if err := mergeBenchJSON(*jsonOut, rec); err != nil {
+		// One record key per wire, so a BENCH file can carry the JSON
+		// baseline and the binary fast-path result side by side ("load"
+		// stays the JSON-wire record for schema back-compat).
+		key := "load"
+		switch w {
+		case "bin":
+			key = "load_bin"
+		case "udp":
+			key = "load_udp"
+		}
+		if err := mergeBenchJSON(*jsonOut, key, rec); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "daploadgen: load record merged into %s\n", *jsonOut)
+		fmt.Fprintf(os.Stderr, "daploadgen: %s record merged into %s\n", key, *jsonOut)
 	}
 	stopProfiles()
 	if failed {
@@ -332,8 +396,9 @@ func main() {
 // selfServe boots an in-process collector over a loopback listener from
 // the resolved task spec. A non-empty storeDir makes it durable (WAL +
 // snapshots under the directory with the given fsync policy) — the WAL
-// overhead benchmark mode.
-func selfServe(sp core.Spec, users, reports int, storeDir, fsync string) (string, func(), error) {
+// overhead benchmark mode. With wantUDP (or a spec serve.udp_addr) the
+// binary-ingest UDP socket is opened too and advertised on /v1/config.
+func selfServe(sp core.Spec, users, reports int, storeDir, fsync string, wantUDP bool) (string, func(), error) {
 	if sp.Serve == nil {
 		sp.Serve = &core.ServeSpec{}
 	}
@@ -374,10 +439,30 @@ func selfServe(sp core.Spec, users, reports int, storeDir, fsync string) (string
 		}
 		return "", nil, err
 	}
+	var udp *transport.UDPListener
+	if uaddr := ""; wantUDP || (sp.Serve != nil && sp.Serve.UDPAddr != "") {
+		if sp.Serve != nil {
+			uaddr = sp.Serve.UDPAddr
+		}
+		if uaddr == "" {
+			uaddr = "127.0.0.1:0"
+		}
+		if udp, err = srv.ListenUDP(uaddr); err != nil {
+			_ = ln.Close()
+			srv.Close()
+			if st != nil {
+				_ = st.Close()
+			}
+			return "", nil, err
+		}
+	}
 	hs := &http.Server{Handler: srv.Handler()}
 	go func() { _ = hs.Serve(ln) }()
 	closeFn := func() {
 		_ = hs.Close()
+		if udp != nil {
+			_ = udp.Close()
+		}
 		srv.Close()
 		if st != nil {
 			_ = st.Close()
@@ -460,16 +545,121 @@ func workload(cfg *transport.ConfigResponse, adv attack.Adversary, atkEpochs, us
 	return entries, honestSum / float64(honest)
 }
 
+// sendFunc uploads the batch entries[lo:hi] (seq identifies the frame on
+// the binary wires) and returns the acked — or, on UDP, sent — report
+// count. A sender may coalesce batches (the frame-stream wire): a call
+// that only buffers returns (0, nil) and the worker's closer flushes the
+// tail, returning what it acked. mkSend builds one sender per worker, so
+// per-connection state (a UDP socket with its own sequence, a pending
+// frame buffer) stays unshared.
+type sendFunc func(seq uint64, lo, hi int) (int, error)
+
+// makeSender builds the per-worker sender factory for the chosen wire.
+// All three wires batch identically; only the serialization and transport
+// differ, so measured differences are wire cost, not workload shape. On
+// the bin wire, frames consecutive batches ride one HTTP request as a
+// length-prefixed frame stream.
+func makeSender(ctx context.Context, c *transport.TenantClient, w, udpTarget, tenant string, frames int, entries []entry) func() (sendFunc, func() (int, error), error) {
+	// The binary wires reuse the workload's user/value storage; only the
+	// entry headers are re-typed, once.
+	var wentries []wirebin.Entry
+	if w != "json" {
+		wentries = make([]wirebin.Entry, len(entries))
+		for i, e := range entries {
+			wentries[i] = wirebin.Entry{User: e.User, Group: e.Group, Values: e.Values}
+		}
+	}
+	noFlush := func() (int, error) { return 0, nil }
+	switch w {
+	case "bin":
+		if frames < 1 {
+			frames = 1
+		}
+		return func() (sendFunc, func() (int, error), error) {
+			pend := make([][]wirebin.Entry, 0, frames)
+			var seqBase uint64
+			flush := func() (int, error) {
+				if len(pend) == 0 {
+					return 0, nil
+				}
+				res, err := c.IngestFrames(ctx, seqBase, pend)
+				pend = pend[:0]
+				if err != nil {
+					return 0, err
+				}
+				if res.Rejected > 0 {
+					return res.Accepted, fmt.Errorf("collector rejected %d entries: %v", res.Rejected, res.Errors)
+				}
+				return res.Accepted, nil
+			}
+			send := func(seq uint64, lo, hi int) (int, error) {
+				if len(pend) == 0 {
+					seqBase = seq
+				}
+				pend = append(pend, wentries[lo:hi])
+				if len(pend) < frames {
+					return 0, nil
+				}
+				return flush()
+			}
+			return send, flush, nil
+		}
+	case "udp":
+		// Frames to the default tenant travel without a tenant name, like
+		// the tenant-less HTTP routes.
+		if tenant == transport.DefaultTenant {
+			tenant = ""
+		}
+		return func() (sendFunc, func() (int, error), error) {
+			uc, err := transport.DialUDP(udpTarget, tenant)
+			if err != nil {
+				return nil, nil, err
+			}
+			return func(_ uint64, lo, hi int) (int, error) {
+					if _, err := uc.Send(wentries[lo:hi]); err != nil {
+						return 0, err
+					}
+					n := 0
+					for i := lo; i < hi; i++ {
+						n += len(wentries[i].Values)
+					}
+					return n, nil
+				}, func() (int, error) {
+					return 0, uc.Close()
+				}, nil
+		}
+	default:
+		return func() (sendFunc, func() (int, error), error) {
+			return func(_ uint64, lo, hi int) (int, error) {
+				res, err := c.Ingest(ctx, entries[lo:hi])
+				if err != nil {
+					return 0, err
+				}
+				if res.Rejected > 0 {
+					return res.Accepted, fmt.Errorf("collector rejected %d entries: %v", res.Rejected, res.Errors)
+				}
+				return res.Accepted, nil
+			}, noFlush, nil
+		}
+	}
+}
+
 // drive sends the entries in batches over conns parallel workers and
 // returns accepted report count, per-request latencies (ms) and the wall
-// time of the whole ingest.
-func drive(ctx context.Context, c *transport.TenantClient, entries []entry, conns, batch int) (int, []float64, time.Duration, error) {
+// time of the whole ingest. Latency is sampled per wire operation: sends
+// that only buffered into a coalescing sender (0 reports, no error)
+// produce no sample.
+func drive(ctx context.Context, entries []entry, conns, batch int, mkSend func() (sendFunc, func() (int, error), error)) (int, []float64, time.Duration, error) {
 	if batch < 1 {
 		batch = 1
 	}
-	var batches [][]entry
+	type job struct {
+		seq    uint64
+		lo, hi int
+	}
+	var jobs []job
 	for lo := 0; lo < len(entries); lo += batch {
-		batches = append(batches, entries[lo:min(lo+batch, len(entries))])
+		jobs = append(jobs, job{uint64(len(jobs) + 1), lo, min(lo+batch, len(entries))})
 	}
 	var (
 		wg       sync.WaitGroup
@@ -478,37 +668,85 @@ func drive(ctx context.Context, c *transport.TenantClient, entries []entry, conn
 		lats     []float64
 		firstErr error
 	)
-	ch := make(chan []entry)
+	ch := make(chan job)
 	start := time.Now()
 	for w := 0; w < conns; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for b := range ch {
+			send, closeSend, err := mkSend()
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				for range ch {
+				}
+				return
+			}
+			for j := range ch {
 				t0 := time.Now()
-				res, err := c.Ingest(ctx, b)
+				n, err := send(j.seq, j.lo, j.hi)
 				lat := float64(time.Since(t0).Microseconds()) / 1000
 				mu.Lock()
 				if err != nil && firstErr == nil {
 					firstErr = err
 				}
-				if err == nil {
-					accepted += res.Accepted
-					if res.Rejected > 0 && firstErr == nil {
-						firstErr = fmt.Errorf("collector rejected %d entries: %v", res.Rejected, res.Errors)
-					}
+				accepted += n
+				if n > 0 || err != nil {
+					lats = append(lats, lat)
 				}
-				lats = append(lats, lat)
 				mu.Unlock()
 			}
+			// The closer flushes any batches still pending in a coalescing
+			// sender (and releases the connection).
+			t0 := time.Now()
+			n, err := closeSend()
+			lat := float64(time.Since(t0).Microseconds()) / 1000
+			mu.Lock()
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			accepted += n
+			if n > 0 || err != nil {
+				lats = append(lats, lat)
+			}
+			mu.Unlock()
 		}()
 	}
-	for _, b := range batches {
-		ch <- b
+	for _, j := range jobs {
+		ch <- j
 	}
 	close(ch)
 	wg.Wait()
+	_ = ctx
 	return accepted, lats, time.Since(start), firstErr
+}
+
+// waitDelivered polls the collector's monotonic per-tenant ingested
+// counter until sent reports have drained from the UDP socket into the
+// engine (or delivery stalls for 2s — lost datagrams never arrive). It
+// returns how many of the sent reports landed. The /v1/status window
+// counts reset on epoch rotation, so the metric — not the status — is
+// the only reliable delivery signal against a rotating collector.
+func waitDelivered(poll func() (float64, error), before float64, sent int) (int, error) {
+	last, lastChange := -1.0, time.Now()
+	for {
+		n, err := poll()
+		if err != nil {
+			return 0, err
+		}
+		if int(n-before) >= sent {
+			return sent, nil
+		}
+		if n != last {
+			last, lastChange = n, time.Now()
+		} else if time.Since(lastChange) > 2*time.Second {
+			return int(n - before), nil
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
 }
 
 // scrapeIngested fetches the collector's /metrics and returns the
@@ -559,9 +797,13 @@ func sane(live, cached *transport.EstimateResponse, cachedErr error, honestMean,
 	return nil
 }
 
-// mergeBenchJSON sets key "load" in the JSON object at path, creating the
-// file (with schema/date stamps) when absent.
-func mergeBenchJSON(path string, load map[string]any) error {
+// round3 rounds to three decimals — the fixed precision of BENCH load
+// floats (milliseconds quantities keep microsecond resolution).
+func round3(x float64) float64 { return math.Round(x*1000) / 1000 }
+
+// mergeBenchJSON sets the given load-record key in the JSON object at
+// path, creating the file (with schema/date stamps) when absent.
+func mergeBenchJSON(path, key string, load map[string]any) error {
 	obj := map[string]any{}
 	if data, err := os.ReadFile(path); err == nil {
 		if err := json.Unmarshal(data, &obj); err != nil {
@@ -571,7 +813,7 @@ func mergeBenchJSON(path string, load map[string]any) error {
 		obj["schema"] = 1
 		obj["date"] = time.Now().UTC().Format(time.RFC3339)
 	}
-	obj["load"] = load
+	obj[key] = load
 	data, err := json.MarshalIndent(obj, "", "  ")
 	if err != nil {
 		return err

@@ -1,7 +1,8 @@
 // Command metricscheck is the observability end-to-end gate: it boots a
 // durable in-process collector over a real loopback listener, drives
 // representative traffic through every instrumented layer (joins,
-// reports, a deliberate 4xx, an epoch rotation, a live estimate), then
+// reports, a deliberate 4xx, binary frames over HTTP and UDP including a
+// guaranteed reject, an epoch rotation, a live estimate), then
 // scrapes GET /metrics over HTTP and fails unless
 //
 //   - the payload parses as Prometheus text exposition (version 0.0.4),
@@ -27,6 +28,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -36,11 +38,14 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/ldp/pm"
 	"repro/internal/metrics"
 	"repro/internal/store"
 	"repro/internal/transport"
+	"repro/internal/wirebin"
 )
 
 // inventory mirrors DESIGN.md's Observability metric listing: every
@@ -54,6 +59,13 @@ var inventory = []struct{ name, typ string }{
 	{"dap_client_retries_total", "counter"},
 	{"dap_collector_recovering", "gauge"},
 	{"dap_store_recovery_duration_seconds", "gauge"},
+	// binary wire (frames over HTTP and UDP)
+	{"dap_frames_decoded_total", "counter"},
+	{"dap_frames_rejected_total", "counter"},
+	{"dap_frames_decode_seconds", "histogram"},
+	{"dap_udp_datagrams_total", "counter"},
+	{"dap_udp_datagrams_dropped_total", "counter"},
+	{"dap_udp_last_seq", "gauge"},
 	// stream
 	{"dap_stream_reports_ingested_total", "counter"},
 	{"dap_stream_reports_rejected_total", "counter"},
@@ -147,10 +159,19 @@ func boot() (string, func(), error) {
 		os.RemoveAll(dir)
 		return "", nil, err
 	}
+	lis, err := srv.ListenUDP("127.0.0.1:0")
+	if err != nil {
+		_ = ln.Close()
+		srv.Close()
+		_ = st.Close()
+		os.RemoveAll(dir)
+		return "", nil, err
+	}
 	hs := &http.Server{Handler: srv.Handler()}
 	go func() { _ = hs.Serve(ln) }()
 	closeFn := func() {
 		_ = hs.Close()
+		_ = lis.Close()
 		srv.Close()
 		_ = st.Close()
 		os.RemoveAll(dir)
@@ -174,6 +195,9 @@ func driveTraffic(base string) error {
 	if _, err := client.Tenant("no-such-tenant").Config(ctx); err == nil {
 		return fmt.Errorf("expected a 404 for the unknown tenant")
 	}
+	if err := driveFrames(ctx, client, base, r); err != nil {
+		return err
+	}
 	if _, err := client.Rotate(ctx); err != nil {
 		return fmt.Errorf("rotate: %w", err)
 	}
@@ -181,6 +205,81 @@ func driveTraffic(base string) error {
 		return fmt.Errorf("estimate: %w", err)
 	}
 	return nil
+}
+
+// driveFrames exercises the binary wire: one frame over HTTP, one
+// corrupt frame (a guaranteed reject), and one frame as a UDP datagram —
+// polling the status endpoint until the asynchronous UDP delivery lands
+// so the scrape sees every dap_frames_*/dap_udp_* family moved.
+func driveFrames(ctx context.Context, client *transport.Client, base string, r *rand.Rand) error {
+	cfg, err := client.Config(ctx)
+	if err != nil {
+		return fmt.Errorf("config: %w", err)
+	}
+	g := cfg.Groups[0]
+	mech, err := pm.New(g.Eps)
+	if err != nil {
+		return err
+	}
+	perturbed := func() []float64 {
+		vals := make([]float64, g.Reports)
+		for i := range vals {
+			vals[i] = mech.Perturb(r, 0.2)
+		}
+		return vals
+	}
+	out, err := client.IngestFrame(ctx, 1,
+		[]wirebin.Entry{{User: "frame-http", Group: g.Index, Values: perturbed()}})
+	if err != nil || out.Rejected != 0 {
+		return fmt.Errorf("frame ingest: %v (rejected %d: %v)", err, out.Rejected, out.Errors)
+	}
+	// A corrupt frame must answer 400 and bump the reject counter.
+	resp, err := http.Post(base+"/v1/ingest", wirebin.ContentType,
+		bytes.NewReader([]byte("DAPF not a frame")))
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		return fmt.Errorf("corrupt frame answered %s, want 400", resp.Status)
+	}
+	if cfg.UDPAddr == "" {
+		return fmt.Errorf("no udp_addr advertised on /v1/config")
+	}
+	before, err := client.Status(ctx)
+	if err != nil {
+		return err
+	}
+	uc, err := transport.DialUDP(cfg.UDPAddr, "")
+	if err != nil {
+		return err
+	}
+	defer uc.Close()
+	if _, err := uc.Send([]wirebin.Entry{{User: "frame-udp", Group: g.Index, Values: perturbed()}}); err != nil {
+		return err
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, err := client.Status(ctx)
+		if err != nil {
+			return err
+		}
+		if reportTotal(st) >= reportTotal(before)+g.Reports {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("UDP frame never landed (reports %d → %d)", reportTotal(before), reportTotal(st))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func reportTotal(st *transport.StatusResponse) int {
+	total := 0
+	for _, n := range st.GroupReports {
+		total += n
+	}
+	return total
 }
 
 func scrape(base string) (*metrics.Scrape, error) {
@@ -267,6 +366,16 @@ func checkValues(sc *metrics.Scrape) bool {
 	add("a solver run", v, v >= 1)
 	v = sc.Value("dap_privacy_budget_spent_eps", tenant)
 	add("privacy budget spent", v, v > 0)
+	v = sc.Value("dap_frames_decoded_total", map[string]string{"transport": "http"})
+	add("an HTTP frame decoded", v, v >= 1)
+	v = sc.Value("dap_frames_decoded_total", map[string]string{"transport": "udp"})
+	add("a UDP frame decoded", v, v >= 1)
+	v = sc.Value("dap_frames_rejected_total", map[string]string{"transport": "http"})
+	add("a corrupt frame rejected", v, v >= 1)
+	v = sc.Value("dap_udp_datagrams_total", nil)
+	add("a UDP datagram received", v, v >= 1)
+	v = sc.Value("dap_udp_last_seq", nil)
+	add("UDP frame sequence tracked", v, v >= 1)
 	v = sc.Value("dap_wal_appends_total", nil)
 	add("WAL appends", v, v >= 16)
 	v = sc.Value("dap_wal_segments", nil)

@@ -123,6 +123,16 @@ type ServeSpec struct {
 	// tolerance-equivalent (same fixed point within the EM termination
 	// rule) and epoch re-estimation latency drops substantially.
 	Warm bool `json:"warm,omitempty"`
+	// Wire is the preferred ingest wire clients of this tenant should use:
+	// "json" (default; JSON over HTTP), "bin" (binary frames over HTTP,
+	// lossless) or "udp" (binary frames over UDP, best-effort). All three
+	// wires are always served; this field is advisory routing for clients
+	// such as daploadgen.
+	Wire string `json:"wire,omitempty"`
+	// UDPAddr is the UDP listen address for the binary ingest socket
+	// (e.g. ":9200"); empty leaves UDP ingest closed unless the collector
+	// is started with an explicit -udp flag.
+	UDPAddr string `json:"udp_addr,omitempty"`
 }
 
 // Spec is the declarative, JSON-serializable description of one
@@ -410,6 +420,11 @@ func (sp Spec) Validate() error {
 		}
 		if !validWindowMode(s.Window) {
 			return badSpec("unknown window mode %q", s.Window)
+		}
+		switch strings.ToLower(s.Wire) {
+		case "", "json", "bin", "udp":
+		default:
+			return badSpec("unknown wire %q (want json, bin or udp)", s.Wire)
 		}
 	}
 	if sp.TrimFrac < 0 || sp.TrimFrac >= 1 {

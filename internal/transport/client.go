@@ -3,16 +3,19 @@ package transport
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"math/rand/v2"
 	"net/http"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/ldp/pm"
+	"repro/internal/wirebin"
 )
 
 // Client talks to a DAP collector service.
@@ -257,6 +260,81 @@ func (c *Client) Ingest(ctx context.Context, reports []ReportRequest) (*IngestRe
 	return &out, nil
 }
 
+// frameEncoders pools the binary encoders behind IngestFrame so
+// concurrent senders on one client reuse buffers without contention.
+var frameEncoders = sync.Pool{New: func() any { return new(wirebin.Encoder) }}
+
+// postFrame encodes entries as one binary frame and POSTs it to an
+// ingest path with the frame media type — the lossless binary wire.
+func (c *Client) postFrame(ctx context.Context, path string, seq uint64, entries []wirebin.Entry) (*IngestResponse, error) {
+	enc := frameEncoders.Get().(*wirebin.Encoder)
+	defer frameEncoders.Put(enc)
+	// The tenant travels in the URL, as on the JSON wire; the frame's
+	// tenant field stays empty.
+	frame, err := enc.Encode("", seq, entries)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(frame))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", wirebin.ContentType)
+	var out IngestResponse
+	if err := c.do(req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// IngestFrame uploads many reports as one binary frame — the same batch
+// semantics as Ingest at a fraction of the serialization cost. seq is
+// echoed back in the response (0 = unsequenced).
+func (c *Client) IngestFrame(ctx context.Context, seq uint64, entries []wirebin.Entry) (*IngestResponse, error) {
+	return c.postFrame(ctx, "/v1/ingest", seq, entries)
+}
+
+// streamBufs pools the frame-stream body builders behind IngestFrames.
+var streamBufs = sync.Pool{New: func() any { return new([]byte) }}
+
+// postFrameStream encodes each batch as its own frame (stamped seqBase,
+// seqBase+1, …) and POSTs them length-prefixed in one request body with
+// the frame-stream media type — one HTTP round trip for many frames.
+func (c *Client) postFrameStream(ctx context.Context, path string, seqBase uint64, batches [][]wirebin.Entry) (*IngestResponse, error) {
+	enc := frameEncoders.Get().(*wirebin.Encoder)
+	defer frameEncoders.Put(enc)
+	bp := streamBufs.Get().(*[]byte)
+	defer streamBufs.Put(bp)
+	body := (*bp)[:0]
+	for i, entries := range batches {
+		frame, err := enc.Encode("", seqBase+uint64(i), entries)
+		if err != nil {
+			return nil, err
+		}
+		body = binary.AppendUvarint(body, uint64(len(frame)))
+		body = append(body, frame...)
+	}
+	*bp = body
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", wirebin.ContentTypeStream)
+	var out IngestResponse
+	if err := c.do(req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// IngestFrames uploads several frame batches in one request (the frame
+// stream wire): batch i is stamped sequence seqBase+i, and the response
+// accumulates accepted/rejected across all of them, acking the last
+// applied frame's sequence.
+func (c *Client) IngestFrames(ctx context.Context, seqBase uint64, batches [][]wirebin.Entry) (*IngestResponse, error) {
+	return c.postFrameStream(ctx, "/v1/ingest", seqBase, batches)
+}
+
 // CreateTenant registers a new tenant.
 func (c *Client) CreateTenant(ctx context.Context, req TenantRequest) (*TenantStatusResponse, error) {
 	var out TenantStatusResponse
@@ -334,6 +412,18 @@ func (tc *TenantClient) Ingest(ctx context.Context, reports []ReportRequest) (*I
 		return nil, err
 	}
 	return &out, nil
+}
+
+// IngestFrame uploads many reports as one binary frame to the tenant's
+// ingest route (see Client.IngestFrame).
+func (tc *TenantClient) IngestFrame(ctx context.Context, seq uint64, entries []wirebin.Entry) (*IngestResponse, error) {
+	return tc.c.postFrame(ctx, tc.prefix+"/ingest", seq, entries)
+}
+
+// IngestFrames uploads several frame batches in one request to the
+// tenant's ingest route (see Client.IngestFrames).
+func (tc *TenantClient) IngestFrames(ctx context.Context, seqBase uint64, batches [][]wirebin.Entry) (*IngestResponse, error) {
+	return tc.c.postFrameStream(ctx, tc.prefix+"/ingest", seqBase, batches)
 }
 
 // Status fetches the tenant's collection progress.

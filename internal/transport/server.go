@@ -72,6 +72,10 @@ type Server struct {
 	recovering atomic.Bool
 	recoverErr atomic.Pointer[string]
 	report     atomic.Pointer[stream.RecoveryReport]
+
+	// udpAddr is the bound binary-ingest socket address, advertised on
+	// GET /v1/config once ListenUDP has opened it.
+	udpAddr atomic.Pointer[string]
 }
 
 // NewServer builds a collector whose default tenant runs mean estimation
@@ -368,6 +372,9 @@ func configResponse(t *stream.Tenant) ConfigResponse {
 	if t.Kind() != core.TaskFrequency {
 		out.Buckets = cfg.Buckets
 	}
+	if sp.Serve != nil {
+		out.Wire = sp.Serve.Wire
+	}
 	for _, g := range t.Groups() {
 		out.Groups = append(out.Groups, GroupInfo{Index: g.Index, Eps: g.Eps, Reports: g.Reports})
 	}
@@ -375,7 +382,11 @@ func configResponse(t *stream.Tenant) ConfigResponse {
 }
 
 func (s *Server) handleConfig(w http.ResponseWriter, _ *http.Request, t *stream.Tenant) {
-	writeJSON(w, http.StatusOK, configResponse(t))
+	out := configResponse(t)
+	if addr := s.udpAddr.Load(); addr != nil {
+		out.UDPAddr = *addr
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleJoin(w http.ResponseWriter, _ *http.Request, t *stream.Tenant) {
@@ -406,6 +417,10 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request, t *stream.
 	if !s.limitBody(w, r) {
 		return
 	}
+	if isFrameRequest(r) {
+		s.handleIngestFrame(w, r, t)
+		return
+	}
 	var req IngestRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, decodeStatus(err), "invalid JSON: %v", err)
@@ -417,25 +432,15 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request, t *stream.
 		entries[i] = stream.BatchEntry{User: e.User, Group: e.Group, Values: e.Values}
 	}
 	// One engine call applies the whole batch under a single WAL write —
-	// the durable fast path — with per-entry accept/reject semantics.
-	var out IngestResponse
-	for i, err := range t.IngestBatch(entries) {
-		if err != nil {
-			// A dead store fails every staged entry the same way, and the
-			// engine rolled all of them back — nothing was applied, so the
-			// whole batch is retryable: answer 503 and the client re-sends
-			// it after the store heals.
-			if errors.Is(err, stream.ErrStoreDown) {
-				writeEngineErr(w, err)
-				return
-			}
-			out.Rejected++
-			if len(out.Errors) < maxIngestErrors {
-				out.Errors = append(out.Errors, err.Error())
-			}
-			continue
-		}
-		out.Accepted += len(req.Reports[i].Values)
+	// the durable fast path — with per-entry accept/reject semantics. A
+	// dead store fails every staged entry the same way, and the engine
+	// rolled all of them back — nothing was applied, so the whole batch is
+	// retryable: answer 503 and the client re-sends it after the store
+	// heals.
+	out, err := applyBatch(t, entries)
+	if err != nil {
+		writeEngineErr(w, err)
+		return
 	}
 	writeJSON(w, http.StatusOK, out)
 }

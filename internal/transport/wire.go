@@ -42,6 +42,12 @@ type ConfigResponse struct {
 	WindowSpan int    `json:"window_span,omitempty"`
 	EpochMs    int64  `json:"epoch_ms,omitempty"`
 
+	// Wire is the tenant's preferred ingest wire (spec serve.wire:
+	// json, bin or udp; empty = json). UDPAddr is the collector's bound
+	// binary-ingest UDP socket, present once one is listening.
+	Wire    string `json:"wire,omitempty"`
+	UDPAddr string `json:"udp_addr,omitempty"`
+
 	Spec *core.Spec `json:"spec,omitempty"`
 }
 
@@ -75,11 +81,16 @@ type IngestRequest struct {
 }
 
 // IngestResponse summarizes a batched ingest. Errors carries the first few
-// per-entry rejection reasons.
+// per-entry rejection reasons. Seq echoes a binary frame's batch sequence
+// (zero for JSON ingests and unsequenced frames), acking the exact frame
+// on the lossless HTTP wire; for a frame stream it is the last applied
+// frame's sequence and Frames counts the frames applied.
 type IngestResponse struct {
 	Accepted int      `json:"accepted"`
 	Rejected int      `json:"rejected"`
 	Errors   []string `json:"errors,omitempty"`
+	Seq      uint64   `json:"seq,omitempty"`
+	Frames   int      `json:"frames,omitempty"`
 }
 
 // StatusResponse is returned by GET /v1/status. Epoch fields are additive.

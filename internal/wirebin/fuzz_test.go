@@ -1,0 +1,61 @@
+package wirebin
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzFrameDecode feeds arbitrary bytes to the frame decoder: it must
+// never panic, and any frame it accepts must re-encode deterministically
+// to a canonical frame that decodes back to the identical batch.
+func FuzzFrameDecode(f *testing.F) {
+	var enc Encoder
+	seed := func(tenant string, seq uint64, entries []Entry) {
+		frame, err := enc.Encode(tenant, seq, entries)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(append([]byte(nil), frame...))
+	}
+	seed("default", 1, []Entry{{User: "lg0", Group: 0, Values: []float64{0.25}}})
+	seed("", 0, []Entry{
+		{User: "lg0", Group: 0, Values: []float64{3, 1, 4}},
+		{User: "lg1", Group: 2, Values: []float64{math.NaN(), math.Inf(-1)}},
+		{User: "lg1", Group: 1, Values: []float64{math.Copysign(0, -1)}},
+	})
+	seed("tenant-b", 99, []Entry{
+		{User: "alice", Group: 5, Values: []float64{-0.75, 1.5}},
+		{User: "alicia", Group: 0, Values: []float64{4294967295}},
+	})
+	f.Add([]byte{})
+	f.Add([]byte("DAPF"))
+	f.Add([]byte("not a frame at all, just bytes"))
+	var dec, dec2 Decoder
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		fr, err := dec.Decode(payload)
+		if err != nil {
+			return // rejected input: only the no-panic property applies
+		}
+		canon, err := enc.Encode(fr.Tenant, fr.Seq, fr.Entries)
+		if err != nil {
+			t.Fatalf("accepted frame fails to re-encode: %v", err)
+		}
+		canon = append([]byte(nil), canon...) // enc.buf is reused below
+		fr2, err := dec2.Decode(canon)
+		if err != nil {
+			t.Fatalf("canonical re-encode fails to decode: %v", err)
+		}
+		if fr2.Tenant != fr.Tenant || fr2.Seq != fr.Seq || !entriesEqual(fr.Entries, fr2.Entries) {
+			t.Fatalf("frame round-trip mismatch:\n first %+v %+v\nsecond %+v %+v",
+				fr, fr.Entries, fr2, fr2.Entries)
+		}
+		canon2, err := enc.Encode(fr2.Tenant, fr2.Seq, fr2.Entries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(canon, canon2) {
+			t.Fatalf("encode is not canonical:\n first %x\nsecond %x", canon, canon2)
+		}
+	})
+}

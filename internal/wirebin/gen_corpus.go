@@ -1,0 +1,66 @@
+//go:build ignore
+
+// gen_corpus regenerates the committed FuzzFrameDecode seed corpus:
+//
+//	go run gen_corpus.go
+//
+// Run it from internal/wirebin after a format change so the corpus under
+// testdata/fuzz/FuzzFrameDecode/ keeps covering every frame shape.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"path/filepath"
+
+	"repro/internal/wirebin"
+)
+
+func main() {
+	var enc wirebin.Encoder
+	frame := func(tenant string, seq uint64, entries []wirebin.Entry) []byte {
+		b, err := enc.Encode(tenant, seq, entries)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return append([]byte(nil), b...)
+	}
+	one := func(user string, group int, values ...float64) wirebin.Entry {
+		return wirebin.Entry{User: user, Group: group, Values: values}
+	}
+	seeds := [][]byte{
+		// Minimal single-entry frame, varint-packed value.
+		frame("default", 1, []wirebin.Entry{one("lg0", 0, 3)}),
+		// Float payloads including the bit-exactness hazards.
+		frame("t", 2, []wirebin.Entry{
+			one("lg0", 0, 0.25, -0.75),
+			one("lg1", 1, math.NaN(), math.Inf(1), math.Inf(-1)),
+			one("lg2", 2, math.Copysign(0, -1)),
+		}),
+		// Empty tenant (HTTP route-scoped), repeated user (suffix 0).
+		frame("", 0, []wirebin.Entry{one("alice", 4, 1), one("alice", 5, 2)}),
+		// Deep front-coding over a dense generated id stream.
+		frame("tenant-with-a-longer-name", 1<<40, []wirebin.Entry{
+			one("user00000000", 0, 7), one("user00000001", 0, 0),
+			one("user00000002", 1, 4294967295), one("user00001000", 2, 1, 2, 3, 4, 5),
+		}),
+		// Truncated and corrupt shapes for the reject paths.
+		[]byte{},
+		[]byte("DAPF"),
+		[]byte("DAPF\x01\x00garbage-after-header-no-crc"),
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzFrameDecode")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	for i, s := range seeds {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)", string(s))
+		name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("wrote %d seeds to %s\n", len(seeds), dir)
+}

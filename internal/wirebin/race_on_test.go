@@ -1,0 +1,8 @@
+//go:build race
+
+package wirebin
+
+// raceEnabled mirrors the -race flag so allocation-sensitive tests can
+// skip themselves: race instrumentation adds allocations that production
+// builds never see.
+const raceEnabled = true
