@@ -5,7 +5,7 @@ DATE := $(shell date +%Y%m%d)
 
 FUZZTIME ?= 30s
 
-.PHONY: all build vet dapvet fmt-check doccheck test race fuzz-smoke bench bench-json bench-diff bench-smoke load-smoke load-smoke-bin load-json apicheck apigen matrix crash-test wal-overhead metrics-check
+.PHONY: all build vet dapvet fmt-check doccheck test race fuzz-smoke bench bench-json bench-diff bench-smoke load-smoke load-smoke-bin load-json merge-smoke apicheck apigen matrix crash-test wal-overhead metrics-check
 
 all: vet dapvet fmt-check doccheck build test apicheck
 
@@ -73,6 +73,7 @@ fuzz-smoke:
 	$(GO) test -run '^Fuzz' -fuzz '^FuzzMetricsParse$$' -fuzztime $(FUZZTIME) ./internal/metrics/
 	$(GO) test -run '^Fuzz' -fuzz '^FuzzSpecJSON$$' -fuzztime $(FUZZTIME) ./internal/core/
 	$(GO) test -run '^Fuzz' -fuzz '^FuzzFrameDecode$$' -fuzztime $(FUZZTIME) ./internal/wirebin/
+	$(GO) test -run '^Fuzz' -fuzz '^FuzzDeltaDecode$$' -fuzztime $(FUZZTIME) ./internal/wirebin/
 
 # Durability fault-injection battery under the race detector: kill-and-
 # restart recovery (mid-ingest / mid-rotation / mid-snapshot / torn WAL
@@ -154,6 +155,16 @@ load-smoke-bin:
 		-wire bin -min-rate 300000 -assert
 	$(GO) run ./cmd/daploadgen -addr "" -reports 10000 -epoch 150ms \
 		-wire udp -min-rate 100000 -assert
+
+# Scale-out smoke: two in-process node collectors push sealed epoch
+# deltas to a coordinator while a single reference collector ingests the
+# identical stream; the merged estimate must match the reference bit for
+# bit and the coordinator's merge metric families must have moved. Each
+# node drives one ordered connection (arrival order is part of the
+# bit-identity contract), so the throughput floor sits below the
+# multi-conn smokes.
+merge-smoke:
+	$(GO) run ./cmd/daploadgen -addr "" -nodes 2 -reports 20000 -min-rate 50000
 
 # load-smoke plus: merge the measured throughput/latency for all three
 # wires into the dated BENCH_<date>.json next to the experiment timings

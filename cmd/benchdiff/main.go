@@ -20,8 +20,11 @@
 // bounds the throughput cost of durability. The same gate covers the
 // binary-wire record (load_bin, wire=bin) whenever the old record has
 // one; load_udp is reported but never gated (best-effort wire, loss
-// makes its throughput a different quantity). Throughput comparisons
-// round to three decimals, matching the writer's fixed precision.
+// makes its throughput a different quantity). The distributed record
+// (load_dist, daploadgen -nodes N) gates the same way once a baseline
+// exists, and additionally fails whenever the new record flags the
+// merged estimate as non-equivalent. Throughput comparisons round to
+// three decimals, matching the writer's fixed precision.
 package main
 
 import (
@@ -44,6 +47,7 @@ type record struct {
 	Load        *loadRecord      `json:"load"`
 	LoadBin     *loadRecord      `json:"load_bin"`
 	LoadUDP     *loadRecord      `json:"load_udp"`
+	LoadDist    *loadRecord      `json:"load_dist"`
 }
 
 type loadRecord struct {
@@ -51,6 +55,8 @@ type loadRecord struct {
 	ReportsPerSec  float64 `json:"reports_per_sec"`
 	EstimateLiveMs float64 `json:"estimate_live_ms"`
 	Retries        int64   `json:"retries"`
+	Nodes          int64   `json:"nodes"`
+	Equivalent     *bool   `json:"equivalent"`
 }
 
 // round3 clamps a float to the writer's fixed precision so gate math
@@ -131,6 +137,15 @@ func main() {
 			fmt.Printf("%s: new — %.0f reports/sec (wire=%s)\n", sec.name, sec.new.ReportsPerSec, sec.new.Wire)
 		}
 	}
+	// The distributed section carries no live-estimate or retry figures;
+	// its line reports node count and merge equivalence instead.
+	if o, n := oldRec.LoadDist, newRec.LoadDist; o != nil && n != nil {
+		fmt.Printf("load_dist: %.0f → %.0f reports/sec; nodes %d → %d; equivalent %s → %s\n",
+			o.ReportsPerSec, n.ReportsPerSec, o.Nodes, n.Nodes, eqStr(o.Equivalent), eqStr(n.Equivalent))
+	} else if n != nil {
+		fmt.Printf("load_dist: new — %.0f reports/sec across %d nodes; equivalent %s\n",
+			n.ReportsPerSec, n.Nodes, eqStr(n.Equivalent))
+	}
 
 	failed := false
 	limit := float64(oldRec.TotalMs) * (1 + *maxRegress)
@@ -152,6 +167,19 @@ func main() {
 				failed = true
 			}
 		}
+		// Likewise the distributed gate: armed once the old record carries
+		// a load_dist section.
+		if oldRec.LoadDist != nil {
+			if gateLoad("load_dist", oldRec.LoadDist, newRec.LoadDist, *maxLoadDrop, true) {
+				failed = true
+			}
+		}
+	}
+	// A distributed record that failed its own equivalence check is a
+	// correctness break regardless of throughput thresholds.
+	if n := newRec.LoadDist; n != nil && n.Equivalent != nil && !*n.Equivalent {
+		fmt.Fprintln(os.Stderr, "benchdiff: FAIL load_dist record flags the merged estimate as non-equivalent")
+		failed = true
 	}
 	if failed {
 		os.Exit(1)
@@ -178,6 +206,19 @@ func gateLoad(name string, o, n *loadRecord, drop float64, required bool) bool {
 		fmt.Printf("benchdiff: OK %s %.0f reports/sec within %.0f%% of %.0f\n",
 			name, n.ReportsPerSec, drop*100, o.ReportsPerSec)
 		return false
+	}
+}
+
+// eqStr renders a tri-state equivalence flag: records written before the
+// distributed mode (or hand-edited ones) may omit it entirely.
+func eqStr(b *bool) string {
+	switch {
+	case b == nil:
+		return "?"
+	case *b:
+		return "yes"
+	default:
+		return "NO"
 	}
 }
 

@@ -44,6 +44,21 @@
 // connections, in-flight requests drain (bounded by -drain-timeout),
 // every tenant's epoch clock is stopped, and a durable collector cuts one
 // final snapshot before closing the store.
+//
+// Scale-out: -role=node and -role=coordinator form a multi-node
+// deployment. A node is an ordinary collector that additionally pushes
+// every sealed epoch — per-tenant histogram counts, per-stripe sums and
+// budget spend, as a CRC-sealed delta frame — to -coordinator, retrying
+// with backoff; -node-id names it on the merge plane. A coordinator
+// serves POST /v1/merge for a fixed -nodes set, deduplicates and folds
+// the deltas (publishing an epoch once every node — or, after the
+// -straggler timeout, a -quorum — has reported; partial epochs are
+// flagged degraded on /v1/admin/status), and serves the merged
+// estimates on GET /v1/merge/estimate. With -store-dir a coordinator
+// WAL-logs accepted deltas and recovers in-flight epochs bit-identically
+// after a crash; the store then belongs to the merge plane and the
+// regular serving registry stays in-memory. See DESIGN.md's
+// "Distributed collector" section.
 package main
 
 import (
@@ -63,7 +78,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/specflag"
 	"repro/internal/store"
+	"repro/internal/stream"
 	"repro/internal/transport"
+	"repro/internal/wirebin"
 )
 
 // setupLogging installs the process-wide slog handler from the CLI
@@ -109,6 +126,12 @@ func main() {
 		pprofOn      = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (admin-only; off by default)")
 		logLevel     = flag.String("log-level", "info", "log level: debug | info | warn | error")
 		logFormat    = flag.String("log-format", "text", "log format: text | json")
+		role         = flag.String("role", "", "scale-out role: node | coordinator (empty = standalone)")
+		nodeID       = flag.String("node-id", "", "this node's id on the merge plane (with -role=node)")
+		coordURL     = flag.String("coordinator", "", "coordinator base URL to push sealed deltas to (with -role=node)")
+		nodeList     = flag.String("nodes", "", "comma-separated node ids expected to report (with -role=coordinator)")
+		quorum       = flag.Int("quorum", 0, "nodes required for a partial publish after the straggler timeout (0 = all; with -role=coordinator)")
+		straggler    = flag.Duration("straggler", 30*time.Second, "how long to hold an epoch open for missing nodes (with -role=coordinator)")
 	)
 	sf := specflag.New(flag.CommandLine, core.NewSpec(core.MeanTask(),
 		core.WithScheme(core.SchemeCEMFStar)))
@@ -119,6 +142,11 @@ func main() {
 	sp, err := sf.Resolve()
 	if err != nil {
 		log.Fatal("dapcollect: ", err)
+	}
+	switch *role {
+	case "", "node", "coordinator":
+	default:
+		log.Fatalf("dapcollect: unknown -role %q (node | coordinator)", *role)
 	}
 	opts := transport.ServerOptions{MaxIngestBytes: *maxBody, Pprof: *pprofOn}
 	var st *store.Store
@@ -131,16 +159,65 @@ func main() {
 		if err != nil {
 			log.Fatal("dapcollect: ", err)
 		}
-		opts.Store = st
-		opts.SnapshotInterval = *snapEvery
-		// Serve immediately; the 503 gate covers the recovery window.
-		opts.AsyncRecover = true
-		fmt.Printf("dapcollect: durable store at %s (fsync=%s, snapshot every %v)\n",
-			*storeDir, *fsync, *snapEvery)
+		if *role == "coordinator" {
+			// The store feeds the merge-plane WAL (see below); the serving
+			// registry stays in-memory.
+			fmt.Printf("dapcollect: durable merge WAL at %s (fsync=%s)\n", *storeDir, *fsync)
+		} else {
+			opts.Store = st
+			opts.SnapshotInterval = *snapEvery
+			// Serve immediately; the 503 gate covers the recovery window. A
+			// node blocks instead: its seal hook must be installed on the
+			// recovered registry before any epoch can seal.
+			opts.AsyncRecover = *role != "node"
+			fmt.Printf("dapcollect: durable store at %s (fsync=%s, snapshot every %v)\n",
+				*storeDir, *fsync, *snapEvery)
+		}
+	}
+	var co *stream.Coordinator
+	if *role == "coordinator" {
+		ids := splitNodes(*nodeList)
+		if len(ids) == 0 {
+			log.Fatal("dapcollect: -role=coordinator needs -nodes")
+		}
+		ccfg := stream.CoordinatorConfig{
+			Nodes: ids, Quorum: *quorum, Straggler: *straggler, Store: st,
+		}
+		if st != nil {
+			var rep *stream.RecoveryReport
+			co, rep, err = stream.RecoverCoordinator(ccfg)
+			if err != nil {
+				log.Fatal("dapcollect: merge recovery: ", err)
+			}
+			slog.Info("merge recovery complete", "records", rep.Records,
+				"applied", rep.Applied, "tenants", rep.Tenants, "torn", rep.Torn)
+		} else if co, err = stream.NewCoordinator(ccfg); err != nil {
+			log.Fatal("dapcollect: ", err)
+		}
+		// Register the default tenant unless recovery already replayed it.
+		if err := co.AddTenantSpec(transport.DefaultTenant, sp); err != nil &&
+			!strings.Contains(err.Error(), "already exists") {
+			log.Fatal("dapcollect: ", err)
+		}
+		co.Start(0)
+		opts.Coordinator = co
+		fmt.Printf("dapcollect: coordinating %d nodes (quorum=%d, straggler=%v)\n",
+			len(ids), *quorum, *straggler)
 	}
 	srv, err := transport.NewServerSpecOpts(sp, opts)
 	if err != nil {
 		log.Fatal("dapcollect: ", err)
+	}
+	var pusher *deltaPusher
+	if *role == "node" {
+		if *nodeID == "" || *coordURL == "" {
+			log.Fatal("dapcollect: -role=node needs -node-id and -coordinator")
+		}
+		pc := transport.NewClient(*coordURL, nil)
+		pc.SetRetry(5, 2*time.Second)
+		pusher = newDeltaPusher(pc, *nodeID)
+		srv.Registry().SetSealHook(pusher.hook)
+		fmt.Printf("dapcollect: node %q pushing sealed deltas to %s\n", *nodeID, *coordURL)
 	}
 	udpListen := *udpAddr
 	if udpListen == "" && sp.Serve != nil {
@@ -198,10 +275,86 @@ func main() {
 		_ = udpLis.Close() // stop accepting frames before the final snapshot
 	}
 	srv.Close() // stop clocks; a durable server drains one final snapshot
+	if pusher != nil {
+		pusher.Close() // clocks stopped — drain the queued delta pushes
+	}
+	if co != nil {
+		co.Stop()
+	}
 	if st != nil {
 		if err := st.Close(); err != nil {
 			log.Printf("dapcollect: store close: %v", err)
 		}
 	}
 	fmt.Println("dapcollect: bye")
+}
+
+// splitNodes parses the -nodes list.
+func splitNodes(s string) []string {
+	var ids []string
+	for _, id := range strings.Split(s, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// deltaPusher forwards sealed epoch deltas to the coordinator from a
+// dedicated goroutine: the seal hook runs on the rotation path, so it
+// only stamps the node id and enqueues. A full queue drops the delta —
+// the coordinator's straggler timeout tolerates a missing node, and
+// wedging rotations on a dead coordinator would be worse.
+type deltaPusher struct {
+	client *transport.Client
+	node   string
+	ch     chan *stream.EpochDelta
+	done   chan struct{}
+}
+
+func newDeltaPusher(c *transport.Client, node string) *deltaPusher {
+	p := &deltaPusher{
+		client: c, node: node,
+		ch:   make(chan *stream.EpochDelta, 128),
+		done: make(chan struct{}),
+	}
+	go p.run()
+	return p
+}
+
+func (p *deltaPusher) hook(d *stream.EpochDelta) {
+	d.Node = p.node
+	select {
+	case p.ch <- d:
+	default:
+		slog.Warn("delta push queue full; dropping sealed delta",
+			"tenant", d.Tenant, "epoch", d.Epoch)
+	}
+}
+
+func (p *deltaPusher) run() {
+	defer close(p.done)
+	for d := range p.ch {
+		frame, err := wirebin.EncodeDelta(d)
+		if err != nil {
+			slog.Error("delta encode failed", "tenant", d.Tenant, "epoch", d.Epoch, "err", err)
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		res, err := p.client.PushDelta(ctx, frame)
+		cancel()
+		if err != nil {
+			slog.Error("delta push failed", "tenant", d.Tenant, "epoch", d.Epoch, "err", err)
+			continue
+		}
+		slog.Debug("delta pushed", "tenant", d.Tenant, "epoch", d.Epoch,
+			"status", res.Status, "published", res.Published)
+	}
+}
+
+// Close drains the queue and stops the push goroutine. Call after the
+// epoch clocks are stopped — the seal hook must not fire concurrently.
+func (p *deltaPusher) Close() {
+	close(p.ch)
+	<-p.done
 }

@@ -89,6 +89,7 @@ func main() {
 		wire    = flag.String("wire", "", "ingest wire: json | bin (binary frames over HTTP) | udp (binary frames over UDP); empty follows the tenant's advertised preference")
 		udpAddr = flag.String("udp-addr", "", "UDP ingest socket address for -wire=udp (empty uses the collector's advertised udp_addr)")
 		frames  = flag.Int("frames", 8, "frames coalesced per HTTP request on -wire=bin (the frame-stream wire; 1 = one request per frame)")
+		nodesN  = flag.Int("nodes", 0, "distributed mode: boot this many in-process node collectors plus a coordinator, partition the stream stripe-disjointly, and assert the merged estimate matches a single collector bit for bit (needs -addr \"\")")
 	)
 	// Self-serve collector spec (only with -addr ""): -spec file.json plus
 	// the shared protocol/serving flags as overrides — the same resolution
@@ -141,6 +142,36 @@ func main() {
 		})
 	}
 
+	if *nodesN != 0 {
+		if *nodesN < 2 {
+			fatal("-nodes wants at least 2 node collectors")
+		}
+		if *addr != "" {
+			fatal("-nodes boots in-process collectors and needs -addr \"\"")
+		}
+		if *stDir != "" {
+			fatal("-nodes runs ephemeral collectors; -store-dir is not supported")
+		}
+		if *wire != "" && *wire != "json" {
+			fatal("-nodes drives the JSON wire only")
+		}
+		sp, err := sf.Resolve()
+		if err != nil {
+			fatal(err)
+		}
+		advSpec := sp.Attack
+		sp.Attack = nil
+		adv, epochs := resolveAdversary(advSpec, *atkEps, fatal)
+		code := runDistributed(distRun{
+			sp: sp, adv: adv, atkEpochs: epochs,
+			nodes: *nodesN, users: *users, reports: *reports, batch: *batch,
+			gamma: *gamma, lo: *lo, hi: *hi, seed: *seed,
+			minRate: *minRate, jsonOut: *jsonOut,
+		})
+		stopProfiles()
+		os.Exit(code)
+	}
+
 	base := *addr
 	if base != "" && sf.Path() != "" {
 		fatal("-spec configures the self-served collector and needs -addr \"\"")
@@ -174,34 +205,7 @@ func main() {
 			fatal(err)
 		}
 	}
-	adv := attack.Adversary(attack.NewBBA(attack.RangeHighHalf, attack.DistUniform))
-	epochs := *atkEps
-	if advSpec != nil {
-		var err error
-		if adv, err = attack.New(*advSpec); err != nil {
-			fatal(err)
-		}
-		if advSpec.Categorical() {
-			fatal("categorical attacks cannot drive the mean-task load generator")
-		}
-		// An epoch-adaptive attack at the default -attack-epochs 1 would
-		// stay pinned to its epoch-0 phase (a default ramp never fires);
-		// size the workload to the attack's own schedule unless the flag
-		// was set explicitly.
-		if advSpec.EpochAdaptive() {
-			explicit := false
-			flag.Visit(func(fl *flag.Flag) {
-				if fl.Name == "attack-epochs" {
-					explicit = true
-				}
-			})
-			if !explicit {
-				epochs = advSpec.EpochSpan()
-				fmt.Printf("daploadgen: attack %q is epoch-adaptive; spanning %d attacker epochs (override with -attack-epochs)\n",
-					advSpec.Name, epochs)
-			}
-		}
-	}
+	adv, epochs := resolveAdversary(advSpec, *atkEps, fatal)
 	hc := &http.Client{Transport: &http.Transport{
 		MaxIdleConns:        *conns * 2,
 		MaxIdleConnsPerHost: *conns * 2,
@@ -482,6 +486,41 @@ type entry = transport.ReportRequest
 // (ramp, burst) through attack.Env — and users whose adversary emits
 // nothing for an epoch (burst off-phase, dropout) stay silent. Returns the
 // entries and the honest population's true mean.
+// resolveAdversary turns a resolved attack spec (nil = default BBA) into
+// the adversary driving the Byzantine mix, sizing the workload to the
+// attack's own epoch schedule unless -attack-epochs was set explicitly.
+func resolveAdversary(advSpec *attack.Spec, atkEpochs int, fatal func(args ...any)) (attack.Adversary, int) {
+	adv := attack.Adversary(attack.NewBBA(attack.RangeHighHalf, attack.DistUniform))
+	epochs := atkEpochs
+	if advSpec != nil {
+		var err error
+		if adv, err = attack.New(*advSpec); err != nil {
+			fatal(err)
+		}
+		if advSpec.Categorical() {
+			fatal("categorical attacks cannot drive the mean-task load generator")
+		}
+		// An epoch-adaptive attack at the default -attack-epochs 1 would
+		// stay pinned to its epoch-0 phase (a default ramp never fires);
+		// size the workload to the attack's own schedule unless the flag
+		// was set explicitly.
+		if advSpec.EpochAdaptive() {
+			explicit := false
+			flag.Visit(func(fl *flag.Flag) {
+				if fl.Name == "attack-epochs" {
+					explicit = true
+				}
+			})
+			if !explicit {
+				epochs = advSpec.EpochSpan()
+				fmt.Printf("daploadgen: attack %q is epoch-adaptive; spanning %d attacker epochs (override with -attack-epochs)\n",
+					advSpec.Name, epochs)
+			}
+		}
+	}
+	return adv, epochs
+}
+
 func workload(cfg *transport.ConfigResponse, adv attack.Adversary, atkEpochs, users, reports int, gamma, lo, hi float64, seed uint64) ([]entry, float64) {
 	r := rng.New(seed)
 	mechs := make([]*pm.Mechanism, len(cfg.Groups))

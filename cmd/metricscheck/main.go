@@ -74,6 +74,11 @@ var inventory = []struct{ name, typ string }{
 	{"dap_stream_warm_hits_total", "counter"},
 	{"dap_stream_epoch_lag_seconds", "gauge"},
 	{"dap_stream_tenants", "gauge"},
+	// merge plane (coordinator)
+	{"dap_merge_deltas_total", "counter"},
+	{"dap_merge_stragglers_total", "counter"},
+	{"dap_merge_nodes", "gauge"},
+	{"dap_merge_epoch_lag_seconds", "gauge"},
 	// privacy
 	{"dap_privacy_budget_spent_eps", "gauge"},
 	{"dap_privacy_budget_cap_eps", "gauge"},
@@ -246,7 +251,11 @@ func driveFrames(ctx context.Context, client *transport.Client, base string, r *
 	if cfg.UDPAddr == "" {
 		return fmt.Errorf("no udp_addr advertised on /v1/config")
 	}
-	before, err := client.Status(ctx)
+	// Confirm the asynchronous UDP delivery from the monotonic ingested
+	// metric, not the window report totals: an epoch rotation resets the
+	// window mid-poll and would make delivery look lost (see
+	// TestIngestedSurvivesRotation).
+	before, err := ingestedTotal(base)
 	if err != nil {
 		return err
 	}
@@ -260,26 +269,30 @@ func driveFrames(ctx context.Context, client *transport.Client, base string, r *
 	}
 	deadline := time.Now().Add(10 * time.Second)
 	for {
-		st, err := client.Status(ctx)
+		got, err := ingestedTotal(base)
 		if err != nil {
 			return err
 		}
-		if reportTotal(st) >= reportTotal(before)+g.Reports {
+		if got >= before+float64(g.Reports) {
 			return nil
 		}
 		if time.Now().After(deadline) {
-			return fmt.Errorf("UDP frame never landed (reports %d → %d)", reportTotal(before), reportTotal(st))
+			return fmt.Errorf("UDP frame never landed (ingested %g → %g)", before, got)
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
 }
 
-func reportTotal(st *transport.StatusResponse) int {
-	total := 0
-	for _, n := range st.GroupReports {
-		total += n
+// ingestedTotal scrapes the default tenant's monotonic
+// dap_stream_reports_ingested_total — the delivery-confirmation signal
+// that, unlike /v1/status window totals, survives epoch rotation.
+func ingestedTotal(base string) (float64, error) {
+	sc, err := scrape(base)
+	if err != nil {
+		return 0, err
 	}
-	return total
+	return sc.Value("dap_stream_reports_ingested_total",
+		map[string]string{"tenant": transport.DefaultTenant}), nil
 }
 
 func scrape(base string) (*metrics.Scrape, error) {

@@ -37,6 +37,7 @@ func FuzzWALRecord(f *testing.F) {
 		{Type: RecJoin, Tenant: "t", User: "u", Group: 0},
 		{Type: RecTenantCreate, Tenant: "t", Spec: []byte(`{"task":"mean"}`)},
 		{Type: RecTenantDelete, Tenant: "gone"},
+		{Type: RecMergeDelta, Tenant: "t", User: "node-1", Seq: 7, Spec: []byte("DAPD\x01\x00frame")},
 	}
 	for i := range seeds {
 		f.Add(encodeRecord(nil, &seeds[i]))

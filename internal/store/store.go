@@ -583,6 +583,14 @@ func (s *Store) AppendTenantDelete(tenant string) (uint64, error) {
 	return s.append(&Record{Type: RecTenantDelete, Tenant: tenant})
 }
 
+// AppendMergeDelta logs one node's sealed-epoch delta accepted by a
+// coordinator and returns its LSN. frame is the raw CRC-sealed delta
+// frame exactly as received; replay re-verifies and re-merges it, so a
+// recovered coordinator reconstructs in-flight epochs bit-identically.
+func (s *Store) AppendMergeDelta(tenant, node string, epoch uint64, frame []byte) (uint64, error) {
+	return s.append(&Record{Type: RecMergeDelta, Tenant: tenant, User: node, Seq: epoch, Spec: frame})
+}
+
 // NextLSN returns the LSN the next append will receive. Reading it while
 // holding the same locks that order a tenant's appends yields a
 // consistent snapshot cut position.

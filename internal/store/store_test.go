@@ -35,6 +35,7 @@ func appendMix(t *testing.T, s *Store) []Record {
 		{Type: RecJoin, Tenant: "a", User: "u0", Group: 1},
 		{Type: RecIngest, Tenant: "a", User: "u0", Group: 1, Values: []float64{0.25, -0.5, 1e-9}},
 		{Type: RecRotate, Tenant: "a", Seq: 7},
+		{Type: RecMergeDelta, Tenant: "a", User: "node-1", Seq: 7, Spec: []byte("DAPD\x01\x00raw-frame-bytes")},
 		{Type: RecTenantDelete, Tenant: "a"},
 	}
 	for i := range want {
@@ -50,6 +51,8 @@ func appendMix(t *testing.T, s *Store) []Record {
 			lsn, err = s.AppendIngest(r.Tenant, r.User, r.Group, r.Values)
 		case RecRotate:
 			lsn, err = s.AppendRotate(r.Tenant, r.Seq)
+		case RecMergeDelta:
+			lsn, err = s.AppendMergeDelta(r.Tenant, r.User, r.Seq, r.Spec)
 		case RecTenantDelete:
 			lsn, err = s.AppendTenantDelete(r.Tenant)
 		}

@@ -59,6 +59,11 @@ const (
 	RecTenantCreate
 	// RecTenantDelete records a tenant deletion.
 	RecTenantDelete
+	// RecMergeDelta is one node's sealed-epoch delta accepted by a
+	// coordinator: User carries the node id, Seq the epoch index and
+	// Spec the raw CRC-sealed delta frame bytes (wirebin.EncodeDelta),
+	// so replay re-verifies and re-merges the exact frame.
+	RecMergeDelta
 )
 
 // String implements fmt.Stringer.
@@ -74,6 +79,8 @@ func (t RecordType) String() string {
 		return "tenant-create"
 	case RecTenantDelete:
 		return "tenant-delete"
+	case RecMergeDelta:
+		return "merge-delta"
 	}
 	return fmt.Sprintf("record(%d)", uint8(t))
 }
@@ -88,15 +95,17 @@ type Record struct {
 	Type RecordType
 	// Tenant names the owning tenant (all types).
 	Tenant string
-	// User is the reporting or joining user (RecIngest, RecJoin).
+	// User is the reporting or joining user (RecIngest, RecJoin) or the
+	// reporting node id (RecMergeDelta).
 	User string
 	// Group is the user's group index (RecIngest, RecJoin).
 	Group int
 	// Values are the accepted report values (RecIngest).
 	Values []float64
-	// Seq is the sealed-epoch counter (RecRotate).
+	// Seq is the sealed-epoch counter (RecRotate, RecMergeDelta).
 	Seq uint64
-	// Spec is the tenant's task-spec JSON (RecTenantCreate).
+	// Spec is the tenant's task-spec JSON (RecTenantCreate) or the raw
+	// delta frame bytes (RecMergeDelta).
 	Spec []byte
 }
 
@@ -132,6 +141,10 @@ func encodeRecord(b []byte, r *Record) []byte {
 	case RecTenantCreate:
 		b = appendUbytes(b, r.Spec)
 	case RecTenantDelete:
+	case RecMergeDelta:
+		b = appendUstring(b, r.User)
+		b = binary.AppendUvarint(b, r.Seq)
+		b = appendUbytes(b, r.Spec)
 	}
 	return b
 }
@@ -241,6 +254,16 @@ func decodeRecord(payload []byte, r *Record) error {
 			return err
 		}
 	case RecTenantDelete:
+	case RecMergeDelta:
+		if r.User, err = c.ustring(); err != nil {
+			return err
+		}
+		if r.Seq, err = c.uvarint(); err != nil {
+			return err
+		}
+		if r.Spec, err = c.ubytes(); err != nil {
+			return err
+		}
 	default:
 		return errCorrupt
 	}

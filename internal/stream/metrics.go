@@ -37,6 +37,19 @@ var (
 		"Budget the tenant's current reporters may still spend (reporters x cap - spent).", "tenant")
 	metReporters = metrics.NewGaugeVec("dap_privacy_reporters",
 		"Users with recorded budget spend.", "tenant")
+
+	// Merge-plane families (Coordinator). Deltas and stragglers count
+	// live merges only (recovery replays are silent, like rotations);
+	// the node and lag gauges are refreshed at scrape time by
+	// Coordinator.SyncMetrics.
+	metMergeDeltas = metrics.NewCounterVec("dap_merge_deltas_total",
+		"Epoch deltas accepted and merged by the coordinator.", "node")
+	metMergeStragglers = metrics.NewCounter("dap_merge_stragglers_total",
+		"Deltas that arrived after their epoch was already published (dropped).")
+	metMergeNodes = metrics.NewGauge("dap_merge_nodes",
+		"Collector nodes registered on the merge plane.")
+	metMergeEpochLag = metrics.NewGaugeVec("dap_merge_epoch_lag_seconds",
+		"Seconds since the coordinator last published a merged epoch; -1 before the first.", "tenant")
 )
 
 // tenantMetrics is a tenant's pre-bound metric handles.

@@ -25,6 +25,10 @@ type Registry struct {
 	// st is the durability layer, nil for an ephemeral registry.
 	st *store.Store
 
+	// sealHook, when set, is installed on every current and future
+	// tenant (see SetSealHook).
+	sealHook func(*EpochDelta)
+
 	snapCtl  sync.Mutex
 	stopSnap chan struct{}
 	snapDone chan struct{}
@@ -67,6 +71,9 @@ func (r *Registry) Create(name string, cfg Config) (*Tenant, error) {
 		t.st = r.st
 		t.walStart = lsn + 1
 		t.acctFrom = lsn + 1
+	}
+	if r.sealHook != nil {
+		t.onSeal = r.sealHook // t not yet published; no lock needed
 	}
 	// Start the clock while still holding the lock: a concurrent Delete
 	// can only observe the tenant after it is published, so its Stop

@@ -14,6 +14,7 @@ import (
 	"repro/internal/ldp"
 	"repro/internal/privacy"
 	"repro/internal/store"
+	"repro/internal/wirebin"
 )
 
 // ErrWrongGroup is returned by Ingest when a user reports for a different
@@ -112,6 +113,10 @@ type Tenant struct {
 	live   []*shardSet
 	sealed []epochHist // newest last; len ≤ cfg.Window.Span
 	seq    uint64
+	// onSeal, when set (guarded by mu), receives each live seal's
+	// EpochDelta — the merge-plane export. Fired by rotate after the
+	// seal, outside all locks; never fired by recovery replays.
+	onSeal func(*EpochDelta)
 
 	// rotateMu serializes rotations end to end (WAL append + seal +
 	// estimate), so TryRotate can report an in-flight rotation.
@@ -626,8 +631,25 @@ func (t *Tenant) TryRotate() (*Snapshot, error) {
 }
 
 // sealLocked moves the live epoch into the sealed ring and bumps the
-// epoch counter. Caller holds t.mu exclusively.
-func (t *Tenant) sealLocked() {
+// epoch counter. Caller holds t.mu exclusively. When a seal hook is
+// registered the sealed epoch's merge-plane delta is built and returned
+// (nil otherwise): per-stripe sums are captured before the stripe fold
+// so the coordinator can reproduce that fold bit-for-bit, and the
+// cumulative budget ledger is exported here — under the exclusive lock
+// no ingest can interleave, so ledger and histograms are one consistent
+// cut.
+func (t *Tenant) sealLocked() *EpochDelta {
+	var delta *EpochDelta
+	if t.onSeal != nil {
+		delta = &EpochDelta{Tenant: t.name, StripeSums: make([][]float64, len(t.groups))}
+		for i, s := range t.live {
+			ss := make([]float64, len(s.shards))
+			for j := range s.shards {
+				ss[j] = s.shards[j].sum
+			}
+			delta.StripeSums[i] = ss
+		}
+	}
 	eh := epochHist{
 		counts: make([][]float64, len(t.groups)),
 		sums:   make([]float64, len(t.groups)),
@@ -643,6 +665,18 @@ func (t *Tenant) sealLocked() {
 		t.sealed = append([]epochHist(nil), t.sealed[over:]...)
 	}
 	t.seq++
+	if delta != nil {
+		delta.Epoch, delta.Seq = t.seq, t.seq
+		// Sealed epochs are immutable: aliasing their histograms into the
+		// delta is safe and keeps the seal allocation-light.
+		delta.Counts, delta.Ns = eh.counts, eh.ns
+		spend := t.acct.Export()
+		delta.Spend = make([]wirebin.SpendEntry, 0, len(spend))
+		for u, eps := range spend {
+			delta.Spend = append(delta.Spend, wirebin.SpendEntry{User: u, Eps: eps})
+		}
+	}
+	return delta
 }
 
 // replaySeal re-applies a logged rotation during recovery: seal only, no
@@ -669,12 +703,18 @@ func (t *Tenant) rotate() (*Snapshot, error) {
 		}
 		t.walStart = lsn + 1
 	}
-	t.sealLocked()
+	delta := t.sealLocked()
+	hook := t.onSeal
 	seq := t.seq
 	window := append([]epochHist(nil), t.sealed...)
 	t.mu.Unlock()
 	t.met.rotations.Inc()
 	t.lastRotate.Store(time.Now().UnixNano()) //dapvet:nondeterministic-ok epoch-age gauge, not estimate state
+	if hook != nil && delta != nil {
+		// Outside every lock: the hook (a node's delta pusher) may block
+		// on the network without stalling ingest or other rotations.
+		hook(delta)
+	}
 
 	snap, err := t.estimateWindow(window, nil, seq, false)
 	if err != nil {

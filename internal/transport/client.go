@@ -335,6 +335,37 @@ func (c *Client) IngestFrames(ctx context.Context, seqBase uint64, batches [][]w
 	return c.postFrameStream(ctx, "/v1/ingest", seqBase, batches)
 }
 
+// PushDelta uploads one sealed epoch delta frame (wirebin.EncodeDelta)
+// to a coordinator's merge plane. Safe to retry: a re-sent frame is
+// acknowledged as a duplicate (epoch still open) or a late straggler
+// (already published) without changing the merge state.
+func (c *Client) PushDelta(ctx context.Context, frame []byte) (*MergeResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/merge", bytes.NewReader(frame))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", wirebin.DeltaContentType)
+	var out MergeResponse
+	if err := c.do(req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// MergeEstimate fetches a coordinator's merged estimate for a tenant
+// (empty = the default tenant).
+func (c *Client) MergeEstimate(ctx context.Context, tenant string) (*EstimateResponse, error) {
+	path := "/v1/merge/estimate"
+	if tenant != "" {
+		path += "/" + tenant
+	}
+	var out EstimateResponse
+	if err := c.get(ctx, path, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // CreateTenant registers a new tenant.
 func (c *Client) CreateTenant(ctx context.Context, req TenantRequest) (*TenantStatusResponse, error) {
 	var out TenantStatusResponse

@@ -126,6 +126,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	if reg := s.regP.Load(); reg != nil {
 		reg.SyncMetrics()
 	}
+	if c := s.opts.Coordinator; c != nil {
+		c.SyncMetrics()
+	}
 	w.Header().Set("Content-Type", metrics.ContentType)
 	_, _ = metrics.Default().WriteTo(w)
 }

@@ -53,6 +53,12 @@ type ServerOptions struct {
 	// Pprof mounts net/http/pprof under /debug/pprof/ (off by default;
 	// admin-only — expose it on trusted networks).
 	Pprof bool
+	// Coordinator, when set, mounts the merge plane (POST /v1/merge and
+	// the merged-estimate routes): this server is the coordinator of a
+	// multi-node deployment and folds node-pushed epoch deltas into
+	// merged estimates. The coordinator's lifetime (Start/Stop of its
+	// straggler clock) stays with the caller.
+	Coordinator *stream.Coordinator
 }
 
 // Server is a multi-tenant DAP collector service on top of the streaming
@@ -242,6 +248,13 @@ func (s *Server) Handler() http.Handler {
 	handle("GET", "/v1/tenants/{tenant}/status", s.scoped(s.handleStatus))
 	handle("GET", "/v1/tenants/{tenant}/estimate", s.scoped(s.handleEstimate))
 	handle("POST", "/v1/tenants/{tenant}/rotate", s.scoped(s.handleRotate))
+	// Merge plane (coordinators only): nodes push sealed epoch deltas,
+	// reads serve the merged estimates.
+	if s.opts.Coordinator != nil {
+		handle("POST", "/v1/merge", s.handleMerge)
+		handle("GET", "/v1/merge/estimate", s.handleMergeEstimate)
+		handle("GET", "/v1/merge/estimate/{tenant}", s.handleMergeEstimate)
+	}
 	// Admin: store health, recovery state, last-snapshot age. Reachable
 	// while the collector is still recovering — it is how operators watch
 	// recovery progress.
@@ -554,6 +567,10 @@ func (s *Server) handleAdminStatus(w http.ResponseWriter, _ *http.Request) {
 			}
 			out.Store = info
 		}
+	}
+	if c := s.opts.Coordinator; c != nil {
+		out.Merge = mergeStatusInfo(c)
+		out.Degraded = out.Degraded || out.Merge.Degraded
 	}
 	if rep := s.report.Load(); rep != nil {
 		out.Recovery = &RecoveryInfo{

@@ -189,6 +189,48 @@ type ErrorResponse struct {
 	Error string `json:"error"`
 }
 
+// MergeResponse is returned by POST /v1/merge: what the coordinator did
+// with the pushed delta. Status is "merged", "duplicate" or "late"
+// (see stream.MergeResult); Published is the tenant's highest published
+// epoch after this push and Degraded whether that publish was partial.
+type MergeResponse struct {
+	Status    string `json:"status"`
+	Epoch     uint64 `json:"epoch"`
+	Published uint64 `json:"published"`
+	Degraded  bool   `json:"degraded,omitempty"`
+}
+
+// MergeNodeInfo is one registered node's liveness inside an admin
+// status.
+type MergeNodeInfo struct {
+	Node       string `json:"node"`
+	LastEpoch  uint64 `json:"last_epoch"`
+	LastSeenMs int64  `json:"last_seen_ms,omitempty"`
+	Deltas     uint64 `json:"deltas"`
+}
+
+// MergeTenantInfo is one tenant's merge-plane state inside an admin
+// status.
+type MergeTenantInfo struct {
+	Tenant    string `json:"tenant"`
+	Published uint64 `json:"published"`
+	Degraded  bool   `json:"degraded,omitempty"`
+	Pending   int    `json:"pending"`
+	LastError string `json:"last_error,omitempty"`
+}
+
+// MergeStatusInfo summarizes the merge plane inside an admin status —
+// present only on a coordinator. Degraded mirrors the per-tenant flags:
+// a partial (quorum-after-timeout or gap-crossing) publish marks its
+// tenant degraded until a later full epoch publishes cleanly.
+type MergeStatusInfo struct {
+	Nodes       []MergeNodeInfo   `json:"nodes"`
+	Quorum      int               `json:"quorum"`
+	StragglerMs int64             `json:"straggler_ms"`
+	Tenants     []MergeTenantInfo `json:"tenants,omitempty"`
+	Degraded    bool              `json:"degraded"`
+}
+
 // StoreHealthInfo describes the durability layer inside an admin status:
 // WAL position and footprint, last snapshot, and whether the most recent
 // append or sync failed (a degraded store serves reads but rejects
@@ -234,4 +276,6 @@ type AdminStatusResponse struct {
 	Degraded bool             `json:"degraded"`
 	Store    *StoreHealthInfo `json:"store,omitempty"`
 	Recovery *RecoveryInfo    `json:"recovery,omitempty"`
+	// Merge is the coordinator's merge-plane state (coordinators only).
+	Merge *MergeStatusInfo `json:"merge,omitempty"`
 }

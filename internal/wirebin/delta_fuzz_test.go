@@ -1,0 +1,63 @@
+package wirebin
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzDeltaDecode fuzzes the merge-wire decoder: no input may panic or
+// over-allocate, and any accepted delta must re-encode canonically —
+// encode(decode(x)) decodes back to the same delta, and the second
+// encoding is a fixed point (the determinism the WAL replay path and
+// the merge property tests rely on).
+func FuzzDeltaDecode(f *testing.F) {
+	seed := func(d *Delta) {
+		frame, err := EncodeDelta(d)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(append([]byte(nil), frame...))
+	}
+	seed(testDelta())
+	seed(&Delta{
+		Node: "n", Tenant: "", Epoch: 0, Seq: 1 << 40,
+		Counts:     [][]float64{{0}},
+		Ns:         []float64{0},
+		StripeSums: [][]float64{{math.Copysign(0, -1)}},
+	})
+	seed(&Delta{
+		Node: "node-with-a-much-longer-identity", Tenant: "t", Epoch: 42, Seq: 42,
+		Counts:     [][]float64{{1 << 33, 2, 3}, {math.NaN(), math.Inf(-1), -0.25}},
+		Ns:         []float64{1<<33 + 5, 3},
+		StripeSums: [][]float64{{1e300, -1e-300}, {0, 0}},
+		Spend:      []SpendEntry{{User: "u1", Eps: math.Inf(1)}, {User: "u2", Eps: 0}},
+	})
+	f.Add([]byte{})
+	f.Add([]byte("DAPD"))
+	f.Add([]byte("DAPF not a delta"))
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		d, err := DecodeDelta(payload)
+		if err != nil {
+			return // rejected input: only the no-panic property applies
+		}
+		canon, err := EncodeDelta(d)
+		if err != nil {
+			t.Fatalf("accepted delta fails to re-encode: %v", err)
+		}
+		d2, err := DecodeDelta(canon)
+		if err != nil {
+			t.Fatalf("canonical re-encoding fails to decode: %v", err)
+		}
+		if !deltasEqual(d, d2) {
+			t.Fatalf("re-encoding changed the delta:\n was %+v\n now %+v", d, d2)
+		}
+		canon2, err := EncodeDelta(d2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(canon, canon2) {
+			t.Fatal("canonical encoding is not a fixed point")
+		}
+	})
+}
